@@ -1,0 +1,45 @@
+// Ablation: the Anderson-Miller coin bias (paper Section 2.4). Biasing the
+// male probability to 0.9 was their "most important optimization",
+// reducing rounds and run time by ~40% versus the unbiased coin.
+#include <cstdio>
+
+#include "baselines/anderson_miller.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Ablation: Anderson-Miller male-coin bias (rank, 1 proc,"
+            " n=200000)\n");
+
+  const std::size_t n = 200000;
+  Rng gen(1);
+  const LinkedList list = random_list(n, gen);
+  const auto want = reference_rank(list);
+
+  TextTable t({"bias", "rounds", "cycles/vertex", "vs bias 0.9"});
+  double best = 0;
+  for (const double bias : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
+    vm::Machine m;
+    Rng coins(7);
+    AndersonMillerOptions opt;
+    opt.male_bias = bias;
+    opt.serial_switch = 0;
+    std::vector<value_t> out(n);
+    const AlgoStats s = anderson_miller_rank(m, list, out, coins, opt);
+    if (out != want) {
+      std::fprintf(stderr, "wrong answer at bias %.2f\n", bias);
+      return 1;
+    }
+    const double cpv = m.max_cycles() / static_cast<double>(n);
+    if (bias == 0.9) best = cpv;
+    t.add_row({TextTable::num(bias, 2),
+               TextTable::num(static_cast<long long>(s.rounds)),
+               TextTable::num(cpv, 2), ""});
+  }
+  t.print();
+  std::printf("\nbias 0.9 cycles/vertex = %.2f (paper: ~40%% faster than"
+              " unbiased)\n", best);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: memory-bandwidth contention. The paper attributes its reduced
+// speedup at higher processor counts to "the available memory bandwidth
+// per processor decreases" (Section 2.5, Fig. 3) and cites Mansour-Nisan-
+// Vishkin [23] on throughput/time trade-offs. This bench sweeps the
+// contention factor gamma of the simulated machine to show how bandwidth
+// sharing shapes the speedup curve -- including the ideal gamma = 0
+// machine the PRAM model assumes.
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "lists/generators.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Ablation: memory contention factor vs 8-processor speedup");
+  std::puts("(list scan, n=2^21; gamma=0.063 is the calibrated Cray C90)\n");
+
+  const std::size_t n = 1u << 21;
+  Rng rng(11);
+  const LinkedList list = random_list(n, rng, ValueInit::kUniformSmall);
+
+  TextTable t({"gamma", "1 proc c/v", "8 proc c/v", "speedup @8",
+               "bandwidth tax"});
+  for (const double gamma : {0.0, 0.03, 0.063, 0.12, 0.25, 0.5}) {
+    double cycles[2];
+    int i = 0;
+    for (const unsigned p : {1u, 8u}) {
+      SimOptions opt;
+      opt.method = Method::kReidMiller;
+      opt.processors = p;
+      opt.machine.contention_gamma = gamma;
+      cycles[i++] = sim_list_scan(list, opt).cycles;
+    }
+    const double factor = 1.0 + gamma * 3.0;  // log2(8) = 3
+    t.add_row({TextTable::num(gamma, 3),
+               TextTable::num(cycles[0] / static_cast<double>(n), 2),
+               TextTable::num(cycles[1] / static_cast<double>(n), 2),
+               TextTable::num(cycles[0] / cycles[1], 2),
+               TextTable::num(factor, 2)});
+  }
+  t.print();
+  std::puts("\n(speedup should approach 8/tax as gamma grows; gamma=0 is the"
+            " ideal EREW PRAM)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: sensitivity to the number of sublists m around the tuned value
+// (paper Section 4.4: m and S1 are chosen to minimize the cost model within
+// about two percent).
+#include <cstdio>
+
+#include "analysis/tuner.hpp"
+#include "core/api.hpp"
+#include "lists/generators.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  const std::size_t n = 1000000;
+  const CostConstants k = CostConstants::from(vm::CostTable::cray_c90());
+  const TuneResult tuned = tune(static_cast<double>(n), k);
+
+  std::printf("Ablation: m sensitivity at n=%zu (tuned m=%.0f, S1=%.0f)\n\n",
+              n, tuned.m, tuned.s1);
+
+  Rng rng(9);
+  const LinkedList list = random_list(n, rng, ValueInit::kUniformSmall);
+
+  TextTable t({"m / tuned", "m", "cycles/vertex", "vs tuned"});
+  double at_tuned = 0;
+  const double factors[] = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  for (const double f : factors) {
+    SimOptions opt;
+    opt.method = Method::kReidMiller;
+    opt.reid_miller.m = tuned.m * f;
+    opt.reid_miller.s1 = tuned.s1;
+    const double cpv =
+        sim_list_scan(list, opt).cycles / static_cast<double>(n);
+    if (f == 1.0) at_tuned = cpv;
+    t.add_row({TextTable::num(f, 3), TextTable::num(tuned.m * f, 0),
+               TextTable::num(cpv, 2),
+               f == 1.0 ? "1.00" : ""});
+  }
+  t.print();
+  std::printf("\ntuned m cycles/vertex: %.2f (neighbourhood should be flat"
+              " near the optimum)\n", at_tuned);
+  return 0;
+}

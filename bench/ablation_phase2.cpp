@@ -1,0 +1,49 @@
+// Ablation: the Phase-2 method switch (paper Section 2.5). The reduced
+// list of m+1 sublist sums can be scanned serially, with Wyllie, or
+// recursively; the paper switches empirically. This bench forces each
+// method for several reduced-list sizes.
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "lists/generators.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Ablation: Phase-2 policy for the reduced list (list scan,"
+            " 1 proc)\n");
+
+  const std::size_t n = 2000000;
+  Rng rng(3);
+  const LinkedList list = random_list(n, rng, ValueInit::kUniformSmall);
+
+  TextTable t({"m (sublists)", "phase2=serial", "phase2=wyllie",
+               "phase2=recursive"});
+  for (const double m : {2000.0, 8000.0, 32000.0, 100000.0}) {
+    std::vector<std::string> row{TextTable::num(m, 0)};
+    struct Policy {
+      std::size_t serial_threshold;
+      std::size_t wyllie_threshold;
+    };
+    const Policy policies[] = {
+        {1u << 30, 1u << 30},  // always serial
+        {0, 1u << 30},         // always Wyllie
+        {0, 0},                // always recurse
+    };
+    for (const auto& pol : policies) {
+      SimOptions opt;
+      opt.method = Method::kReidMiller;
+      opt.reid_miller.m = m;
+      opt.reid_miller.serial_threshold = pol.serial_threshold;
+      opt.reid_miller.wyllie_threshold = pol.wyllie_threshold;
+      const double cpv =
+          sim_list_scan(list, opt).cycles / static_cast<double>(n);
+      row.push_back(TextTable::num(cpv, 2));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::puts("\n(cycles/vertex; serial wins for small m, Wyllie for moderate,"
+            " recursion for large)");
+  return 0;
+}

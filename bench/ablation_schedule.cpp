@@ -1,0 +1,38 @@
+// Ablation: how much does the Eq. 4 optimal load-balancing schedule buy
+// over (a) never balancing and (b) balancing at a fixed uniform interval?
+// This isolates the paper's Section 4.3 design choice.
+#include <cstdio>
+
+#include "core/api.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Ablation: load-balancing schedule policy (list scan, 1 proc)\n");
+
+  TextTable t({"n", "optimal (Eq.4)", "uniform", "none", "none/optimal"});
+  for (const std::size_t n : {10000u, 100000u, 1000000u}) {
+    Rng rng(n);
+    const LinkedList list = random_list(n, rng, ValueInit::kUniformSmall);
+    double cycles[3] = {0, 0, 0};
+    const ScheduleKind kinds[] = {ScheduleKind::kOptimal,
+                                  ScheduleKind::kUniform, ScheduleKind::kNone};
+    for (int i = 0; i < 3; ++i) {
+      SimOptions opt;
+      opt.method = Method::kReidMiller;
+      opt.reid_miller.schedule = kinds[i];
+      cycles[i] = sim_list_scan(list, opt).cycles;
+    }
+    t.add_row({TextTable::num(static_cast<long long>(n)),
+               TextTable::num(cycles[0] / static_cast<double>(n), 2),
+               TextTable::num(cycles[1] / static_cast<double>(n), 2),
+               TextTable::num(cycles[2] / static_cast<double>(n), 2),
+               TextTable::num(cycles[2] / cycles[0], 2)});
+  }
+  t.print();
+  std::puts("\n(cycles/vertex; optimal should win, 'none' pays for chasing"
+            " finished sublists)");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 10: the expected-survivor curve g(x) for n = 10000,
+// m = 199, and the optimal load-balancing step schedule derived from Eq. 4.
+// Also validates Section 4.4's claim that Eq. 3 predicts the measured
+// (simulated) execution accurately while Eq. 5 over-estimates it.
+#include <cstdio>
+
+#include "analysis/schedule.hpp"
+#include "analysis/sublist_stats.hpp"
+#include "analysis/tuner.hpp"
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  const double n = 10000, m = 199;
+  const CostConstants k = CostConstants::from(vm::CostTable::cray_c90());
+  const TuneResult tuned = tune(n, k);
+  const auto sched = balance_schedule_auto(n, m, tuned.s1, k);
+
+  std::puts("Fig. 10: g(x) and the optimal balance schedule");
+  std::printf("(n=%.0f, m=%.0f, tuned S1=%.0f, %zu balance points;"
+              " paper used 11)\n\n", n, m, tuned.s1, sched.size());
+
+  TextTable t({"i", "S_i", "g(S_i) active", "interval"});
+  double prev = 0;
+  int i = 1;
+  for (const double s : sched) {
+    t.add_row({TextTable::num(static_cast<long long>(i++)),
+               TextTable::num(s, 0),
+               TextTable::num(g_survivors(n, m, s), 1),
+               TextTable::num(s - prev, 0)});
+    prev = s;
+  }
+  t.print();
+
+  // Section 4.4: Eq. 3 predicts, Eq. 5 over-estimates.
+  std::puts("\nprediction vs simulation (one processor, list scan):");
+  TextTable p({"n", "Eq.3 predict", "Eq.5 bound", "simulated", "eq3/sim"});
+  for (const std::size_t nn : {10000u, 100000u, 1000000u}) {
+    const TuneResult tr = tune(static_cast<double>(nn), k);
+    const auto s =
+        balance_schedule_auto(static_cast<double>(nn), tr.m, tr.s1, k);
+    const double eq3 =
+        expected_cycles_eq3(static_cast<double>(nn), tr.m, s, k) +
+        phase2_serial_cycles(tr.m, k);
+    const double eq5 = expected_cycles_eq5(static_cast<double>(nn), tr.m,
+                                           tr.s1, s.size(), k);
+    const double sim = run_sim(Method::kReidMiller, nn, 1, false).cycles;
+    p.add_row({TextTable::num(static_cast<long long>(nn)),
+               TextTable::num(eq3, 0), TextTable::num(eq5, 0),
+               TextTable::num(sim, 0), TextTable::num(eq3 / sim, 3)});
+  }
+  p.print();
+  return 0;
+}

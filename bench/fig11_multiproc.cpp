@@ -1,0 +1,43 @@
+// Reproduces Fig. 11: execution time per vertex (ns) of our list scan on
+// 1, 2, 4, and 8 processors of the simulated Cray C90, as a function of
+// list length, plus the asymptotic cycles-per-vertex the paper reports
+// (scan: 7.4 / 3.9 / 2.0 / 1.1; rank: 5.1 / 2.6 / 1.4 / 0.75).
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Fig. 11: list-scan ns/vertex on 1, 2, 4, 8 processors\n");
+
+  TextTable t({"n", "1 proc", "2 proc", "4 proc", "8 proc"});
+  for (const std::size_t n :
+       {4096u, 16384u, 65536u, 262144u, 1048576u, 4194304u}) {
+    std::vector<std::string> row{TextTable::num(static_cast<long long>(n))};
+    for (const unsigned p : {1u, 2u, 4u, 8u}) {
+      row.push_back(
+          TextTable::num(run_sim(Method::kReidMiller, n, p, false)
+                             .ns_per_vertex, 1));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  std::puts("\nasymptotic cycles/vertex at n=4M:");
+  std::puts("            scan (paper)   rank (paper)");
+  const std::size_t big = 4194304;
+  const double paper_scan[] = {7.4, 3.9, 2.0, 1.1};
+  const double paper_rank[] = {5.1, 2.6, 1.4, 0.75};
+  int i = 0;
+  for (const unsigned p : {1u, 2u, 4u, 8u}) {
+    const double scan =
+        run_sim(Method::kReidMiller, big, p, false).cycles_per_vertex;
+    const double rank =
+        run_sim(Method::kReidMillerEncoded, big, p, true).cycles_per_vertex;
+    std::printf("  %u proc:  %5.2f (%4.2f)    %5.2f (%4.2f)\n", p, scan,
+                paper_scan[i], rank, paper_rank[i]);
+    ++i;
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Fig. 1: execution time per vertex (ns) of the list-scan
+// algorithms on one processor of the (simulated) Cray C90, as a function of
+// list length. Shows the Wyllie sawtooth, the serial flat line, the large
+// random-mate constants, and the crossover where the Reid-Miller algorithm
+// overtakes Wyllie (paper: near n = 1000).
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Fig. 1: list-scan ns/vertex vs n, one processor");
+  std::puts("(paper shape: Wyllie sawtooth crossing ours near n~1000;\n"
+            " MR ~20x ours and ~3.5x serial; AM between serial and MR)\n");
+
+  TextTable t({"n", "serial", "wyllie", "miller-reif", "anderson-miller",
+               "ours"});
+  // Log-spaced n including off-power points so the sawtooth shows.
+  const std::size_t ns[] = {64,    96,    128,   192,   256,    384,
+                            512,   768,   1024,  1536,  2048,   4096,
+                            8192,  16384, 32768, 65536, 131072, 262144,
+                            524288, 1048576};
+  for (const std::size_t n : ns) {
+    t.add_row({TextTable::num(static_cast<long long>(n)),
+               TextTable::num(run_sim(Method::kSerial, n, 1, false)
+                                  .ns_per_vertex, 1),
+               TextTable::num(run_sim(Method::kWyllie, n, 1, false)
+                                  .ns_per_vertex, 1),
+               TextTable::num(run_sim(Method::kMillerReif, n, 1, false)
+                                  .ns_per_vertex, 1),
+               TextTable::num(run_sim(Method::kAndersonMiller, n, 1, false)
+                                  .ns_per_vertex, 1),
+               TextTable::num(run_sim(Method::kReidMiller, n, 1, false)
+                                  .ns_per_vertex, 1)});
+  }
+  t.print();
+
+  // Ratio block at the largest n (the Section 2.3/2.4 claims).
+  const std::size_t big = 1048576;
+  const double ours = run_sim(Method::kReidMiller, big, 1, false).ns_per_vertex;
+  const double serial = run_sim(Method::kSerial, big, 1, false).ns_per_vertex;
+  const double mr = run_sim(Method::kMillerReif, big, 1, false).ns_per_vertex;
+  const double am =
+      run_sim(Method::kAndersonMiller, big, 1, false).ns_per_vertex;
+  std::printf("\nlong-list ratios at n=%zu:\n", big);
+  std::printf("  miller-reif / ours        = %5.1f   (paper ~20)\n", mr / ours);
+  std::printf("  miller-reif / serial      = %5.2f   (paper ~3.5)\n",
+              mr / serial);
+  std::printf("  anderson-miller / ours    = %5.1f   (paper ~7)\n", am / ours);
+  std::printf("  miller-reif / and-miller  = %5.2f   (paper ~3)\n", mr / am);
+  std::printf("  serial / ours             = %5.2f   (paper ~5.9 for scan)\n",
+              serial / ours);
+  return 0;
+}

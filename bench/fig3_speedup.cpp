@@ -1,0 +1,32 @@
+// Reproduces Fig. 3: speedup of the list-scan algorithm relative to one
+// processor, for various list sizes. Shows near-linear scaling that
+// degrades as memory bandwidth per processor drops, and poorer speedups for
+// small lists where fixed overheads dominate.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  std::puts("Fig. 3: relative speedup of our list scan vs #processors");
+  std::puts("(paper: close to linear, tapering with p; worse for small n)\n");
+
+  const std::size_t sizes[] = {8192, 65536, 524288, 4194304};
+  const unsigned procs[] = {1, 2, 4, 8, 16};
+
+  TextTable t({"p", "n=8192", "n=65536", "n=524288", "n=4194304"});
+  double base[4] = {0, 0, 0, 0};
+  for (const unsigned p : procs) {
+    std::vector<std::string> row{TextTable::num(static_cast<long long>(p))};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const double cycles =
+          run_sim(Method::kReidMiller, sizes[i], p, false).cycles;
+      if (p == 1) base[i] = cycles;
+      row.push_back(TextTable::num(base[i] / cycles, 2));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

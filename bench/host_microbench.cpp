@@ -1,0 +1,156 @@
+// Wall-clock google-benchmark of the host-path implementations: the serial
+// walk, the OpenMP Reid-Miller host path, and (for context) the simulator
+// overhead of the main algorithms. Run with --benchmark_filter=... to
+// narrow.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "apps/euler_tour.hpp"
+#include "baselines/serial.hpp"
+#include "core/api.hpp"
+#include "core/parallel_host.hpp"
+#include "lists/generators.hpp"
+#include "lists/transform.hpp"
+#include "vm/segmented.hpp"
+
+namespace {
+
+using namespace lr90;
+
+const LinkedList& cached_list(std::size_t n) {
+  static std::map<std::size_t, LinkedList> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    Rng rng(n);
+    it = cache.emplace(n, random_list(n, rng, ValueInit::kUniformSmall))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_SerialScanHost(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LinkedList& l = cached_list(n);
+  std::vector<value_t> out(n);
+  for (auto _ : state) {
+    serial_scan_host(l, std::span<value_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SerialScanHost)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HostListScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LinkedList& l = cached_list(n);
+  HostOptions opt;
+  opt.threads = static_cast<unsigned>(state.range(1));
+  for (auto _ : state) {
+    auto out = host_list_scan(l, OpPlus{}, opt);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HostListScan)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 2})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4});
+
+void BM_HostListRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LinkedList& l = cached_list(n);
+  HostOptions opt;
+  opt.threads = 0;  // library default
+  for (auto _ : state) {
+    auto out = host_list_rank(l, opt);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HostListRank)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SimReidMiller(benchmark::State& state) {
+  // Host cost of the functional simulation itself (not simulated ns).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LinkedList& l = cached_list(n);
+  SimOptions opt;
+  opt.method = Method::kReidMiller;
+  for (auto _ : state) {
+    auto r = sim_list_scan(l, opt);
+    benchmark::DoNotOptimize(r.scan.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimReidMiller)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_EulerTourLabels(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  const RootedTree tree = random_tree(n, rng);
+  for (auto _ : state) {
+    auto labels = tree_labels(tree);
+    benchmark::DoNotOptimize(labels.depth.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EulerTourLabels)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_RankManyBatch(benchmark::State& state) {
+  const auto lists_count = static_cast<std::size_t>(state.range(0));
+  const auto each = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  std::vector<LinkedList> lists;
+  lists.reserve(lists_count);
+  for (std::size_t i = 0; i < lists_count; ++i)
+    lists.push_back(random_list(each, rng));
+  for (auto _ : state) {
+    auto ranks = rank_many(lists);
+    benchmark::DoNotOptimize(ranks.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lists_count * each));
+}
+BENCHMARK(BM_RankManyBatch)->Args({256, 256})->Args({16, 65536});
+
+void BM_SegmentedScan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<value_t> v(n);
+  std::vector<std::uint8_t> flags(n, 0);
+  for (auto& x : v) x = static_cast<value_t>(rng.uniform(100));
+  for (std::size_t i = 0; i < n; i += 97) flags[i] = 1;
+  std::vector<value_t> out(n);
+  vm::Machine m(vm::MachineConfig{}, vm::CostTable::zero());
+  for (auto _ : state) {
+    vm::segmented_exclusive_scan(m, 0, std::span<const value_t>(v), flags,
+                                 std::span<value_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentedScan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SimWyllie(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LinkedList& l = cached_list(n);
+  SimOptions opt;
+  opt.method = Method::kWyllie;
+  for (auto _ : state) {
+    auto r = sim_list_scan(l, opt);
+    benchmark::DoNotOptimize(r.scan.data());
+  }
+}
+BENCHMARK(BM_SimWyllie)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Reproduces Table I: asymptotic execution time (ns per vertex) of list
+// ranking and list scan -- DEC Alpha workstation (cache / memory), Cray C90
+// serial, and the vectorized algorithm on 1, 2, 4, and 8 processors.
+//
+// Paper values for reference:
+//   rank:  98  690  177  21.3  10.9  5.8  3.1
+//   scan: 200  990  183  30.8  16.1  8.5  4.6
+#include <cstdio>
+
+#include "analysis/workstation_model.hpp"
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lr90;
+
+double vectorized_ns(std::size_t n, unsigned p, bool rank) {
+  const Method method = rank ? Method::kReidMillerEncoded : Method::kReidMiller;
+  return run_sim(method, n, p, rank).ns_per_vertex;
+}
+
+}  // namespace
+
+int main() {
+  using lr90::TextTable;
+  std::puts("Table I: asymptotic ns/vertex, list rank and list scan");
+  std::puts("(paper: rank 98/690/177/21.3/10.9/5.8/3.1,"
+            " scan 200/990/183/30.8/16.1/8.5/4.6)\n");
+
+  const std::size_t n = 1u << 21;  // 2M vertices: asymptotic regime
+  const lr90::WorkstationModel alpha;
+
+  TextTable t({"Algorithm", "Alpha cache", "Alpha memory", "C90 serial",
+               "Vectorized", "2 proc", "4 proc", "8 proc"});
+
+  {
+    std::vector<std::string> row{"List rank"};
+    row.push_back(TextTable::num(alpha.rank_ns_per_vertex(1000), 1));
+    row.push_back(TextTable::num(alpha.rank_ns_per_vertex(100000000), 1));
+    row.push_back(TextTable::num(
+        lr90::run_sim(lr90::Method::kSerial, n, 1, true).ns_per_vertex, 1));
+    for (const unsigned p : {1u, 2u, 4u, 8u})
+      row.push_back(TextTable::num(vectorized_ns(n, p, true), 1));
+    t.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"List scan"};
+    row.push_back(TextTable::num(alpha.scan_ns_per_vertex(1000), 1));
+    row.push_back(TextTable::num(alpha.scan_ns_per_vertex(100000000), 1));
+    row.push_back(TextTable::num(
+        lr90::run_sim(lr90::Method::kSerial, n, 1, false).ns_per_vertex, 1));
+    for (const unsigned p : {1u, 2u, 4u, 8u})
+      row.push_back(TextTable::num(vectorized_ns(n, p, false), 1));
+    t.add_row(row);
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table II: comparison of the list-ranking algorithms -- time
+// class, measured work (link steps per vertex), constants (measured cycles
+// per vertex on one simulated processor), and extra space in words.
+//
+// Paper rows: serial O(n)/small/c, Wyllie O(n log n)/small/n+c, randomized
+// O(n)/medium/>2n, ours O(n)/small/5p+c.
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace lr90;
+  using Row = std::pair<Method, const char*>;
+  const std::size_t n = 1u << 19;  // 512K vertices
+
+  std::puts("Table II: list-ranking algorithm comparison (measured at n=2^19,");
+  std::puts("one simulated processor; space is words beyond list + output)\n");
+
+  TextTable t({"Algorithm", "Time", "Work", "steps/vertex", "cycles/vertex",
+               "Extra space"});
+  const Row rows[] = {
+      {Method::kSerial, "O(n)"},
+      {Method::kWyllie, "O((n log n)/p + log n)"},
+      {Method::kMillerReif, "O(n/p + log n)"},
+      {Method::kAndersonMiller, "O(n/p + log n)"},
+      {Method::kReidMillerEncoded, "O(n/p + log^2 n)"},
+  };
+  for (const auto& [method, time] : rows) {
+    const SimRun run = run_sim(method, n, 1, /*rank=*/true);
+    const char* work =
+        method == Method::kWyllie ? "O(n log n)" : "O(n)";
+    t.add_row({method_name(method), time, work,
+               TextTable::num(static_cast<double>(run.stats.link_steps) /
+                                  static_cast<double>(n),
+                              2),
+               TextTable::num(run.cycles_per_vertex, 2),
+               TextTable::num(
+                   static_cast<long long>(run.stats.extra_words))});
+  }
+  t.print();
+  std::puts("\npaper space column: serial c | Wyllie n+c | randomized >2n |"
+            " ours 5p+c");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Pointer-chained log reordering: a transaction log whose records were
+// appended wherever space was free, each record pointing at the next. List
+// ranking turns the chain into a dense array in one parallel pass (rank =
+// destination slot), and a generic-operator list scan computes running
+// balances and running maxima without materializing the ordered array.
+//
+//   $ ./log_reorder [records]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/parallel_host.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lr90;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : 200000;
+
+  // Synthesize the fragmented log: storage order is a random permutation of
+  // append order; values are signed transaction amounts.
+  Rng rng(99);
+  const LinkedList log = random_list(n, rng, ValueInit::kSigned);
+  std::printf("fragmented log: %zu records, first record in slot %u\n", n,
+              log.head);
+
+  // 1. Rank -> scatter into a dense, time-ordered array.
+  const std::vector<value_t> rank = host_list_rank(log);
+  std::vector<value_t> ordered(n);
+  for (std::size_t slot = 0; slot < n; ++slot)
+    ordered[static_cast<std::size_t>(rank[slot])] = log.value[slot];
+
+  // 2. Running balance before each transaction, straight off the chain.
+  const std::vector<value_t> balance = host_list_scan(log, OpPlus{});
+
+  // 3. High-water mark of the balance... is a max-scan over balances; here
+  // we instead demo a max-scan over the amounts (largest earlier deposit).
+  const std::vector<value_t> high = host_list_scan(log, OpMax{});
+
+  // Verify the three outputs against a serial replay of the ordered array.
+  value_t bal = 0, hi = OpMax::identity();
+  std::size_t pos = 0;
+  index_t v = log.head;
+  while (true) {
+    if (balance[v] != bal || high[v] != hi ||
+        ordered[pos] != log.value[v]) {
+      std::printf("mismatch at position %zu\n", pos);
+      return 1;
+    }
+    bal += log.value[v];
+    hi = std::max(hi, log.value[v]);
+    ++pos;
+    if (log.next[v] == v) break;
+    v = log.next[v];
+  }
+  std::printf("verified: dense reorder + running balance + running max for"
+              " %zu records\n", pos);
+  std::printf("final balance = %lld, largest single deposit = %lld\n",
+              static_cast<long long>(bal), static_cast<long long>(hi));
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Command-line driver: run any algorithm of the library on a generated
+// workload and report simulated Cray C90 costs plus host wall-clock.
+//
+//   $ ./lr90_cli --n 1000000 --method reid-miller --procs 8 --workload random
+//   $ ./lr90_cli --n 500000 --method all --rank
+//
+// Options:
+//   --n N            list length                      (default 1000000)
+//   --method M       serial|wyllie|miller-reif|anderson-miller|
+//                    reid-miller|reid-miller-encoded|auto|all
+//   --procs P        simulated processors             (default 1)
+//   --workload W     random|sequential|reversed|blocked (default random)
+//   --rank           rank instead of scan
+//   --seed S         workload/algorithm seed          (default 42)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace lr90;
+
+Method parse_method(const std::string& name) {
+  for (const Method m :
+       {Method::kAuto, Method::kSerial, Method::kWyllie, Method::kMillerReif,
+        Method::kAndersonMiller, Method::kReidMiller,
+        Method::kReidMillerEncoded}) {
+    if (name == method_name(m)) return m;
+  }
+  std::fprintf(stderr, "unknown method '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 1000000;
+  std::string method_arg = "reid-miller";
+  std::string workload = "random";
+  unsigned procs = 1;
+  bool rank = false;
+  std::uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value after %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--n") n = std::strtoull(next(), nullptr, 10);
+    else if (a == "--method") method_arg = next();
+    else if (a == "--procs") procs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    else if (a == "--workload") workload = next();
+    else if (a == "--rank") rank = true;
+    else if (a == "--seed") seed = std::strtoull(next(), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  Rng rng(seed);
+  LinkedList list;
+  const ValueInit init = rank ? ValueInit::kOnes : ValueInit::kUniformSmall;
+  if (workload == "random") list = random_list(n, rng, init);
+  else if (workload == "sequential") list = sequential_list(n, init, &rng);
+  else if (workload == "reversed") list = reversed_list(n, init, &rng);
+  else if (workload == "blocked") list = blocked_list(n, 64, rng, init);
+  else {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+
+  std::vector<Method> methods;
+  if (method_arg == "all") {
+    methods = {Method::kSerial, Method::kWyllie, Method::kMillerReif,
+               Method::kAndersonMiller, Method::kReidMiller};
+    if (rank) methods.push_back(Method::kReidMillerEncoded);
+  } else {
+    methods = {parse_method(method_arg)};
+  }
+
+  std::printf("%s of a %s list, n=%zu, %u simulated processor(s)\n\n",
+              rank ? "list rank" : "list scan", workload.c_str(), n, procs);
+
+  const auto want = rank ? reference_rank(list) : std::vector<value_t>{};
+  TextTable t({"method", "sim cycles", "sim ns/vertex", "cycles/vertex",
+               "host ms", "rounds", "extra words"});
+  for (const Method m : methods) {
+    SimOptions opt;
+    opt.method = m;
+    opt.processors = procs;
+    opt.seed = seed + 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult r =
+        rank ? sim_list_rank(list, opt) : sim_list_scan(list, opt);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (rank && r.scan != want) {
+      std::fprintf(stderr, "%s computed a WRONG answer\n",
+                   method_name(r.method_used));
+      return 1;
+    }
+    const double host_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    t.add_row({method_name(r.method_used), TextTable::num(r.cycles, 0),
+               TextTable::num(r.ns_per_vertex, 2),
+               TextTable::num(r.cycles / static_cast<double>(n), 2),
+               TextTable::num(host_ms, 1),
+               TextTable::num(static_cast<long long>(r.stats.rounds)),
+               TextTable::num(static_cast<long long>(r.stats.extra_words))});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Tuning explorer: for a given list length, show what the cost model
+// recommends -- the number of sublists m, the first balance interval S1,
+// the full Eq. 4 schedule -- and compare the model's Eq. 3 prediction with
+// an actual simulated run (paper Section 4.4).
+//
+//   $ ./tuning_explorer [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/schedule.hpp"
+#include "analysis/sublist_stats.hpp"
+#include "analysis/tuner.hpp"
+#include "core/reid_miller.hpp"
+#include "lists/generators.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lr90;
+  const auto n = static_cast<double>(
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000000);
+
+  const CostConstants k = CostConstants::from(vm::CostTable::cray_c90());
+  const TuneResult tuned = tune(n, k);
+
+  std::printf("n = %.0f\n", n);
+  std::printf("tuned parameters: m = %.0f sublists, S1 = %.0f links\n",
+              tuned.m, tuned.s1);
+  std::printf("mean sublist length n/m = %.1f, expected longest = %.1f\n",
+              n / tuned.m, expected_longest(n, tuned.m));
+
+  const auto sched = balance_schedule_auto(n, tuned.m, tuned.s1, k);
+  std::printf("load-balance schedule (%zu points):\n", sched.size());
+  TextTable t({"i", "S_i", "expected active lanes"});
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    t.add_row({TextTable::num(static_cast<long long>(i + 1)),
+               TextTable::num(sched[i], 0),
+               TextTable::num(g_survivors(n, tuned.m, sched[i]), 1)});
+  }
+  t.print();
+
+  const double eq3 = expected_cycles_eq3(n, tuned.m, sched, k) +
+                     phase2_serial_cycles(tuned.m, k);
+  std::printf("\nEq. 3 predicted cost: %.0f cycles (%.2f cycles/vertex)\n",
+              eq3, eq3 / n);
+
+  Rng rng(5);
+  LinkedList list = random_list(static_cast<std::size_t>(n), rng,
+                                ValueInit::kUniformSmall);
+  vm::Machine machine;
+  Rng algo_rng(6);
+  std::vector<value_t> out(list.size());
+  reid_miller_scan(machine, list, std::span<value_t>(out), algo_rng);
+  const double sim = machine.max_cycles();
+  std::printf("simulated run:        %.0f cycles (%.2f cycles/vertex),"
+              " prediction/actual = %.3f\n",
+              sim, sim / n, eq3 / sim);
+
+  std::puts("\nwhere the cycles went (fused-kernel breakdown):");
+  TextTable bd({"kernel", "cycles", "share"});
+  const std::pair<vm::Kernel, const char*> kernels[] = {
+      {vm::Kernel::kInitialize, "initialize"},
+      {vm::Kernel::kInitialScanStep, "phase 1 traversal"},
+      {vm::Kernel::kInitialPack, "phase 1 packing"},
+      {vm::Kernel::kFindSublistList, "reduced-list build"},
+      {vm::Kernel::kFinalScanStep, "phase 3 traversal"},
+      {vm::Kernel::kFinalPack, "phase 3 packing"},
+      {vm::Kernel::kRestoreList, "restoration"},
+  };
+  for (const auto& [k, name] : kernels) {
+    const double c = machine.kernel_cycles(k);
+    bd.add_row({name, TextTable::num(c, 0),
+                TextTable::num(100.0 * c / sim, 1) + "%"});
+  }
+  bd.print();
+  return 0;
+}

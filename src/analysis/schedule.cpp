@@ -1,0 +1,52 @@
+#include "analysis/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "analysis/sublist_stats.hpp"
+
+namespace lr90 {
+
+std::vector<double> balance_schedule(double n, double m, double s1,
+                                     double c_over_a, double until) {
+  assert(n > 0 && m > 0);
+  s1 = std::max(1.0, std::floor(s1));
+  std::vector<double> s;
+  s.push_back(s1);
+  double prev2 = 0.0;   // S_{i-1}
+  double prev = s1;     // S_i
+  while (prev < until) {
+    const double g_prev2 = g_survivors(n, m, prev2);
+    const double g_prev = g_survivors(n, m, prev);
+    // Eq. 4. g_prev underflows to ~0 only when prev is far beyond every
+    // sublist; the `until` bound keeps us well clear of that regime, but
+    // guard anyway.
+    double next;
+    if (g_prev < 1e-12) {
+      next = prev + (prev - prev2);  // keep the last gap
+    } else {
+      next = prev + (g_prev2 - g_prev) / ((m / n) * g_prev) - c_over_a;
+    }
+    next = std::floor(next);
+    // Eq. 4 yields growing gaps only when S_1 exceeds the critical value
+    // sqrt(2 (c/a)(n/m)); below it the raw recurrence would collapse the
+    // schedule into per-link balancing. Guard by never letting a gap
+    // shrink (and always making at least one link of progress).
+    const double min_next = prev + std::max(1.0, prev - prev2);
+    if (next < min_next) next = min_next;
+    s.push_back(next);
+    prev2 = prev;
+    prev = next;
+  }
+  return s;
+}
+
+std::vector<double> balance_schedule_auto(double n, double m, double s1,
+                                          const CostConstants& k,
+                                          double longest_factor) {
+  const double until = expected_longest(n, m) * longest_factor;
+  return balance_schedule(n, m, s1, k.c_over_a(), until);
+}
+
+}  // namespace lr90

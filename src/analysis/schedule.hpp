@@ -1,0 +1,34 @@
+// Optimal load-balancing schedule (paper Section 4.3, Eq. 4).
+//
+// Setting the partial derivatives of Eq. 3 with respect to each balance
+// point S_i to zero yields the recurrence
+//
+//   S_{i+1} = S_i + (g(S_{i-1}) - g(S_i)) / ((m/n) g(S_i)) - c/a
+//
+// so from S_0 = 0 and a chosen S_1 the whole schedule follows. Balance
+// points spread out over time because sublists complete at a decreasing
+// rate; a larger c/a (expensive packing) pushes balancing later and reduces
+// how many balances are worthwhile.
+#pragma once
+
+#include <vector>
+
+#include "analysis/cost_eqs.hpp"
+
+namespace lr90 {
+
+/// Generates balance points S_1 < S_2 < ... from Eq. 4 until the points
+/// pass `until` (typically a multiple of the expected longest sublist
+/// (n/m) ln(2m+2)). Always emits at least one point. Guarantees strictly
+/// increasing integer-valued points (each at least prev+1), so a traversal
+/// driven by the schedule always makes progress.
+std::vector<double> balance_schedule(double n, double m, double s1,
+                                     double c_over_a, double until);
+
+/// Convenience: schedule out to `longest_factor` times the expected longest
+/// sublist.
+std::vector<double> balance_schedule_auto(double n, double m, double s1,
+                                          const CostConstants& k,
+                                          double longest_factor = 1.0);
+
+}  // namespace lr90

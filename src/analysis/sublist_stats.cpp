@@ -1,0 +1,58 @@
+#include "analysis/sublist_stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "lists/validate.hpp"
+
+namespace lr90 {
+
+double g_survivors(double n, double m, double x) {
+  assert(n > 0 && m > 0);
+  return (m + 1.0) * std::exp(-m * x / n);
+}
+
+double expected_jth_shortest(double n, double m, double j) {
+  assert(j >= 0 && j <= m);
+  return n / m * std::log((m + 1.0) / (m - j + 0.5));
+}
+
+double expected_shortest(double n, double m) {
+  return expected_jth_shortest(n, m, 0.0);
+}
+
+double expected_longest(double n, double m) {
+  return n / m * std::log(2.0 * m + 2.0);
+}
+
+std::vector<std::size_t> observed_sublist_lengths(
+    const LinkedList& list, const std::vector<index_t>& tails) {
+  // Rank every vertex, mark the list positions that end a sublist, and
+  // difference consecutive boundary positions.
+  const std::vector<value_t> rank = reference_rank(list);
+  const auto n = static_cast<std::size_t>(list.size());
+  std::vector<std::size_t> boundary_pos;
+  boundary_pos.reserve(tails.size() + 1);
+  for (const index_t t : tails) {
+    assert(t < n);
+    boundary_pos.push_back(static_cast<std::size_t>(rank[t]));
+  }
+  boundary_pos.push_back(n - 1);  // global tail always ends the last sublist
+  std::sort(boundary_pos.begin(), boundary_pos.end());
+  boundary_pos.erase(
+      std::unique(boundary_pos.begin(), boundary_pos.end()),
+      boundary_pos.end());
+
+  std::vector<std::size_t> lengths;
+  lengths.reserve(boundary_pos.size());
+  std::size_t prev_end = 0;  // list position one past the previous sublist
+  for (const std::size_t b : boundary_pos) {
+    lengths.push_back(b + 1 - prev_end);
+    prev_end = b + 1;
+  }
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+}  // namespace lr90

@@ -1,0 +1,44 @@
+// Expected sublist-length distribution (paper Section 4.1).
+//
+// Splitting a list of length n at m random positions yields m+1 sublists
+// whose lengths behave, for large n and m, like independent exponential
+// variates with mean n/m (Feller): Prob[L > x] ~= e^{-mx/n}. From this the
+// paper derives
+//   * g(x) = (m+1) e^{-mx/n}: expected number of sublists longer than x
+//     (Eq. 2) -- the "active lane count" after x traversal steps;
+//   * expected length of the j-th shortest sublist
+//     (n/m) ln((m+1)/(m-j+0.5))  (by solving a(x) = (m-j+0.5)/(m+1));
+//   * expected shortest (n/m) ln((m+1)/(m+0.5)) and longest
+//     (n/m) ln(2m+2) sublist lengths.
+//
+// These drive the load-balancing schedule (analysis/schedule.hpp) and are
+// validated empirically by bench/fig9_sublists and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lists/linked_list.hpp"
+
+namespace lr90 {
+
+/// Expected number of sublists with length greater than x (Eq. 2).
+double g_survivors(double n, double m, double x);
+
+/// Expected length of the j-th shortest of m+1 sublists (j in [0, m]).
+double expected_jth_shortest(double n, double m, double j);
+
+/// Expected length of the shortest sublist: (n/m) ln((m+1)/(m+0.5)).
+double expected_shortest(double n, double m);
+
+/// Expected length of the longest sublist: (n/m) ln(2m+2).
+double expected_longest(double n, double m);
+
+/// Observed sublist lengths when `list` is split *after* each vertex in
+/// `tails` (each tail ends its sublist) plus the global tail; the head
+/// starts the first sublist. Returned sorted ascending. Host-side helper
+/// for Fig. 9 and for tests of the distribution theory.
+std::vector<std::size_t> observed_sublist_lengths(
+    const LinkedList& list, const std::vector<index_t>& tails);
+
+}  // namespace lr90

@@ -1,0 +1,32 @@
+#include "analysis/workstation_model.hpp"
+
+#include <algorithm>
+
+namespace lr90 {
+
+double WorkstationModel::miss_fraction(double working_set) const {
+  if (working_set <= cache_bytes) return 0.0;
+  return 1.0 - cache_bytes / working_set;
+}
+
+double WorkstationModel::rank_ns_per_vertex(std::size_t n) const {
+  const double ws = rank_bytes_per_vertex * static_cast<double>(n);
+  const double miss = miss_fraction(ws);
+  return rank_cached_ns + (rank_memory_ns - rank_cached_ns) * miss;
+}
+
+double WorkstationModel::scan_ns_per_vertex(std::size_t n) const {
+  const double ws = scan_bytes_per_vertex * static_cast<double>(n);
+  const double miss = miss_fraction(ws);
+  return scan_cached_ns + (scan_memory_ns - scan_cached_ns) * miss;
+}
+
+double WorkstationModel::rank_ns(std::size_t n) const {
+  return rank_ns_per_vertex(n) * static_cast<double>(n);
+}
+
+double WorkstationModel::scan_ns(std::size_t n) const {
+  return scan_ns_per_vertex(n) * static_cast<double>(n);
+}
+
+}  // namespace lr90

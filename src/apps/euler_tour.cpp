@@ -1,0 +1,227 @@
+#include "apps/euler_tour.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace lr90 {
+
+bool is_valid_tree(const RootedTree& tree) {
+  const std::size_t n = tree.size();
+  if (n == 0) return false;
+  if (tree.root >= n) return false;
+  if (tree.parent[tree.root] != tree.root) return false;
+  // Every node must reach the root without revisiting (path-halving walk
+  // with a visit stamp would be O(n alpha); a simple depth count suffices:
+  // any walk longer than n edges means a cycle).
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tree.parent[v] >= n) return false;
+    index_t x = static_cast<index_t>(v);
+    std::size_t hops = 0;
+    while (x != tree.root) {
+      x = tree.parent[x];
+      if (++hops > n) return false;
+    }
+  }
+  return true;
+}
+
+RootedTree random_tree(std::size_t n, Rng& rng) {
+  assert(n >= 1);
+  // Random recursive tree in creation order...
+  std::vector<index_t> parent_in_order(n);
+  parent_in_order[0] = 0;
+  for (std::size_t v = 1; v < n; ++v)
+    parent_in_order[v] = static_cast<index_t>(rng.uniform(v));
+  // ...then relabel with a random permutation.
+  std::vector<std::uint32_t> label(n);
+  rng.permutation(label);
+  RootedTree tree;
+  tree.parent.resize(n);
+  tree.root = label[0];
+  for (std::size_t v = 0; v < n; ++v)
+    tree.parent[label[v]] = label[parent_in_order[v]];
+  return tree;
+}
+
+EulerTour build_euler_tour(const RootedTree& tree) {
+  const std::size_t n = tree.size();
+  assert(is_valid_tree(tree));
+  EulerTour tour;
+  tour.down.assign(n, kNoVertex);
+  tour.up.assign(n, kNoVertex);
+  if (n <= 1) return tour;
+
+  // Edge index of non-root v: position among non-root vertices (so arc ids
+  // are dense in [0, 2(n-1))).
+  std::vector<index_t> edge_of(n, kNoVertex);
+  {
+    index_t e = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<index_t>(v) != tree.root)
+        edge_of[v] = e++;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<index_t>(v) == tree.root) continue;
+    tour.down[v] = 2 * edge_of[v];
+    tour.up[v] = 2 * edge_of[v] + 1;
+  }
+
+  // Children adjacency (CSR), children in increasing vertex order.
+  std::vector<std::uint32_t> deg(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<index_t>(v) != tree.root) ++deg[tree.parent[v]];
+  }
+  std::vector<std::uint32_t> off(n + 1, 0);
+  std::partial_sum(deg.begin(), deg.end(), off.begin() + 1);
+  std::vector<index_t> child(off[n]);
+  {
+    std::vector<std::uint32_t> fill(off.begin(), off.end() - 1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (static_cast<index_t>(v) != tree.root)
+        child[fill[tree.parent[v]]++] = static_cast<index_t>(v);
+    }
+  }
+
+  const std::size_t arcs = 2 * (n - 1);
+  tour.arcs.next.assign(arcs, 0);
+  tour.arcs.value.assign(arcs, 0);
+
+  // Chain rules (first/last/next sibling), all O(1) per arc:
+  //   down(v) -> down(first child of v)   if v has children
+  //   down(v) -> up(v)                    if v is a leaf
+  //   up(c)   -> down(next sibling of c)  if c has a next sibling
+  //   up(c)   -> up(parent(c))            if c is its parent's last child
+  // The tour starts at down(first child of root) and ends at up(last
+  // child of root), which becomes the tail self-loop.
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::uint32_t lo = off[v], hi_ = off[v + 1];
+    if (static_cast<index_t>(v) != tree.root) {
+      tour.arcs.next[tour.down[v]] =
+          (lo < hi_) ? tour.down[child[lo]] : tour.up[v];
+    }
+    for (std::uint32_t i = lo; i < hi_; ++i) {
+      const index_t c = child[i];
+      if (i + 1 < hi_) {
+        tour.arcs.next[tour.up[c]] = tour.down[child[i + 1]];
+      } else if (static_cast<index_t>(v) != tree.root) {
+        tour.arcs.next[tour.up[c]] = tour.up[v];
+      } else {
+        tour.arcs.next[tour.up[c]] = tour.up[c];  // global tail
+      }
+    }
+  }
+  tour.arcs.head = tour.down[child[off[tree.root]]];
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<index_t>(v) == tree.root) continue;
+    tour.arcs.value[tour.down[v]] = +1;
+    tour.arcs.value[tour.up[v]] = -1;
+  }
+  return tour;
+}
+
+std::vector<value_t> tree_depths(const RootedTree& tree,
+                                 const HostOptions& opt) {
+  const std::size_t n = tree.size();
+  std::vector<value_t> depth(n, 0);
+  if (n <= 1) return depth;
+  const EulerTour tour = build_euler_tour(tree);
+  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] != kNoVertex) depth[v] = scan[tour.down[v]] + 1;
+  }
+  return depth;
+}
+
+std::vector<value_t> preorder_numbers(const RootedTree& tree,
+                                      const HostOptions& opt) {
+  const std::size_t n = tree.size();
+  std::vector<value_t> pre(n, 0);
+  if (n <= 1) return pre;
+  EulerTour tour = build_euler_tour(tree);
+  // Count descend arcs only: weight +1 on down, 0 on up.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.up[v] != kNoVertex) tour.arcs.value[tour.up[v]] = 0;
+  }
+  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] != kNoVertex) pre[v] = scan[tour.down[v]] + 1;
+  }
+  return pre;
+}
+
+std::vector<value_t> subtree_sizes(const RootedTree& tree,
+                                   const HostOptions& opt) {
+  const std::size_t n = tree.size();
+  std::vector<value_t> size(n, static_cast<value_t>(n));
+  if (n <= 1) return size;
+  const EulerTour tour = build_euler_tour(tree);
+  const std::vector<value_t> rank = host_list_rank(tour.arcs, opt);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] == kNoVertex) continue;  // root keeps n
+    size[v] = (rank[tour.up[v]] - rank[tour.down[v]] + 1) / 2;
+  }
+  return size;
+}
+
+std::vector<value_t> path_sums(const RootedTree& tree,
+                               std::span<const value_t> weights,
+                               const HostOptions& opt) {
+  const std::size_t n = tree.size();
+  assert(weights.size() == n);
+  std::vector<value_t> out(n, 0);
+  if (n <= 1) return out;
+  EulerTour tour = build_euler_tour(tree);
+  // +w on descend, -w on ascend: the exclusive scan at down(v) sums the
+  // still-open (ancestor) vertices, which excludes the root (it has no
+  // arcs) and v itself.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] == kNoVertex) continue;
+    tour.arcs.value[tour.down[v]] = weights[v];
+    tour.arcs.value[tour.up[v]] = -weights[v];
+  }
+  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] == kNoVertex) continue;  // root keeps 0
+    out[v] = scan[tour.down[v]] + weights[tree.root];
+  }
+  return out;
+}
+
+std::vector<value_t> subtree_sums(const RootedTree& tree,
+                                  std::span<const value_t> weights,
+                                  const HostOptions& opt) {
+  const std::size_t n = tree.size();
+  assert(weights.size() == n);
+  std::vector<value_t> out(n, 0);
+  if (n == 0) return out;
+  value_t total = 0;
+  for (const value_t w : weights) total += w;
+  out[tree.root] = total;
+  if (n == 1) return out;
+  EulerTour tour = build_euler_tour(tree);
+  // +w on descend only: the scan difference across [down(v), up(v)) is
+  // exactly the subtree's weight.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] == kNoVertex) continue;
+    tour.arcs.value[tour.down[v]] = weights[v];
+    tour.arcs.value[tour.up[v]] = 0;
+  }
+  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (tour.down[v] == kNoVertex) continue;
+    out[v] = scan[tour.up[v]] - scan[tour.down[v]];
+  }
+  return out;
+}
+
+TreeLabels tree_labels(const RootedTree& tree, const HostOptions& opt) {
+  TreeLabels labels;
+  labels.depth = tree_depths(tree, opt);
+  labels.preorder = preorder_numbers(tree, opt);
+  labels.subtree_size = subtree_sizes(tree, opt);
+  return labels;
+}
+
+}  // namespace lr90

@@ -1,0 +1,27 @@
+// Per-run statistics reported by every list-scan algorithm.
+//
+// These power the Table II "work" and "space" columns and let tests assert
+// algorithmic behaviour (e.g. Wyllie performs exactly ceil(log2(n-1))
+// rounds; Miller-Reif needs ~4 attempts per splice).
+#pragma once
+
+#include <cstdint>
+
+namespace lr90 {
+
+struct AlgoStats {
+  /// Parallel rounds executed (pointer-jumping rounds, random-mate rounds,
+  /// or load-balancing intervals, depending on the algorithm).
+  std::uint64_t rounds = 0;
+  /// Total link traversals / element steps across all rounds (the "work").
+  std::uint64_t link_steps = 0;
+  /// Vertices spliced out (random-mate algorithms only).
+  std::uint64_t splices = 0;
+  /// Peak words of memory allocated beyond the input list and the output
+  /// array (the Table II "space" column).
+  std::uint64_t extra_words = 0;
+  /// Simulated Cray C90 cycles consumed by this run (delta on the Machine).
+  double sim_cycles = 0.0;
+};
+
+}  // namespace lr90

@@ -1,0 +1,15 @@
+#include "baselines/anderson_miller.hpp"
+
+namespace lr90 {
+
+AlgoStats anderson_miller_rank(vm::Machine& m, const LinkedList& list,
+                               std::span<value_t> out, Rng& rng,
+                               const AndersonMillerOptions& opt) {
+  LinkedList ones;
+  ones.next = list.next;
+  ones.head = list.head;
+  ones.value.assign(list.size(), 1);
+  return anderson_miller_scan(m, ones, out, rng, OpPlus{}, opt);
+}
+
+}  // namespace lr90

@@ -1,0 +1,267 @@
+// Anderson-Miller randomized list scan (paper Section 2.4).
+//
+// The machine's vector lanes act as element processors; each is assigned a
+// queue of n/q consecutive vertices and repeatedly attempts to retire the
+// vertex at the top of its queue, so no load balancing (packing) is ever
+// needed. Per round:
+//
+//   * every active top flips a coin (the paper's key optimization biases it
+//     male with probability 0.9, keeping ~90% of active lanes retiring
+//     per round);
+//   * only tops carry coins -- every other vertex is implicitly female. A
+//    male top may retire ("splice out") unless the vertex pointing at it is
+//    a male top too, which each top detects by posting its coin at its
+//    successor and checking what was posted at itself;
+//   * retiring is lazy: the vertex is marked dead with its (value, next)
+//    state frozen; the alive top that later points at a dead vertex absorbs
+//    it (accumulates its value, bypasses its link) one hop per round,
+//    recording the absorption for the reconstruction phase.
+//
+// On a machine with p processors the queue count defaults to p times the
+// vector length (every physical processor contributes its own element
+// processors) and each round's vector work is charged across processors
+// with a barrier per round; the paper observes that Anderson-Miller
+// "scales almost linearly" and beats serial on multiple processors.
+//
+// When fewer than `serial_switch` queues remain active the contraction
+// stops and the remaining contracted chain is finished serially (the
+// paper's "we did switch to the serial algorithm when only a few queues
+// remained"). Spliced vertices are filled in by replaying the absorption
+// records in reverse, exactly as in Miller-Reif.
+//
+// The whole-list head and tail are never retired; they anchor the final
+// serial walk.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baselines/algo_stats.hpp"
+#include "baselines/miller_reif.hpp"  // detail::SpliceRec
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+struct AndersonMillerOptions {
+  /// Probability a top's coin is male. The paper found 0.9 cuts rounds and
+  /// run time by ~40% versus the unbiased 0.5.
+  double male_bias = 0.9;
+  /// Number of element-processor queues; 0 means "machine vector length
+  /// times processor count" (128 per processor on the Cray C90).
+  unsigned num_queues = 0;
+  /// Stop contracting and finish serially when at most this many queues are
+  /// still active. 0 disables the switch (contract to the bitter end).
+  unsigned serial_switch = 16;
+};
+
+template <class Op = OpPlus>
+AlgoStats anderson_miller_scan(vm::Machine& m, const LinkedList& list,
+                               std::span<value_t> out, Rng& rng, Op op = {},
+                               const AndersonMillerOptions& opt = {}) {
+  AlgoStats stats;
+  const std::size_t n = list.size();
+  const double cycles_before = m.max_cycles();
+  constexpr unsigned kProc = 0;
+  const unsigned p = m.processors();
+  auto charge_all = [&](const vm::VectorCosts& c_, std::size_t x) {
+    for (unsigned t = 0; t < p; ++t)
+      m.charge(t, c_, x * (t + 1) / p - x * t / p);
+  };
+  if (n == 0) return stats;
+  out[list.head] = Op::identity();
+  if (n == 1) return stats;
+
+  const auto& c = m.costs();
+  const index_t tail = list.find_tail();
+  const std::size_t q = std::min<std::size_t>(
+      n, opt.num_queues
+             ? opt.num_queues
+             : static_cast<std::size_t>(m.config().vector_length) * p);
+
+  // Working copies; frozen in place when a vertex dies.
+  std::vector<index_t> nxt(list.next);
+  std::vector<value_t> val(list.value);
+  // 0 = alive; otherwise the round in which the vertex retired. Absorbing
+  // only vertices that died in *earlier* rounds keeps every reconstruction
+  // record's dependency in a strictly later round, so reverse-round replay
+  // needs no intra-round ordering.
+  std::vector<std::uint32_t> dead_round(n, 0);
+
+  // Queue i owns the consecutive block [lo_i, hi_i).
+  std::vector<std::size_t> cur(q), hi(q);
+  for (std::size_t i = 0; i < q; ++i) {
+    cur[i] = n * i / q;
+    hi[i] = n * (i + 1) / q;
+  }
+  // Skip vertices that are never retired (whole-list head and tail).
+  auto skip_protected = [&](std::size_t i) {
+    while (cur[i] < hi[i] && (cur[i] == list.head || cur[i] == tail ||
+                              dead_round[cur[i]] != 0)) {
+      ++cur[i];
+    }
+  };
+  for (std::size_t i = 0; i < q; ++i) skip_protected(i);
+
+  // Round-stamped "posted coin" board: posted_round[v] == round means some
+  // alive top with successor v posted its coin there this round.
+  std::vector<std::uint32_t> posted_round(n, 0);
+  std::vector<std::uint8_t> posted_coin(n, 0);
+  std::vector<std::uint8_t> top_coin(n, 0);
+
+  std::vector<detail::SpliceRec> recs;
+  recs.reserve(n);
+  std::vector<std::size_t> round_end;
+
+  std::uint32_t round = 0;
+  while (true) {
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < q; ++i)
+      if (cur[i] < hi[i]) ++active;
+    if (active == 0) break;
+    if (opt.serial_switch > 0 && active <= opt.serial_switch) break;
+
+    ++round;
+    ++stats.rounds;
+    stats.link_steps += q;  // full vector length processed, no packing
+
+    // 1. Coins for active tops; post at self and at successor.
+    for (std::size_t i = 0; i < q; ++i) {
+      if (cur[i] >= hi[i]) continue;
+      const index_t v = static_cast<index_t>(cur[i]);
+      top_coin[v] = rng.coin(opt.male_bias) ? 1 : 0;
+    }
+    charge_all(c.coin, q);
+    charge_all(c.scatter, q);  // top_coin board
+    for (std::size_t i = 0; i < q; ++i) {
+      if (cur[i] >= hi[i]) continue;
+      const index_t v = static_cast<index_t>(cur[i]);
+      const index_t s = nxt[v];
+      posted_round[s] = round;
+      posted_coin[s] = top_coin[v];
+    }
+    charge_all(c.gather, q);   // nxt[v]
+    charge_all(c.scatter, q);  // posted_round
+    charge_all(c.scatter, q);  // posted_coin
+
+    // 2. Death check: a male top retires unless a male top points at it.
+    for (std::size_t i = 0; i < q; ++i) {
+      if (cur[i] >= hi[i]) continue;
+      const index_t v = static_cast<index_t>(cur[i]);
+      if (top_coin[v] != 1) continue;  // female: survives this round
+      const bool pointed_by_male =
+          posted_round[v] == round && posted_coin[v] == 1;
+      if (pointed_by_male) continue;
+      dead_round[v] = round;  // frozen with current val/nxt
+      ++stats.splices;
+    }
+    charge_all(c.gather, q);  // posted board at v
+    charge_all(c.map2, q);    // retire mask
+    charge_all(c.scatter, q);  // dead flags
+
+    // 3. Absorb. A surviving top merges one dead successor per round; a
+    //    top retiring *this* round first clears its whole pending dead
+    //    chain so its frozen forwarding state always points at a live
+    //    vertex (this bounds the final serial walk by the live remnant
+    //    and is what lets the algorithm scale on multiple processors).
+    //    Only earlier-round deaths are absorbed, so no record created
+    //    this round can depend on another record from the same round;
+    //    a retiring top's own successor never died this round (it was
+    //    posted a male coin). Chain clearing runs as extra masked vector
+    //    passes, charged by the deepest chain in the round.
+    std::size_t extra_passes = 0;
+    for (std::size_t i = 0; i < q; ++i) {
+      if (cur[i] >= hi[i]) continue;
+      const index_t u = static_cast<index_t>(cur[i]);
+      const bool retiring = dead_round[u] == round;
+      std::size_t hops = 0;
+      while (true) {
+        const index_t s = nxt[u];
+        if (s == u) break;
+        if (dead_round[s] == 0 || dead_round[s] >= round) break;
+        recs.push_back({u, s, val[u]});
+        val[u] = op(val[u], val[s]);
+        nxt[u] = nxt[s];
+        ++hops;
+        if (!retiring) break;  // survivors: one hop per round
+      }
+      if (hops > 1) extra_passes = std::max(extra_passes, hops - 1);
+    }
+    round_end.push_back(recs.size());
+    for (std::size_t pass = 0; pass <= extra_passes; ++pass) {
+      charge_all(c.gather, q);   // dead[s]
+      charge_all(c.gather, q);   // val[s]
+      charge_all(c.gather, q);   // nxt[s]
+      charge_all(c.map2, q);     // accumulate
+      charge_all(c.scatter, q);  // val[u]
+      charge_all(c.scatter, q);  // nxt[u]
+    }
+    // Record append: one compress of the absorb mask plus indexed stores
+    // of the three record fields at the running record count.
+    charge_all(c.pack, q);
+    charge_all(c.scatter, q);
+    charge_all(c.scatter, q);
+
+    // 4. Advance queues whose top died.
+    for (std::size_t i = 0; i < q; ++i) {
+      if (cur[i] >= hi[i]) continue;
+      if (dead_round[cur[i]] != 0) ++cur[i];
+      skip_protected(i);
+    }
+    charge_all(c.map2, q);
+    m.synchronize();  // per-round barrier
+  }
+
+  // Serial finish: walk the contracted chain from the head. Every vertex
+  // still in the chain (alive tops, untouched queue remainders, dead but
+  // not-yet-absorbed vertices, and the tail) receives its prefix directly.
+  {
+    std::size_t walked = 0;
+    value_t acc = Op::identity();
+    index_t v = list.head;
+    while (true) {
+      out[v] = acc;
+      acc = op(acc, val[v]);
+      ++walked;
+      const index_t s = nxt[v];
+      if (s == v) break;
+      v = s;
+    }
+    m.charge_scalar(kProc,
+                    c.serial_scan_per_vertex * static_cast<double>(walked) +
+                        c.serial_startup,
+                    walked);
+  }
+
+  // Reconstruction: reverse-replay absorption records (see miller_reif.hpp
+  // for why reverse round order resolves all dependencies).
+  std::size_t rhi = recs.size();
+  for (std::size_t r = round_end.size(); r-- > 0;) {
+    const std::size_t lo = r == 0 ? 0 : round_end[r - 1];
+    for (std::size_t i = lo; i < rhi; ++i) {
+      out[recs[i].spliced] = op(out[recs[i].splicer], recs[i].before);
+    }
+    const std::size_t cnt = rhi - lo;
+    if (cnt > 0) {
+      charge_all(c.gather, cnt);
+      charge_all(c.map2, cnt);
+      charge_all(c.scatter, cnt);
+      m.synchronize();  // replay-round barrier
+    }
+    rhi = lo;
+  }
+
+  // nxt+val working copies, dead flags, boards, queue state, records.
+  stats.extra_words = 2 * n + n + 3 * n + 2 * q + 3 * n;
+  stats.sim_cycles = m.max_cycles() - cycles_before;
+  return stats;
+}
+
+/// Anderson-Miller list ranking (all-ones addition).
+AlgoStats anderson_miller_rank(vm::Machine& m, const LinkedList& list,
+                               std::span<value_t> out, Rng& rng,
+                               const AndersonMillerOptions& opt = {});
+
+}  // namespace lr90

@@ -1,0 +1,14 @@
+#include "baselines/miller_reif.hpp"
+
+namespace lr90 {
+
+AlgoStats miller_reif_rank(vm::Machine& m, const LinkedList& list,
+                           std::span<value_t> out, Rng& rng) {
+  LinkedList ones;
+  ones.next = list.next;
+  ones.head = list.head;
+  ones.value.assign(list.size(), 1);
+  return miller_reif_scan(m, ones, out, rng, OpPlus{});
+}
+
+}  // namespace lr90

@@ -1,0 +1,175 @@
+// Miller-Reif randomized "random mate" list scan (paper Section 2.3).
+//
+// Every active vertex flips an unbiased male/female coin each round; a
+// female whose successor is a male splices that successor out (accumulating
+// its value), so about 1/4 of the vertices leave per round. Spliced vertices
+// are recorded and reintroduced in reverse order during a reconstruction
+// phase. Following the paper's implementation, the active-vertex state is
+// compressed ("packed") into contiguous vector elements every round.
+//
+// The paper measures this algorithm at roughly 20x slower than its own and
+// 3.5x slower than serial on long lists: random-number generation, the
+// extra communication to establish mates, ~4 expected attempts per splice,
+// per-round packing, and the reconstruction phase all add constants.
+//
+// Runs on every configured processor of the machine: the active set is a
+// lockstep SIMD computation, so each round's vector work is divided into
+// per-processor chunks with a barrier per round (the paper notes the
+// random-mate algorithms "scale almost linearly with the number of
+// processors"). Invariant maintained on the working copy: val[u] = op-sum
+// of the original values of the vertices from u up to (but excluding)
+// nxt[u].
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baselines/algo_stats.hpp"
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+namespace detail {
+/// One splice record: `splicer` removed `spliced`, and `before` was
+/// splicer's accumulated value at that moment, i.e. the op-sum from splicer
+/// up to (but excluding) spliced. Hence prefix(spliced) =
+/// op(prefix(splicer), before).
+struct SpliceRec {
+  index_t splicer;
+  index_t spliced;
+  value_t before;
+};
+}  // namespace detail
+
+template <class Op = OpPlus>
+AlgoStats miller_reif_scan(vm::Machine& m, const LinkedList& list,
+                           std::span<value_t> out, Rng& rng, Op op = {}) {
+  AlgoStats stats;
+  const std::size_t n = list.size();
+  const double cycles_before = m.max_cycles();
+  const unsigned p = m.processors();
+  // Divides one vector operation over x elements across the processors.
+  auto charge_all = [&](const vm::VectorCosts& c_, std::size_t x) {
+    for (unsigned t = 0; t < p; ++t)
+      m.charge(t, c_, x * (t + 1) / p - x * t / p);
+  };
+  if (n == 0) return stats;
+  out[list.head] = Op::identity();
+  if (n == 1) return stats;
+
+  const auto& c = m.costs();
+  const index_t tail = list.find_tail();
+
+  // Working copies (the contraction mutates them; the input is untouched).
+  std::vector<index_t> nxt(list.next);
+  std::vector<value_t> val(list.value);
+
+  // Active vertex ids, packed each round.
+  std::vector<index_t> ids;
+  ids.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) ids.push_back(static_cast<index_t>(v));
+
+  std::vector<std::uint8_t> coin_at(n, 0);   // coin board, by vertex
+  std::vector<std::uint8_t> dead(n, 0);      // spliced-out flag, by vertex
+  std::vector<detail::SpliceRec> recs;
+  recs.reserve(n);
+  std::vector<std::size_t> round_end;  // recs.size() after each round
+
+  // Contract until only head and tail remain active.
+  while (ids.size() > 2) {
+    const std::size_t x = ids.size();
+    ++stats.rounds;
+    stats.link_steps += x;
+
+    // 1. Flip coins for every active vertex and post them on the board.
+    //    (Vectorized PRNG draw + scatter.)
+    std::vector<std::uint8_t> coin(x);
+    for (std::size_t i = 0; i < x; ++i) coin[i] = rng.coin() ? 1 : 0;
+    charge_all(c.coin, x);
+    for (std::size_t i = 0; i < x; ++i) coin_at[ids[i]] = coin[i];
+    charge_all(c.scatter, x);
+
+    // 2. Gather successor, its coin, and its successor, plus the
+    //    write-and-read-back handshake that claims the mate ("the extra
+    //    communication to establish random mates", Section 2.3).
+    charge_all(c.gather, x);   // s = nxt[id]
+    charge_all(c.gather, x);   // coin_at[s]
+    charge_all(c.gather, x);   // nxt[s] (tail detection)
+    charge_all(c.scatter, x);  // post claim at the mate
+    charge_all(c.gather, x);   // read the claim back
+    charge_all(c.map2, x);     // eligibility mask
+    // 3. Masked splice: val/nxt/dead updates + record compression.
+    charge_all(c.gather, x);   // val[s]
+    charge_all(c.scatter, x);  // val[u] update
+    charge_all(c.scatter, x);  // nxt[u] update
+    charge_all(c.scatter, x);  // dead[s] = 1
+    charge_all(c.pack, x);     // compress splice records (3 fields)
+    charge_all(c.pack, x);
+    charge_all(c.pack, x);
+    for (std::size_t i = 0; i < x; ++i) {
+      const index_t u = ids[i];
+      const index_t s = nxt[u];
+      if (coin[i] != 0) continue;            // u must be female
+      if (s == u) continue;                  // u is the tail
+      if (coin_at[s] != 1) continue;         // successor must be male
+      if (nxt[s] == s) continue;             // never splice the tail
+      recs.push_back({u, s, val[u]});
+      val[u] = op(val[u], val[s]);
+      nxt[u] = nxt[s];
+      dead[s] = 1;
+      ++stats.splices;
+    }
+    round_end.push_back(recs.size());
+
+    // 4. Pack the active set: remove spliced vertices. The paper compresses
+    //    the remaining vertices' state into contiguous vector elements; we
+    //    charge packs for the id array plus three state arrays.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < x; ++i) {
+      if (!dead[ids[i]]) ids[keep++] = ids[i];
+    }
+    ids.resize(keep);
+    charge_all(c.gather, x);  // dead[id] mask
+    charge_all(c.pack, x);    // id
+    charge_all(c.pack, x);    // val state
+    charge_all(c.pack, x);    // nxt state
+    charge_all(c.pack, x);    // coin state
+    m.synchronize();          // per-round barrier
+  }
+
+  // End state: head -> tail. Seed the two known prefixes.
+  out[list.head] = Op::identity();
+  out[tail] = val[list.head];
+
+  // Reconstruction: replay rounds in reverse; all splicer prefixes needed by
+  // round r are final by the time round r is replayed.
+  std::size_t hi = recs.size();
+  for (std::size_t r = round_end.size(); r-- > 0;) {
+    const std::size_t lo = r == 0 ? 0 : round_end[r - 1];
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[recs[i].spliced] = op(out[recs[i].splicer], recs[i].before);
+    }
+    const std::size_t cnt = hi - lo;
+    if (cnt > 0) {
+      charge_all(c.gather, cnt);   // prefix[splicer]
+      charge_all(c.map2, cnt);     // combine
+      charge_all(c.scatter, cnt);  // prefix[spliced]
+      m.synchronize();             // replay-round barrier
+    }
+    hi = lo;
+  }
+
+  // nxt + val + ids + coin boards + dead + 3-field records.
+  stats.extra_words = 2 * n + n + 2 * n + 3 * n;
+  stats.sim_cycles = m.max_cycles() - cycles_before;
+  return stats;
+}
+
+/// Miller-Reif list ranking (all-ones addition).
+AlgoStats miller_reif_rank(vm::Machine& m, const LinkedList& list,
+                           std::span<value_t> out, Rng& rng);
+
+}  // namespace lr90

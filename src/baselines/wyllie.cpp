@@ -1,0 +1,14 @@
+#include "baselines/wyllie.hpp"
+
+namespace lr90 {
+
+AlgoStats wyllie_rank(vm::Machine& m, const LinkedList& list,
+                      std::span<value_t> out) {
+  LinkedList ones;
+  ones.next = list.next;
+  ones.head = list.head;
+  ones.value.assign(list.size(), 1);
+  return wyllie_scan(m, ones, out, OpPlus{});
+}
+
+}  // namespace lr90

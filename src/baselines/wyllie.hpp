@@ -1,0 +1,128 @@
+// Wyllie's pointer-jumping list scan (paper Section 2.2).
+//
+// Every vertex repeatedly replaces its pointer with its pointer's pointer
+// while accumulating values, finishing after ceil(log2(n-1)) rounds. Simple
+// and vectorizes perfectly, but O(n log n) work: the per-vertex cost grows
+// with log n, producing the sawtooth curve of Fig. 1 (a new tooth whenever
+// ceil(log2(n-1)) increments).
+//
+// Formulation note. The textbook formulation jumps along successors and
+// yields suffix sums, which converts to prefix sums only for invertible
+// operators. To support any *commutative* operator (min, max, ...) without
+// inverses, we jump along the predecessor list: after building pred[] with
+// one scatter pass, initialize
+//     acc[v] = value[pred(v)]   (identity at the head, whose pred is itself)
+//     ptr[v] = pred(v)
+// and iterate acc[v] = op(acc[v], acc[ptr[v]]); ptr[v] = ptr[ptr[v]].
+// The head acts as the self-loop "tail" of the predecessor list and carries
+// the identity, so no masking is needed (the paper's destructive-identity
+// trick). On convergence acc[v] = op over all vertices before v: exactly
+// the exclusive scan.
+//
+// Runs on all configured processors of the machine: vertices are split into
+// contiguous chunks, one per processor, with a barrier per round (Wyllie
+// "scales almost linearly with the number of processors", Section 2.2).
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "baselines/algo_stats.hpp"
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+namespace detail {
+/// Number of pointer-jumping rounds for a list of n vertices.
+inline unsigned wyllie_rounds(std::size_t n) {
+  if (n <= 2) return 0;  // ceil(log2(n-1)) with log2(1) == 0
+  unsigned r = 0;
+  std::size_t span = 1;
+  while (span < n - 1) {
+    span <<= 1;
+    ++r;
+  }
+  return r;
+}
+}  // namespace detail
+
+/// Exclusive list scan by pointer jumping on the simulated machine.
+template <class Op = OpPlus>
+AlgoStats wyllie_scan(vm::Machine& m, const LinkedList& list,
+                      std::span<value_t> out, Op op = {}) {
+  AlgoStats stats;
+  const std::size_t n = list.size();
+  const double cycles_before = m.max_cycles();
+  if (n == 0) return stats;
+  if (n == 1) {
+    out[list.head] = Op::identity();
+    return stats;
+  }
+
+  const unsigned p = m.processors();
+
+  // Build the predecessor list with one scatter pass: pred[next[v]] = v
+  // (skipping the tail's self-loop), then pin pred[head] = head so the head
+  // is the self-loop "tail" of the predecessor list.
+  std::vector<index_t> pred(n);
+  for (unsigned proc = 0; proc < p; ++proc) {
+    const std::size_t lo = n * proc / p, hi = n * (proc + 1) / p;
+    for (std::size_t v = lo; v < hi; ++v) {
+      if (list.next[v] != static_cast<index_t>(v))
+        pred[list.next[v]] = static_cast<index_t>(v);
+    }
+    m.charge(proc, m.costs().scatter, hi - lo);
+  }
+  pred[list.head] = list.head;
+  m.synchronize();
+
+  // acc[v] = value[pred(v)] (identity at head), ptr[v] = pred(v).
+  std::vector<value_t> acc(n), acc2(n);
+  std::vector<index_t> ptr(pred), ptr2(n);
+  for (unsigned proc = 0; proc < p; ++proc) {
+    const std::size_t lo = n * proc / p, hi = n * (proc + 1) / p;
+    for (std::size_t v = lo; v < hi; ++v) {
+      acc[v] = (pred[v] == static_cast<index_t>(v)) ? Op::identity()
+                                                    : list.value[pred[v]];
+    }
+    m.charge(proc, m.costs().gather, hi - lo);
+  }
+  m.synchronize();
+
+  const unsigned rounds = detail::wyllie_rounds(n);
+  for (unsigned r = 0; r < rounds; ++r) {
+    for (unsigned proc = 0; proc < p; ++proc) {
+      const std::size_t lo = n * proc / p, hi = n * (proc + 1) / p;
+      // acc2[v] = op(acc[v], acc[ptr[v]]); ptr2[v] = ptr[ptr[v]].
+      for (std::size_t v = lo; v < hi; ++v) {
+        acc2[v] = op(acc[v], acc[ptr[v]]);
+        ptr2[v] = ptr[ptr[v]];
+      }
+      m.charge(proc, m.costs().gather, hi - lo);  // gather acc[ptr]
+      m.charge(proc, m.costs().gather, hi - lo);  // gather ptr[ptr]
+      m.charge(proc, m.costs().map2, hi - lo);    // combine
+      stats.link_steps += hi - lo;
+    }
+    m.synchronize();
+    acc.swap(acc2);
+    ptr.swap(ptr2);
+  }
+  stats.rounds = rounds;
+
+  for (std::size_t v = 0; v < n; ++v) out[v] = acc[v];
+  m.charge(0, m.costs().copy, n);
+
+  // pred/ptr/ptr2 (index words) + acc/acc2 (value words).
+  stats.extra_words = 5 * n;
+  stats.sim_cycles = m.max_cycles() - cycles_before;
+  return stats;
+}
+
+/// Wyllie list ranking: scan of all-ones under addition.
+AlgoStats wyllie_rank(vm::Machine& m, const LinkedList& list,
+                      std::span<value_t> out);
+
+}  // namespace lr90

@@ -1,0 +1,72 @@
+// Public API of the listrank90 library.
+//
+// Two families of entry points:
+//
+//  * sim_list_rank / sim_list_scan -- run a chosen algorithm on the
+//    simulated Cray C90 (vm::Machine) and report both the answer and the
+//    simulated cost. This is what the paper's experiments use.
+//  * host_list_rank / host_list_scan (core/parallel_host.hpp) -- portable
+//    execution on the real host, parallelized with OpenMP when available.
+//
+// Method::kAuto picks the fastest algorithm for the list length the way
+// the paper does for Phase 2 (Fig. 1): serial for short lists, Wyllie for
+// moderate ones, Reid-Miller beyond the crossover (~1000 vertices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/algo_stats.hpp"
+#include "core/reid_miller.hpp"
+#include "lists/linked_list.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+enum class Method {
+  kAuto,
+  kSerial,
+  kWyllie,
+  kMillerReif,
+  kAndersonMiller,
+  kReidMiller,
+  kReidMillerEncoded,  ///< rank only: the single-gather packed fast path
+};
+
+const char* method_name(Method m);
+
+struct SimOptions {
+  Method method = Method::kAuto;
+  unsigned processors = 1;
+  std::uint64_t seed = 0x5eed5eedULL;
+  vm::MachineConfig machine;     ///< processors field is overridden
+  ReidMillerOptions reid_miller;
+  /// When true, run the O(n) structural validator on the input first and
+  /// throw std::invalid_argument (with the violation) on malformed lists.
+  /// Off by default: the algorithms' preconditions are documented, and
+  /// validation costs a full serial pass.
+  bool validate_input = false;
+};
+
+struct SimResult {
+  std::vector<value_t> scan;  ///< exclusive scan/rank per vertex index
+  AlgoStats stats;
+  Method method_used = Method::kAuto;
+  double cycles = 0.0;         ///< simulated machine cycles
+  double ns = 0.0;             ///< simulated wall time
+  double ns_per_vertex = 0.0;
+  vm::OpCounters ops;
+};
+
+/// Thresholds for Method::kAuto (empirical crossovers, Fig. 1).
+inline constexpr std::size_t kAutoSerialMax = 128;
+inline constexpr std::size_t kAutoWyllieMax = 1024;
+Method resolve_auto(std::size_t n, Method requested);
+
+/// List ranking on the simulated machine.
+SimResult sim_list_rank(const LinkedList& list, const SimOptions& opt = {});
+
+/// List scan (integer addition) on the simulated machine.
+SimResult sim_list_scan(const LinkedList& list, const SimOptions& opt = {});
+
+}  // namespace lr90

@@ -1,0 +1,47 @@
+#include "core/experiment.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/serial.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+
+namespace lr90 {
+
+SimRun run_sim(Method method, std::size_t n, unsigned p, bool rank,
+               std::uint64_t seed, const ReidMillerOptions& rm) {
+  Rng rng(seed);
+  const LinkedList list =
+      random_list(n, rng, rank ? ValueInit::kOnes : ValueInit::kUniformSmall);
+
+  SimOptions opt;
+  opt.method = method;
+  opt.processors = p;
+  opt.seed = rng.next_u64();
+  opt.reid_miller = rm;
+  const SimResult result =
+      rank ? sim_list_rank(list, opt) : sim_list_scan(list, opt);
+
+  // Verify against the serial reference; a bench that lies is worthless.
+  std::vector<value_t> expect(n, 0);
+  serial_scan_host(list, std::span<value_t>(expect));
+  if (result.scan != expect) {
+    std::fprintf(stderr,
+                 "run_sim: %s produced a wrong answer (n=%zu, p=%u)\n",
+                 method_name(method), n, p);
+    std::abort();
+  }
+
+  SimRun run;
+  run.cycles = result.cycles;
+  run.ns = result.ns;
+  run.ns_per_vertex = result.ns_per_vertex;
+  run.cycles_per_vertex =
+      n > 0 ? result.cycles / static_cast<double>(n) : 0.0;
+  run.stats = result.stats;
+  return run;
+}
+
+}  // namespace lr90

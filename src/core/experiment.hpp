@@ -1,0 +1,32 @@
+// Experiment drivers shared by the bench binaries.
+//
+// Each of the paper's tables and figures boils down to: build a random
+// list, run algorithm X on a machine with p processors, report simulated
+// ns-per-vertex. run_sim() packages that (and verifies the answer against
+// the serial reference each time, so every bench doubles as an integration
+// test).
+#pragma once
+
+#include <cstdint>
+
+#include "core/api.hpp"
+
+namespace lr90 {
+
+struct SimRun {
+  double cycles = 0.0;
+  double ns = 0.0;
+  double ns_per_vertex = 0.0;
+  double cycles_per_vertex = 0.0;
+  AlgoStats stats;
+};
+
+/// Runs `method` on a fresh random list of n vertices with p simulated
+/// processors and returns the simulated costs. Aborts (assert) if the
+/// algorithm produced a wrong answer. `rank` selects list ranking
+/// (all-ones values) versus list scan (random values).
+SimRun run_sim(Method method, std::size_t n, unsigned p, bool rank,
+               std::uint64_t seed = 42,
+               const ReidMillerOptions& rm = {});
+
+}  // namespace lr90

@@ -1,0 +1,320 @@
+#include "core/reid_miller.hpp"
+
+#include <cmath>
+
+#include "analysis/sublist_stats.hpp"
+
+namespace lr90 {
+
+namespace detail {
+
+std::vector<double> make_schedule(double n, double m, double s1,
+                                  const CostConstants& k,
+                                  const ReidMillerOptions& opt) {
+  switch (opt.schedule) {
+    case ScheduleKind::kOptimal:
+      return balance_schedule_auto(n, m, s1, k, opt.schedule_longest_factor);
+    case ScheduleKind::kUniform: {
+      const double interval =
+          opt.uniform_interval > 0
+              ? static_cast<double>(opt.uniform_interval)
+              : std::max(1.0, std::floor(n / m));
+      const double until = expected_longest(n, m);
+      std::vector<double> s;
+      for (double x = interval; x < until + interval; x += interval)
+        s.push_back(std::floor(x));
+      return s;
+    }
+    case ScheduleKind::kNone:
+      // One balance point past the expected longest sublist; stragglers
+      // extend it. Nothing is packed until (almost) everything is done.
+      return {std::ceil(expected_longest(n, m)) + 1.0};
+  }
+  return {1.0};
+}
+
+}  // namespace detail
+
+AlgoStats reid_miller_rank(vm::Machine& machine, LinkedList& list,
+                           std::span<value_t> out, Rng& rng,
+                           ReidMillerOptions opt, index_t tail_hint) {
+  // Ranking is the all-ones scan; values are temporarily replaced so the
+  // caller's list is preserved bit-for-bit (the traversal kernels are the
+  // generic two-gather ones; see reid_miller_rank_encoded for the paper's
+  // single-gather specialization).
+  std::vector<value_t> kept;
+  kept.swap(list.value);
+  list.value.assign(list.next.size(), 1);
+  AlgoStats stats = reid_miller_scan(machine, list, out, rng, OpPlus{}, opt,
+                                     tail_hint);
+  list.value.swap(kept);
+  return stats;
+}
+
+AlgoStats reid_miller_rank_encoded(vm::Machine& machine,
+                                   std::vector<packed_t>& packed,
+                                   index_t head, std::span<value_t> out,
+                                   Rng& rng, ReidMillerOptions opt,
+                                   index_t tail_hint) {
+  AlgoStats stats;
+  const std::size_t n = packed.size();
+  const double cycles_before = machine.max_cycles();
+  if (n == 0) return stats;
+  out[head] = 0;
+  if (n == 1) return stats;
+
+  const auto& costs = machine.costs();
+  const CostConstants kc = CostConstants::from(costs, /*rank=*/true);
+
+  double m = opt.m;
+  double s1 = opt.s1;
+  if (m <= 0 || s1 <= 0) {
+    const TuneResult tuned =
+        tune(static_cast<double>(n), kc, machine.processors(),
+             machine.config().contention_factor());
+    if (m <= 0) m = tuned.m;
+    if (s1 <= 0) s1 = tuned.s1;
+  }
+  m = std::clamp(m, 1.0, static_cast<double>(n - 1));
+
+  if (n <= 4) {
+    // Serial walk over the packed representation.
+    value_t acc = 0;
+    index_t v = head;
+    while (true) {
+      out[v] = acc;
+      acc += static_cast<value_t>(packed_value(packed[v]));
+      const index_t nx = packed_link(packed[v]);
+      if (nx == v) break;
+      v = nx;
+    }
+    machine.charge_scalar(0,
+                          costs.serial_rank_per_vertex *
+                                  static_cast<double>(n) +
+                              costs.serial_startup,
+                          n);
+    stats.rounds = 1;
+    stats.link_steps = n;
+    stats.sim_cycles = machine.max_cycles() - cycles_before;
+    return stats;
+  }
+
+  std::vector<double> schedule =
+      detail::make_schedule(static_cast<double>(n), m, s1, kc, opt);
+
+  // -- initialization ----------------------------------------------------
+  index_t gtail = tail_hint;
+  if (gtail == kNoVertex) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (packed_link(packed[v]) == static_cast<index_t>(v)) {
+        gtail = static_cast<index_t>(v);
+        break;
+      }
+    }
+  }
+  assert(gtail != kNoVertex);
+
+  // Picks + competition (same protocol as init_sublists, on packed links).
+  const auto mm = static_cast<std::size_t>(m);
+  const unsigned p = machine.processors();
+  std::vector<index_t> picks(mm);
+  for (auto& r : picks) r = static_cast<index_t>(rng.uniform(n));
+  constexpr value_t kFree = -1;
+  for (const index_t r : picks) out[r] = kFree;
+  for (std::size_t j = 0; j < mm; ++j)
+    out[picks[j]] = static_cast<value_t>(j);
+  for (unsigned t = 0; t < p; ++t) {
+    const std::size_t chunk = mm * (t + 1) / p - mm * t / p;
+    machine.charge(t, costs.coin, chunk);
+    machine.charge(t, costs.scatter, chunk);
+    machine.charge(t, costs.gather, chunk);
+  }
+
+  std::vector<index_t> R{kNoVertex}, H{head};
+  std::vector<packed_t> saved{0};
+  R.reserve(mm + 1);
+  H.reserve(mm + 1);
+  saved.reserve(mm + 1);
+  for (std::size_t j = 0; j < mm; ++j) {
+    const index_t r = picks[j];
+    if (out[r] != static_cast<value_t>(j)) continue;
+    if (r == gtail) continue;
+    R.push_back(r);
+    H.push_back(packed_link(packed[r]));
+    saved.push_back(packed[r]);
+  }
+  const std::size_t k1 = R.size();
+  const packed_t gsaved = packed[gtail];
+  // Neutralize tails: self-loop link, zero value -- one word per tail.
+  packed[gtail] = pack_link_value(gtail, 0);
+  for (std::size_t j = 1; j < k1; ++j)
+    packed[R[j]] = pack_link_value(R[j], 0);
+  for (unsigned t = 0; t < p; ++t) {
+    machine.charge_kernel(t, vm::Kernel::kInitialize,
+                          k1 * (t + 1) / p - k1 * t / p);
+  }
+  machine.synchronize();
+
+  std::vector<value_t> fsum(k1, 0);
+  std::vector<index_t> ftail(k1, kNoVertex);
+  auto vp_lo = [&](unsigned t) { return k1 * t / p; };
+
+  // -- Phase 1 (single gather per link step) -----------------------------
+  for (unsigned t = 0; t < p; ++t) {
+    detail::Lanes lanes;
+    for (std::size_t j = vp_lo(t); j < vp_lo(t + 1); ++j) {
+      lanes.vp.push_back(static_cast<std::uint32_t>(j));
+      lanes.cur.push_back(H[j]);
+      lanes.acc.push_back(0);
+    }
+    std::vector<double> sched = schedule;
+    double done_steps = 0.0;
+    std::size_t si = 0;
+    while (!lanes.vp.empty()) {
+      if (si >= sched.size()) detail::next_balance_point(sched);
+      const double target = sched[si++];
+      const auto steps = static_cast<std::size_t>(target - done_steps);
+      done_steps = target;
+      const std::size_t x = lanes.size();
+      for (std::size_t step = 0; step < steps; ++step) {
+        for (std::size_t l = 0; l < x; ++l) {
+          const packed_t w = packed[lanes.cur[l]];  // the single gather
+          lanes.acc[l] += static_cast<value_t>(packed_value(w));
+          lanes.cur[l] = packed_link(w);
+        }
+        machine.charge_kernel(t, vm::Kernel::kInitialScanRankStep, x);
+        stats.link_steps += x;
+      }
+      std::size_t keep = 0;
+      for (std::size_t l = 0; l < x; ++l) {
+        const index_t c = lanes.cur[l];
+        if (packed_link(packed[c]) == c) {
+          ftail[lanes.vp[l]] = c;
+          fsum[lanes.vp[l]] = lanes.acc[l];
+        } else {
+          lanes.vp[keep] = lanes.vp[l];
+          lanes.cur[keep] = lanes.cur[l];
+          lanes.acc[keep] = lanes.acc[l];
+          ++keep;
+        }
+      }
+      lanes.vp.resize(keep);
+      lanes.cur.resize(keep);
+      lanes.acc.resize(keep);
+      machine.charge_kernel(t, vm::Kernel::kInitialPack, x);
+      ++stats.rounds;
+    }
+  }
+  machine.synchronize();
+
+  // -- reduced list ------------------------------------------------------
+  LinkedList red;
+  red.next.resize(k1);
+  red.value.resize(k1);
+  red.head = 0;
+  {
+    constexpr value_t kSentinel = -1;
+    for (std::size_t j = 0; j < k1; ++j) out[ftail[j]] = kSentinel;
+    for (std::size_t j = 1; j < k1; ++j)
+      out[R[j]] = static_cast<value_t>(j);
+    for (std::size_t j = 0; j < k1; ++j) {
+      const value_t su = out[ftail[j]];
+      if (su == kSentinel) {
+        red.next[j] = static_cast<index_t>(j);
+        red.value[j] =
+            fsum[j] + static_cast<value_t>(packed_value(gsaved));
+      } else {
+        red.next[j] = static_cast<index_t>(su);
+        red.value[j] =
+            fsum[j] + static_cast<value_t>(packed_value(
+                          saved[static_cast<std::size_t>(su)]));
+      }
+    }
+    for (unsigned t = 0; t < p; ++t) {
+      machine.charge_kernel(t, vm::Kernel::kFindSublistList,
+                            vp_lo(t + 1) - vp_lo(t));
+    }
+  }
+  machine.synchronize();
+
+  // -- Phase 2 -----------------------------------------------------------
+  std::vector<value_t> headscan(k1, 0);
+  if (k1 <= opt.serial_threshold) {
+    serial_scan(machine, 0, red, std::span<value_t>(headscan), OpPlus{});
+  } else if (k1 <= opt.wyllie_threshold) {
+    wyllie_scan(machine, red, std::span<value_t>(headscan), OpPlus{});
+  } else {
+    ReidMillerOptions rec = opt;
+    rec.m = 0;
+    rec.s1 = 0;
+    Rng sub = rng.split();
+    reid_miller_scan(machine, red, std::span<value_t>(headscan), sub,
+                     OpPlus{}, rec);
+  }
+  machine.synchronize();
+
+  // -- Phase 3 (single gather per link step) -----------------------------
+  for (unsigned t = 0; t < p; ++t) {
+    detail::Lanes lanes;
+    for (std::size_t j = vp_lo(t); j < vp_lo(t + 1); ++j) {
+      lanes.vp.push_back(static_cast<std::uint32_t>(j));
+      lanes.cur.push_back(H[j]);
+      lanes.acc.push_back(headscan[j]);
+    }
+    std::vector<double> sched = schedule;
+    double done_steps = 0.0;
+    std::size_t si = 0;
+    while (!lanes.vp.empty()) {
+      if (si >= sched.size()) detail::next_balance_point(sched);
+      const double target = sched[si++];
+      const auto steps = static_cast<std::size_t>(target - done_steps);
+      done_steps = target;
+      const std::size_t x = lanes.size();
+      for (std::size_t step = 0; step < steps; ++step) {
+        for (std::size_t l = 0; l < x; ++l) {
+          const index_t c = lanes.cur[l];
+          const packed_t w = packed[c];
+          out[c] = lanes.acc[l];
+          lanes.acc[l] += static_cast<value_t>(packed_value(w));
+          lanes.cur[l] = packed_link(w);
+        }
+        machine.charge_kernel(t, vm::Kernel::kFinalScanRankStep, x);
+        stats.link_steps += x;
+      }
+      std::size_t keep = 0;
+      for (std::size_t l = 0; l < x; ++l) {
+        const index_t c = lanes.cur[l];
+        if (packed_link(packed[c]) == c) {
+          out[c] = lanes.acc[l];
+        } else {
+          lanes.vp[keep] = lanes.vp[l];
+          lanes.cur[keep] = lanes.cur[l];
+          lanes.acc[keep] = lanes.acc[l];
+          ++keep;
+        }
+      }
+      lanes.vp.resize(keep);
+      lanes.cur.resize(keep);
+      lanes.acc.resize(keep);
+      machine.charge_kernel(t, vm::Kernel::kFinalPack, x);
+      ++stats.rounds;
+    }
+  }
+  machine.synchronize();
+
+  // -- restore -----------------------------------------------------------
+  packed[gtail] = gsaved;
+  for (std::size_t j = 1; j < k1; ++j) packed[R[j]] = saved[j];
+  for (unsigned t = 0; t < p; ++t) {
+    machine.charge_kernel(t, vm::Kernel::kRestoreList,
+                          vp_lo(t + 1) - vp_lo(t));
+  }
+  machine.synchronize();
+
+  stats.extra_words = 9 * k1;
+  stats.splices = k1;
+  stats.sim_cycles = machine.max_cycles() - cycles_before;
+  return stats;
+}
+
+}  // namespace lr90

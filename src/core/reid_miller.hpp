@@ -1,0 +1,359 @@
+// The paper's list-scan algorithm (Sections 2.5, 3, 4, 5).
+//
+// Phase 1: split the list at m random positions into k+1 independent
+//          sublists; every virtual processor traverses its sublist
+//          accumulating the operator, load balancing (packing away finished
+//          lanes) at the schedule points S_1 < S_2 < ... derived from the
+//          cost model (analysis/schedule.hpp).
+// Phase 2: scan the reduced list of sublist sums -- serially when small,
+//          with Wyllie when moderate, recursively when large.
+// Phase 3: re-traverse every sublist turning its head's scan value into the
+//          scan of each vertex, load balancing on the same schedule.
+// Restore: put back the links and values the initialization destroyed
+//          (sublist tails were self-looped and their values replaced by the
+//          operator identity so the inner loops need no conditionals).
+//
+// Work is O(n) with a small constant (about two traversals of the list);
+// time is O(n/p + (n/m) log m) for m < n/log n (Theorem 1).
+//
+// Multiprocessor execution (Section 5): the virtual processors are divided
+// once into contiguous blocks, one per physical processor; each processor
+// load balances locally and runs to completion independently, so the
+// machine synchronizes only a constant number of times and never load
+// balances across processors.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "analysis/schedule.hpp"
+#include "analysis/tuner.hpp"
+#include "baselines/algo_stats.hpp"
+#include "baselines/serial.hpp"
+#include "baselines/wyllie.hpp"
+#include "core/sublist_state.hpp"
+#include "lists/encode.hpp"
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+/// Load-balancing policy, for ablation studies of the schedule design.
+enum class ScheduleKind {
+  kOptimal,  ///< Eq. 4 minimizer of the cost model (the paper's choice)
+  kUniform,  ///< balance every fixed number of link steps
+  kNone,     ///< never balance: traverse until every lane finishes
+};
+
+struct ReidMillerOptions {
+  /// Number of random split positions m; 0 = auto-tune from n (Section 4.4).
+  double m = 0;
+  /// First balance interval S_1; 0 = auto-tune.
+  double s1 = 0;
+  /// Phase 2 uses the serial algorithm at or below this reduced-list size
+  /// (the paper empirically found serial best for small lists, Fig. 1) ...
+  std::size_t serial_threshold = 1024;
+  /// ... Wyllie up to this size, and recursion beyond it.
+  std::size_t wyllie_threshold = 32768;
+  /// Generate balance points out to this multiple of the expected longest
+  /// sublist (the schedule self-extends if lanes remain).
+  double schedule_longest_factor = 1.0;
+  /// Load-balancing policy (ablation knob; kOptimal reproduces the paper).
+  ScheduleKind schedule = ScheduleKind::kOptimal;
+  /// Interval for ScheduleKind::kUniform; 0 = the mean sublist length n/m.
+  std::size_t uniform_interval = 0;
+};
+
+namespace detail {
+
+/// Builds the list of balance points for the options; always non-empty and
+/// strictly increasing.
+std::vector<double> make_schedule(double n, double m, double s1,
+                                  const CostConstants& k,
+                                  const ReidMillerOptions& opt);
+
+/// Extends an exhausted schedule so stragglers always have a next balance
+/// point (doubles the previous gap).
+inline double next_balance_point(std::vector<double>& s) {
+  const double last = s.back();
+  const double prev = s.size() >= 2 ? s[s.size() - 2] : 0.0;
+  const double next = last + std::max(1.0, 2.0 * (last - prev));
+  s.push_back(next);
+  return next;
+}
+
+/// Per-physical-processor lane state for Phases 1 and 3: the ids of the
+/// still-active virtual processors plus their cursor and accumulator,
+/// packed together at every balance point.
+struct Lanes {
+  std::vector<std::uint32_t> vp;   // surviving virtual-processor ids
+  std::vector<index_t> cur;        // current vertex
+  std::vector<value_t> acc;        // running sum (P1) or scan value (P3)
+
+  std::size_t size() const { return vp.size(); }
+};
+
+}  // namespace detail
+
+/// Exclusive list scan with the Reid-Miller algorithm on the simulated
+/// machine, using every configured processor. The list is modified during
+/// the run and restored before returning. `tail_hint` may pass the global
+/// tail if the caller knows it (kNoVertex = find it, uncharged, treating
+/// the tail as part of the list representation).
+template <class Op = OpPlus>
+AlgoStats reid_miller_scan(vm::Machine& machine, LinkedList& list,
+                           std::span<value_t> out, Rng& rng, Op op = {},
+                           ReidMillerOptions opt = {},
+                           index_t tail_hint = kNoVertex) {
+  AlgoStats stats;
+  const std::size_t n = list.size();
+  const double cycles_before = machine.max_cycles();
+  if (n == 0) return stats;
+  out[list.head] = Op::identity();
+  if (n == 1) return stats;
+
+  const auto& costs = machine.costs();
+  const CostConstants kc = CostConstants::from(costs, /*rank=*/false);
+
+  // -- parameters (tuned per processor count, Section 5) ----------------
+  double m = opt.m;
+  double s1 = opt.s1;
+  if (m <= 0 || s1 <= 0) {
+    const TuneResult tuned =
+        tune(static_cast<double>(n), kc, machine.processors(),
+             machine.config().contention_factor());
+    if (m <= 0) m = tuned.m;
+    if (s1 <= 0) s1 = tuned.s1;
+  }
+  m = std::clamp(m, 1.0, static_cast<double>(n - 1));
+
+  // Tiny lists: the parallel machinery cannot pay for itself; the public
+  // API normally routes these to the serial algorithm, but stay correct
+  // here too.
+  if (n <= 4) {
+    serial_scan(machine, 0, list, out, op);
+    stats = AlgoStats{};
+    stats.rounds = 1;
+    stats.link_steps = n;
+    stats.sim_cycles = machine.max_cycles() - cycles_before;
+    return stats;
+  }
+
+  std::vector<double> schedule =
+      detail::make_schedule(static_cast<double>(n), m, s1, kc, opt);
+
+  // -- initialization (T_Initialize) ------------------------------------
+  SublistSetup setup =
+      init_sublists(machine, list, static_cast<std::size_t>(m), rng, out,
+                    tail_hint);
+  const std::size_t k1 = setup.count();  // k+1 sublists
+  const index_t gtail = setup.global_tail;
+
+  // Save and neutralize the sublist tails: value <- identity, link <- self.
+  // Afterward every traversal loop is branch-free (the paper's trick).
+  std::vector<value_t> saved(k1, Op::identity());
+  const value_t gsaved = list.value[gtail];
+  list.value[gtail] = Op::identity();
+  for (std::size_t j = 1; j < k1; ++j) {
+    const index_t r = setup.R[j];
+    saved[j] = list.value[r];
+    list.value[r] = Op::identity();
+    list.next[r] = r;
+  }
+  const unsigned p = machine.processors();
+  for (unsigned t = 0; t < p; ++t) {
+    machine.charge_kernel(t, vm::Kernel::kInitialize,
+                          k1 * (t + 1) / p - k1 * t / p);
+  }
+  machine.synchronize();
+  std::vector<value_t> fsum(k1, Op::identity());
+  std::vector<index_t> ftail(k1, kNoVertex);
+
+  auto vp_lo = [&](unsigned t) { return k1 * t / p; };
+
+  // -- Phase 1: sublist sums (T_InitialScan / T_InitialPack) -------------
+  for (unsigned t = 0; t < p; ++t) {
+    detail::Lanes lanes;
+    for (std::size_t j = vp_lo(t); j < vp_lo(t + 1); ++j) {
+      lanes.vp.push_back(static_cast<std::uint32_t>(j));
+      lanes.cur.push_back(setup.H[j]);
+      lanes.acc.push_back(Op::identity());
+    }
+    std::vector<double> sched = schedule;  // private extension per proc
+    double done_steps = 0.0;
+    std::size_t si = 0;
+    while (!lanes.vp.empty()) {
+      if (si >= sched.size()) detail::next_balance_point(sched);
+      const double target = sched[si++];
+      const auto steps = static_cast<std::size_t>(target - done_steps);
+      done_steps = target;
+      const std::size_t x = lanes.size();
+      for (std::size_t step = 0; step < steps; ++step) {
+        for (std::size_t l = 0; l < x; ++l) {
+          const index_t c = lanes.cur[l];
+          lanes.acc[l] = op(lanes.acc[l], list.value[c]);
+          lanes.cur[l] = list.next[c];
+        }
+        machine.charge_kernel(t, vm::Kernel::kInitialScanStep, x);
+        stats.link_steps += x;
+      }
+      // Balance: record finished lanes (cursor parked on a self-loop) and
+      // pack the rest.
+      std::size_t keep = 0;
+      for (std::size_t l = 0; l < x; ++l) {
+        const index_t c = lanes.cur[l];
+        if (list.next[c] == c) {
+          ftail[lanes.vp[l]] = c;
+          fsum[lanes.vp[l]] = lanes.acc[l];
+        } else {
+          lanes.vp[keep] = lanes.vp[l];
+          lanes.cur[keep] = lanes.cur[l];
+          lanes.acc[keep] = lanes.acc[l];
+          ++keep;
+        }
+      }
+      lanes.vp.resize(keep);
+      lanes.cur.resize(keep);
+      lanes.acc.resize(keep);
+      machine.charge_kernel(t, vm::Kernel::kInitialPack, x);
+      ++stats.rounds;
+    }
+  }
+  machine.synchronize();
+
+  // -- Reduced list of sublist sums (T_FindSublistList) ------------------
+  // The output array moonlights as the communication board: plant a
+  // sentinel at every sublist tail, then every vp j >= 1 writes j at its
+  // pick R[j]; reading the board at your own tail names your successor.
+  LinkedList red;
+  red.next.resize(k1);
+  red.value.resize(k1);
+  red.head = 0;
+  {
+    constexpr value_t kSentinel = -1;
+    for (std::size_t j = 0; j < k1; ++j) out[ftail[j]] = kSentinel;
+    for (std::size_t j = 1; j < k1; ++j)
+      out[setup.R[j]] = static_cast<value_t>(j);
+    for (std::size_t j = 0; j < k1; ++j) {
+      const value_t su = out[ftail[j]];
+      if (su == kSentinel) {
+        red.next[j] = static_cast<index_t>(j);  // tail sublist
+        red.value[j] = op(fsum[j], gsaved);
+      } else {
+        red.next[j] = static_cast<index_t>(su);
+        red.value[j] = op(fsum[j], saved[static_cast<std::size_t>(su)]);
+      }
+    }
+    for (unsigned t = 0; t < p; ++t) {
+      machine.charge_kernel(t, vm::Kernel::kFindSublistList,
+                            vp_lo(t + 1) - vp_lo(t));
+    }
+  }
+  machine.synchronize();
+
+  // -- Phase 2: scan the reduced list ------------------------------------
+  std::vector<value_t> headscan(k1, Op::identity());
+  if (k1 <= opt.serial_threshold) {
+    serial_scan(machine, 0, red, std::span<value_t>(headscan), op);
+  } else if (k1 <= opt.wyllie_threshold) {
+    wyllie_scan(machine, red, std::span<value_t>(headscan), op);
+  } else {
+    ReidMillerOptions rec = opt;
+    rec.m = 0;  // re-tune for the reduced size
+    rec.s1 = 0;
+    Rng sub = rng.split();
+    reid_miller_scan(machine, red, std::span<value_t>(headscan), sub, op,
+                     rec);
+  }
+  machine.synchronize();
+
+  // -- Phase 3: final scan of every sublist (T_FinalScan / T_FinalPack) --
+  for (unsigned t = 0; t < p; ++t) {
+    detail::Lanes lanes;
+    for (std::size_t j = vp_lo(t); j < vp_lo(t + 1); ++j) {
+      lanes.vp.push_back(static_cast<std::uint32_t>(j));
+      lanes.cur.push_back(setup.H[j]);
+      lanes.acc.push_back(headscan[j]);
+    }
+    std::vector<double> sched = schedule;
+    double done_steps = 0.0;
+    std::size_t si = 0;
+    while (!lanes.vp.empty()) {
+      if (si >= sched.size()) detail::next_balance_point(sched);
+      const double target = sched[si++];
+      const auto steps = static_cast<std::size_t>(target - done_steps);
+      done_steps = target;
+      const std::size_t x = lanes.size();
+      for (std::size_t step = 0; step < steps; ++step) {
+        for (std::size_t l = 0; l < x; ++l) {
+          const index_t c = lanes.cur[l];
+          out[c] = lanes.acc[l];
+          lanes.acc[l] = op(lanes.acc[l], list.value[c]);
+          lanes.cur[l] = list.next[c];
+        }
+        machine.charge_kernel(t, vm::Kernel::kFinalScanStep, x);
+        stats.link_steps += x;
+      }
+      std::size_t keep = 0;
+      for (std::size_t l = 0; l < x; ++l) {
+        const index_t c = lanes.cur[l];
+        if (list.next[c] == c) {
+          out[c] = lanes.acc[l];  // park the tail's own scan value
+        } else {
+          lanes.vp[keep] = lanes.vp[l];
+          lanes.cur[keep] = lanes.cur[l];
+          lanes.acc[keep] = lanes.acc[l];
+          ++keep;
+        }
+      }
+      lanes.vp.resize(keep);
+      lanes.cur.resize(keep);
+      lanes.acc.resize(keep);
+      machine.charge_kernel(t, vm::Kernel::kFinalPack, x);
+      ++stats.rounds;
+    }
+  }
+  machine.synchronize();
+
+  // -- Restoration (T_RestoreList) ---------------------------------------
+  list.value[gtail] = gsaved;
+  for (std::size_t j = 1; j < k1; ++j) {
+    const index_t r = setup.R[j];
+    list.next[r] = setup.H[j];
+    list.value[r] = saved[j];
+  }
+  for (unsigned t = 0; t < p; ++t) {
+    machine.charge_kernel(t, vm::Kernel::kRestoreList,
+                          vp_lo(t + 1) - vp_lo(t));
+  }
+  machine.synchronize();
+
+  // R/H (setup) + saved/fsum/ftail/headscan + two lanes arrays live at
+  // once: ~9 words per virtual processor, the paper's O(p) extra space.
+  stats.extra_words = 9 * k1;
+  stats.splices = k1;
+  stats.sim_cycles = machine.max_cycles() - cycles_before;
+  return stats;
+}
+
+/// List ranking via the scan path (values forced to one).
+AlgoStats reid_miller_rank(vm::Machine& machine, LinkedList& list,
+                           std::span<value_t> out, Rng& rng,
+                           ReidMillerOptions opt = {},
+                           index_t tail_hint = kNoVertex);
+
+/// List ranking with the paper's single-gather encoding: operates on the
+/// packed (link << 32 | value) representation, halving the gathers in the
+/// dominant loops (kernels kInitialScanRankStep / kFinalScanRankStep).
+/// `packed` is the encoded list (mutated and restored); `head` its head.
+AlgoStats reid_miller_rank_encoded(vm::Machine& machine,
+                                   std::vector<packed_t>& packed,
+                                   index_t head, std::span<value_t> out,
+                                   Rng& rng, ReidMillerOptions opt = {},
+                                   index_t tail_hint = kNoVertex);
+
+}  // namespace lr90

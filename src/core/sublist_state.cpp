@@ -1,0 +1,59 @@
+#include "core/sublist_state.hpp"
+
+#include <cassert>
+
+namespace lr90 {
+
+SublistSetup init_sublists(vm::Machine& machine, const LinkedList& list,
+                           std::size_t m, Rng& rng,
+                           std::span<value_t> board, index_t tail_hint) {
+  const std::size_t n = list.size();
+  assert(n >= 1);
+  assert(board.size() == n);
+
+  SublistSetup setup;
+  setup.global_tail = tail_hint != kNoVertex ? tail_hint : list.find_tail();
+  assert(setup.global_tail != kNoVertex);
+  assert(list.next[setup.global_tail] == setup.global_tail);
+
+  // Draw the m random positions (vectorized PRNG). The virtual processors
+  // are divided over the physical processors, so all initialization
+  // vector work is charged in parallel chunks.
+  const unsigned p = machine.processors();
+  std::vector<index_t> picks(m);
+  for (auto& r : picks) r = static_cast<index_t>(rng.uniform(n));
+
+  // Competition: write own index, read back, keep the winners. The global
+  // tail is additionally excluded (its successor is itself).
+  constexpr value_t kFree = -1;
+  for (const index_t r : picks) board[r] = kFree;
+  for (std::size_t j = 0; j < m; ++j)
+    board[picks[j]] = static_cast<value_t>(j);
+  for (unsigned t = 0; t < p; ++t) {
+    const std::size_t chunk = m * (t + 1) / p - m * t / p;
+    machine.charge(t, machine.costs().coin, chunk);
+    machine.charge(t, machine.costs().scatter, chunk);
+    machine.charge(t, machine.costs().gather, chunk);
+  }
+
+  setup.R.reserve(m + 1);
+  setup.H.reserve(m + 1);
+  setup.R.push_back(kNoVertex);  // P0
+  setup.H.push_back(list.head);
+  for (std::size_t j = 0; j < m; ++j) {
+    const index_t r = picks[j];
+    if (board[r] != static_cast<value_t>(j)) continue;  // lost competition
+    if (r == setup.global_tail) continue;               // degenerate pick
+    setup.R.push_back(r);
+    setup.H.push_back(list.next[r]);  // gathered before any self-loops
+  }
+  const std::size_t k1 = setup.count();
+  for (unsigned t = 0; t < p; ++t) {  // H gather, chunked
+    machine.charge(t, machine.costs().gather,
+                   k1 * (t + 1) / p - k1 * t / p);
+  }
+
+  return setup;
+}
+
+}  // namespace lr90

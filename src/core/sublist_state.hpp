@@ -1,0 +1,51 @@
+// Virtual-processor setup for the Reid-Miller algorithm (paper Section 3,
+// "Initialization").
+//
+// Every virtual processor except P0 picks a random vertex to become the
+// *tail* of a sublist; the vertex's successor becomes the *head* of that
+// processor's sublist. P0 takes the list head. Two processors may pick the
+// same position; the paper resolves this with a competition -- each writes
+// its index at its position and reads it back, and a processor that does
+// not see its own index drops out. Picks that land on the global tail are
+// degenerate (the "successor" would be the tail itself) and also drop out.
+//
+// The result is k+1 <= m+1 surviving virtual processors; vp 0 is always
+// P0. The competition uses a caller-provided n-sized board -- the public
+// algorithms lend their output array so no extra O(n) memory is needed
+// (the paper's 5p + c space bound).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lists/linked_list.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+struct SublistSetup {
+  /// Random pick of vp j (the tail of the *preceding* sublist); R[0] is
+  /// kNoVertex (P0 starts at the list head and picked nothing).
+  std::vector<index_t> R;
+  /// Head of vp j's sublist: next[R[j]] in the original list (H[0] is the
+  /// list head).
+  std::vector<index_t> H;
+  index_t global_tail = kNoVertex;
+
+  /// Number of surviving virtual processors, k+1.
+  std::size_t count() const { return R.size(); }
+};
+
+/// Performs the picks, the duplicate competition, and the head gathers,
+/// charging proc 0 of `machine` (initialization is part of the paper's
+/// T_Initialize kernel; the remaining per-variant work -- saving and
+/// zeroing tail values, planting self-loops -- is charged by the caller).
+/// `board` must have list.size() elements and is clobbered.
+/// `tail_hint` may pass a precomputed global tail (kNoVertex = find it).
+SublistSetup init_sublists(vm::Machine& machine, const LinkedList& list,
+                           std::size_t m, Rng& rng,
+                           std::span<value_t> board,
+                           index_t tail_hint = kNoVertex);
+
+}  // namespace lr90

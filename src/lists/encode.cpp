@@ -1,0 +1,34 @@
+#include "lists/encode.hpp"
+
+namespace lr90 {
+
+bool can_encode(const LinkedList& list) {
+  if (list.size() > (1ULL << kPackShift)) return false;
+  for (const value_t v : list.value) {
+    if (v < 0 || static_cast<std::uint64_t>(v) > kPackValueMask) return false;
+  }
+  return true;
+}
+
+std::vector<packed_t> encode_list(const LinkedList& list) {
+  std::vector<packed_t> packed(list.size());
+  for (std::size_t v = 0; v < list.size(); ++v) {
+    packed[v] = pack_link_value(list.next[v],
+                                static_cast<std::uint32_t>(list.value[v]));
+  }
+  return packed;
+}
+
+LinkedList decode_list(const std::vector<packed_t>& packed, index_t head) {
+  LinkedList list;
+  list.next.resize(packed.size());
+  list.value.resize(packed.size());
+  list.head = packed.empty() ? kNoVertex : head;
+  for (std::size_t v = 0; v < packed.size(); ++v) {
+    list.next[v] = packed_link(packed[v]);
+    list.value[v] = static_cast<value_t>(packed_value(packed[v]));
+  }
+  return list;
+}
+
+}  // namespace lr90

@@ -1,0 +1,56 @@
+// Workload generators: linked lists with controlled traversal order and
+// value distributions.
+//
+// The paper evaluates on lists whose vertices are laid out in random order
+// in memory (the hard, communication-intensive case: every link dereference
+// is a random access). We also provide orderly layouts that are easy cases
+// for cache-based machines, used by the workstation-model experiments and by
+// tests.
+#pragma once
+
+#include <span>
+
+#include "lists/linked_list.hpp"
+#include "support/rng.hpp"
+
+namespace lr90 {
+
+/// How vertex values are initialized.
+enum class ValueInit {
+  kOnes,         ///< every value 1 (list ranking)
+  kIndex,        ///< value = vertex index (handy for debugging)
+  kUniformSmall, ///< uniform in [0, 1000)
+  kSigned,       ///< uniform in [-500, 500)
+};
+
+/// Builds a list whose traversal order is a uniformly random permutation of
+/// the vertex indices. This is the paper's workload: memory position and
+/// list position are uncorrelated.
+LinkedList random_list(std::size_t n, Rng& rng,
+                       ValueInit init = ValueInit::kOnes);
+
+/// Builds a list whose traversal order is 0,1,2,...,n-1 (sequential memory
+/// walk; the cache-friendly best case).
+LinkedList sequential_list(std::size_t n, ValueInit init = ValueInit::kOnes,
+                           Rng* rng = nullptr);
+
+/// Builds a list traversed n-1, n-2, ..., 0.
+LinkedList reversed_list(std::size_t n, ValueInit init = ValueInit::kOnes,
+                         Rng* rng = nullptr);
+
+/// Builds a list where traversal order is random *between* blocks of
+/// `block` consecutive indices but sequential within a block: a knob between
+/// the sequential and fully random extremes (models partially sorted data).
+LinkedList blocked_list(std::size_t n, std::size_t block, Rng& rng,
+                        ValueInit init = ValueInit::kOnes);
+
+/// Builds a list from an explicit traversal order: order[0] is the head,
+/// order[i+1] follows order[i]. All indices must be distinct and < n.
+LinkedList list_from_order(std::span<const index_t> order,
+                           ValueInit init = ValueInit::kOnes,
+                           Rng* rng = nullptr);
+
+/// Fills values in-place per the given policy.
+void init_values(LinkedList& list, ValueInit init, Rng* rng);
+
+}  // namespace lr90

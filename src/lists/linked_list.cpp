@@ -1,0 +1,19 @@
+#include "lists/linked_list.hpp"
+
+namespace lr90 {
+
+index_t LinkedList::find_tail() const {
+  for (std::size_t v = 0; v < next.size(); ++v) {
+    if (next[v] == static_cast<index_t>(v)) return static_cast<index_t>(v);
+  }
+  return kNoVertex;
+}
+
+std::vector<index_t> order_of(const LinkedList& list) {
+  std::vector<index_t> order;
+  order.reserve(list.size());
+  for_each_in_order(list, [&](index_t v, std::size_t) { order.push_back(v); });
+  return order;
+}
+
+}  // namespace lr90

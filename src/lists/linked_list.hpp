@@ -1,0 +1,63 @@
+// Linked-list representation shared by every algorithm in the library.
+//
+// Following the paper (Section 3), a list of n vertices is a pair of arrays:
+// `value[v]` holds the vertex's value and `next[v]` the index of its
+// successor. The tail is a self-loop (next[tail] == tail). Vertex indices
+// are array positions; the traversal order is independent of index order,
+// which is exactly what makes list ranking communication-intensive.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lr90 {
+
+/// Vertex index type. 32 bits: the paper's single-gather encoding packs a
+/// link and a value into one 64-bit machine word, which bounds n by 2^(w/2).
+using index_t = std::uint32_t;
+
+/// Vertex value type for scans.
+using value_t = std::int64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr index_t kNoVertex = static_cast<index_t>(-1);
+
+/// A singly linked list in structure-of-arrays form.
+///
+/// Invariants (checked by lists/validate.hpp):
+///  * next.size() == value.size() == n
+///  * head < n (unless n == 0)
+///  * following `next` from `head` visits every vertex exactly once and
+///    terminates at the unique self-loop tail.
+struct LinkedList {
+  std::vector<index_t> next;
+  std::vector<value_t> value;
+  index_t head = kNoVertex;
+
+  std::size_t size() const { return next.size(); }
+  bool empty() const { return next.empty(); }
+
+  /// The tail index found by O(n) scan for the self-loop; kNoVertex if the
+  /// list is empty or malformed. Prefer caching the result.
+  index_t find_tail() const;
+};
+
+/// Visits vertices in list order, calling f(vertex, position).
+template <class F>
+void for_each_in_order(const LinkedList& list, F&& f) {
+  if (list.empty()) return;
+  index_t v = list.head;
+  std::size_t pos = 0;
+  while (true) {
+    f(v, pos);
+    ++pos;
+    const index_t nxt = list.next[v];
+    if (nxt == v) break;
+    v = nxt;
+  }
+}
+
+/// Returns the vertices in list order (head first).
+std::vector<index_t> order_of(const LinkedList& list);
+
+}  // namespace lr90

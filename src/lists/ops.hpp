@@ -1,0 +1,49 @@
+// Binary associative operators for list scan.
+//
+// List scan computes, for each vertex, the "sum" of the values of all prior
+// vertices under any binary associative operator with an identity
+// (Section 2 of the paper). List ranking is the special case of integer
+// addition over all-ones values.
+//
+// Each operator is a stateless function object with a static identity();
+// algorithms are templated on the operator so the compiler can inline it
+// into the traversal kernels, mirroring how the paper's C code specializes
+// the "sum" operator.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "lists/linked_list.hpp"
+
+namespace lr90 {
+
+struct OpPlus {
+  static constexpr value_t identity() { return 0; }
+  constexpr value_t operator()(value_t a, value_t b) const { return a + b; }
+};
+
+struct OpMin {
+  static constexpr value_t identity() {
+    return std::numeric_limits<value_t>::max();
+  }
+  constexpr value_t operator()(value_t a, value_t b) const {
+    return std::min(a, b);
+  }
+};
+
+struct OpMax {
+  static constexpr value_t identity() {
+    return std::numeric_limits<value_t>::min();
+  }
+  constexpr value_t operator()(value_t a, value_t b) const {
+    return std::max(a, b);
+  }
+};
+
+struct OpXor {
+  static constexpr value_t identity() { return 0; }
+  constexpr value_t operator()(value_t a, value_t b) const { return a ^ b; }
+};
+
+}  // namespace lr90

@@ -1,0 +1,74 @@
+#include "lists/validate.hpp"
+
+#include <sstream>
+
+namespace lr90 {
+
+std::optional<std::string> validate_list(const LinkedList& list) {
+  const std::size_t n = list.size();
+  if (list.value.size() != n) {
+    return "value array size differs from next array size";
+  }
+  if (n == 0) {
+    if (list.head != kNoVertex) return "empty list must have head == kNoVertex";
+    return std::nullopt;
+  }
+  if (list.head >= n) {
+    std::ostringstream os;
+    os << "head index " << list.head << " out of range for n=" << n;
+    return os.str();
+  }
+  std::size_t self_loops = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (list.next[v] >= n) {
+      std::ostringstream os;
+      os << "next[" << v << "] = " << list.next[v] << " out of range";
+      return os.str();
+    }
+    if (list.next[v] == v) ++self_loops;
+  }
+  if (self_loops != 1) {
+    std::ostringstream os;
+    os << "expected exactly one self-loop tail, found " << self_loops;
+    return os.str();
+  }
+  // Walk from head; must visit exactly n distinct vertices and end at tail.
+  std::vector<char> seen(n, 0);
+  index_t v = list.head;
+  std::size_t count = 0;
+  while (true) {
+    if (seen[v]) {
+      std::ostringstream os;
+      os << "cycle through vertex " << v << " before reaching the tail";
+      return os.str();
+    }
+    seen[v] = 1;
+    ++count;
+    if (list.next[v] == v) break;
+    v = list.next[v];
+  }
+  if (count != n) {
+    std::ostringstream os;
+    os << "head reaches only " << count << " of " << n << " vertices";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+bool is_valid_list(const LinkedList& list) {
+  return !validate_list(list).has_value();
+}
+
+bool lists_equal(const LinkedList& a, const LinkedList& b) {
+  return a.head == b.head && a.next == b.next && a.value == b.value;
+}
+
+std::vector<value_t> reference_rank(const LinkedList& list) {
+  std::vector<value_t> rank(list.size(), 0);
+  for_each_in_order(list, [&](index_t v, std::size_t pos) {
+    rank[v] = static_cast<value_t>(pos);
+  });
+  return rank;
+}
+
+}  // namespace lr90

@@ -1,0 +1,30 @@
+// Structural validation of linked lists and scan results.
+//
+// Used pervasively by tests and assertable in examples: a LinkedList is
+// valid iff every index is in range, the tail is the unique self-loop, and
+// the head reaches all n vertices.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "lists/linked_list.hpp"
+
+namespace lr90 {
+
+/// Returns std::nullopt when `list` satisfies every LinkedList invariant,
+/// otherwise a human-readable description of the first violation found.
+std::optional<std::string> validate_list(const LinkedList& list);
+
+/// True iff `list` is structurally valid.
+bool is_valid_list(const LinkedList& list);
+
+/// True iff the two lists have identical head, links, and values.
+bool lists_equal(const LinkedList& a, const LinkedList& b);
+
+/// Reference exclusive list-rank: out[v] = number of vertices before v.
+/// O(n) serial walk; the ground truth for every test.
+std::vector<value_t> reference_rank(const LinkedList& list);
+
+}  // namespace lr90

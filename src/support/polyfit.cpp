@@ -1,0 +1,73 @@
+#include "support/polyfit.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace lr90 {
+
+double Polynomial::operator()(double x) const {
+  double acc = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  assert(a.size() == n * n);
+  // Forward elimination with partial pivoting.
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    assert(a[pivot * n + col] != 0.0 && "singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] / a[col * n + col];
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) acc -= a[row * n + c] * x[c];
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   int degree) {
+  assert(degree >= 0);
+  assert(xs.size() == ys.size());
+  assert(xs.size() > static_cast<std::size_t>(degree));
+  const std::size_t k = static_cast<std::size_t>(degree) + 1;
+
+  // Normal equations: (V^T V) c = V^T y where V is the Vandermonde matrix.
+  std::vector<double> ata(k * k, 0.0);
+  std::vector<double> aty(k, 0.0);
+  std::vector<double> powers(2 * k - 1, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double p = 1.0;
+    for (std::size_t d = 0; d < 2 * k - 1; ++d) {
+      powers[d] = p;
+      p *= xs[i];
+    }
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::size_t c = 0; c < k; ++c) ata[r * k + c] += powers[r + c];
+      aty[r] += powers[r] * ys[i];
+    }
+  }
+  Polynomial poly;
+  poly.coeffs = solve_linear(std::move(ata), std::move(aty));
+  return poly;
+}
+
+}  // namespace lr90

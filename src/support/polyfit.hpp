@@ -1,0 +1,32 @@
+// Least-squares polynomial fitting.
+//
+// The paper (Section 4.4) tunes the algorithm parameters m(n) and S1(n) by
+// minimizing the cost model for many values of n and then fitting cubic
+// polynomials in log n. This module provides the fitting primitive.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lr90 {
+
+/// Coefficients of a fitted polynomial, lowest degree first:
+/// p(x) = c[0] + c[1]*x + ... + c[d]*x^d.
+struct Polynomial {
+  std::vector<double> coeffs;
+
+  double operator()(double x) const;
+  int degree() const { return static_cast<int>(coeffs.size()) - 1; }
+};
+
+/// Fits a degree-`degree` polynomial to (xs, ys) by ordinary least squares
+/// (normal equations solved with partially-pivoted Gaussian elimination).
+/// Requires xs.size() == ys.size() > degree.
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   int degree);
+
+/// Solves the dense linear system a*x = b in place; `a` is row-major n*n.
+/// Returns the solution vector. Requires a non-singular matrix.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b);
+
+}  // namespace lr90

@@ -1,0 +1,94 @@
+#include "support/rng.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace lr90 {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::uniform_real() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::coin(double p_true) { return uniform_real() < p_true; }
+
+void Rng::permutation(std::span<std::uint32_t> out) {
+  const std::size_t n = out.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = uniform(i);
+    std::swap(out[i - 1], out[j]);
+  }
+}
+
+std::vector<std::uint32_t> Rng::sample_distinct(std::uint32_t k,
+                                                std::uint32_t bound) {
+  assert(k <= bound);
+  // Floyd's algorithm: for j = bound-k .. bound-1 pick t in [0, j]; insert t
+  // unless already present, in which case insert j.
+  std::vector<std::uint32_t> result;
+  result.reserve(k);
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(k * 2);
+  for (std::uint32_t j = bound - k; j < bound; ++j) {
+    const auto t = static_cast<std::uint32_t>(uniform(j + 1));
+    if (seen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      seen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace lr90

@@ -1,0 +1,59 @@
+#include "support/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lr90 {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  assert(denom != 0.0);
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r2 = 1.0 - ss_res / ss_tot;
+  } else {
+    fit.r2 = 1.0;
+  }
+  return fit;
+}
+
+}  // namespace lr90

@@ -1,0 +1,41 @@
+// Small statistics helpers used by the analysis library and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lr90 {
+
+/// Single-pass running statistics (Welford). Tracks count, min, max, mean,
+/// and sample variance of a stream of doubles.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Ordinary least squares fit of y = slope*x + intercept.
+/// Requires xs.size() == ys.size() >= 2 and xs not all equal.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination in [0,1].
+  double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace lr90

@@ -1,0 +1,43 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench binary regenerates one of the paper's tables or figures as an
+// aligned text table (figures become series tables, one row per x value), so
+// the output can be compared side by side with the published numbers and
+// re-plotted by any external tool. A CSV escape hatch is provided.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lr90 {
+
+/// Column-aligned text table builder.
+class TextTable {
+ public:
+  /// Begins a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a full row; pads/truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `prec` significant decimals.
+  static std::string num(double v, int prec = 2);
+  /// Convenience: formats an integer.
+  static std::string num(long long v);
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string render() const;
+
+  /// Renders as CSV (no quoting of commas; callers control cell content).
+  std::string render_csv() const;
+
+  /// Prints render() to `out` (stdout by default).
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lr90

@@ -1,0 +1,18 @@
+#include "vm/cost_table.hpp"
+
+namespace lr90::vm {
+
+CostTable CostTable::cray_c90() { return CostTable{}; }
+
+CostTable CostTable::zero() {
+  CostTable t;
+  t.gather = t.scatter = t.map1 = t.map2 = t.copy = t.fill = t.iota = t.pack =
+      t.reduce = t.coin = VectorCosts{0.0, 0.0, false};
+  t.serial_rank_per_vertex = 0.0;
+  t.serial_scan_per_vertex = 0.0;
+  t.serial_startup = 0.0;
+  for (auto& k : t.kernels) k = VectorCosts{0.0, 0.0, false};
+  return t;
+}
+
+}  // namespace lr90::vm

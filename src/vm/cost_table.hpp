@@ -1,0 +1,101 @@
+// Cycle costs of simulated vector operations.
+//
+// Two kinds of entries:
+//
+//  * generic primitives (gather, scatter, map, pack, ...) used by the
+//    baseline algorithms (Wyllie, Miller-Reif, Anderson-Miller);
+//  * fused kernels matching the timing equations the paper measured for its
+//    own algorithm (Section 3): T_InitialScan(x) = 3.4x + 35, etc.
+//
+// All costs follow the standard vector performance model (Hockney):
+//     T(n) = per_elem * n + startup        [cycles]
+// where startup subsumes pipeline fill and strip-mining overhead.
+//
+// The generic primitive costs are chosen to be *consistent* with the fused
+// kernels: e.g. the Phase-1 scan step is two gathers plus two adds
+// (2*1.2 + 2*0.5 = 3.4 cycles/element), matching T_InitialScan exactly.
+#pragma once
+
+#include <cstddef>
+
+namespace lr90::vm {
+
+/// Linear cost of one vector operation: per_elem * n + startup cycles.
+struct VectorCosts {
+  double per_elem = 0.0;
+  double startup = 0.0;
+  /// Memory-bound operations are subject to multiprocessor bandwidth
+  /// contention (see MachineConfig::contention_gamma).
+  bool memory_bound = false;
+
+  double cycles(std::size_t n) const {
+    return per_elem * static_cast<double>(n) + startup;
+  }
+};
+
+/// Named fused kernels with costs measured by the paper (cycles, Section 3).
+enum class Kernel {
+  kInitialize,       // 22x + 1800    set up m+1 sublists
+  kInitialScanStep,  // 3.4x + 35     Phase 1: one link step over x sublists
+  kInitialScanRankStep,  // 2.1x + 30  Phase 1 rank: single-gather encoding
+  kInitialPack,      // 8.2x + 1200   Phase 1 load balance over x sublists
+  kFindSublistList,  // 11x + 650     build the reduced list
+  kFinalScanStep,    // 4.6x + 28     Phase 3: one link step over x sublists
+  kFinalScanRankStep,  // 3.0x + 25   Phase 3 rank: single-gather encoding
+  kFinalPack,        // 7.2x + 950    Phase 3 load balance
+  kRestoreList,      // 4.2x + 300    restore original links/values
+  kCount_            // sentinel
+};
+
+struct CostTable {
+  // -- generic vector primitives --------------------------------------
+  VectorCosts gather{1.2, 15.0, true};    // dst[i] = table[idx[i]]
+  VectorCosts scatter{1.2, 15.0, true};   // table[idx[i]] = src[i]
+  VectorCosts map1{0.5, 8.0, false};      // elementwise unary
+  VectorCosts map2{0.5, 8.0, false};      // elementwise binary
+  VectorCosts copy{0.4, 8.0, true};       // vector copy
+  VectorCosts fill{0.3, 5.0, false};      // broadcast constant
+  VectorCosts iota{0.3, 5.0, false};      // dst[i] = base + i
+  VectorCosts pack{2.05, 300.0, true};    // compress one array under a mask
+  VectorCosts reduce{0.6, 10.0, false};   // horizontal reduction
+  // Vectorized PRNG draw. Random-number generation is a significant cost
+  // of the random-mate algorithms on the Cray (Section 2.3 lists it first
+  // among their overheads); the C90's vectorized RANF-style generator ran
+  // at roughly 5 cycles per element.
+  VectorCosts coin{5.0, 50.0, false};
+
+  // -- scalar (non-vectorizable) costs, cycles per element -------------
+  // The Cray C90's scalar unit walks a linked list at ~42 cycles per vertex
+  // for ranking and ~43.6 for scanning (Table I: 177 ns and 183 ns at
+  // 4.2 ns/cycle; Eq. 5 uses 44 cycles/vertex as a bound).
+  double serial_rank_per_vertex = 42.1;
+  double serial_scan_per_vertex = 43.6;
+  /// Fixed overhead of entering a scalar loop.
+  double serial_startup = 100.0;
+
+  // -- fused kernels (paper Section 3) ---------------------------------
+  VectorCosts kernels[static_cast<std::size_t>(Kernel::kCount_)] = {
+      {22.0, 1800.0, true},   // kInitialize
+      {3.4, 35.0, true},      // kInitialScanStep
+      {2.1, 30.0, true},      // kInitialScanRankStep
+      {8.2, 1200.0, true},    // kInitialPack
+      {11.0, 650.0, true},    // kFindSublistList
+      {4.6, 28.0, true},      // kFinalScanStep
+      {3.0, 25.0, true},      // kFinalScanRankStep
+      {7.2, 950.0, true},     // kFinalPack
+      {4.2, 300.0, true},     // kRestoreList
+  };
+
+  const VectorCosts& kernel(Kernel k) const {
+    return kernels[static_cast<std::size_t>(k)];
+  }
+
+  /// The calibrated Cray C90 cost table (the default-constructed values).
+  static CostTable cray_c90();
+  /// All-zero costs: turns the Machine into a pure host execution engine
+  /// (used by the portable host path and by correctness tests that do not
+  /// care about cycle accounting).
+  static CostTable zero();
+};
+
+}  // namespace lr90::vm

@@ -1,0 +1,65 @@
+#include "vm/machine.hpp"
+
+#include <algorithm>
+
+namespace lr90::vm {
+
+double MachineConfig::contention_factor() const {
+  if (processors <= 1) return 1.0;
+  return 1.0 + contention_gamma * std::log2(static_cast<double>(processors));
+}
+
+Machine::Machine(MachineConfig cfg, CostTable costs)
+    : cfg_(cfg), costs_(costs), proc_cycles_(cfg.processors, 0.0),
+      contention_(cfg.contention_factor()) {
+  assert(cfg.processors >= 1);
+}
+
+void Machine::charge(unsigned proc, const VectorCosts& c, std::size_t n) {
+  assert(proc < proc_cycles_.size());
+  const double factor = c.memory_bound ? contention_ : 1.0;
+  proc_cycles_[proc] +=
+      c.per_elem * factor * static_cast<double>(n) + c.startup;
+  ops_.element_ops += n;
+  ops_.vector_calls += 1;
+}
+
+void Machine::charge_scalar(unsigned proc, double cycles,
+                            std::uint64_t steps) {
+  assert(proc < proc_cycles_.size());
+  proc_cycles_[proc] += cycles;
+  ops_.scalar_steps += steps;
+}
+
+void Machine::charge_kernel(unsigned proc, Kernel k, std::size_t lanes) {
+  const double before = proc_cycles_[proc];
+  charge(proc, costs_.kernel(k), lanes);
+  kernel_cycles_[static_cast<std::size_t>(k)] += proc_cycles_[proc] - before;
+}
+
+void Machine::synchronize() {
+  // A single processor has nobody to wait for: barriers are free (the
+  // vector pipeline drains as part of each instruction's cost).
+  if (proc_cycles_.size() == 1) return;
+  const double m = max_cycles();
+  for (auto& c : proc_cycles_) c = m + cfg_.sync_cycles;
+  ops_.syncs += 1;
+}
+
+double Machine::max_cycles() const {
+  return *std::max_element(proc_cycles_.begin(), proc_cycles_.end());
+}
+
+double Machine::total_cycles() const {
+  double s = 0.0;
+  for (double c : proc_cycles_) s += c;
+  return s;
+}
+
+void Machine::reset() {
+  std::fill(proc_cycles_.begin(), proc_cycles_.end(), 0.0);
+  ops_ = OpCounters{};
+  for (auto& k : kernel_cycles_) k = 0.0;
+}
+
+}  // namespace lr90::vm

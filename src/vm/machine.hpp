@@ -1,0 +1,179 @@
+// The simulated Cray C90 vector multiprocessor.
+//
+// A Machine owns one simulated cycle counter per physical processor plus
+// operation counters. Vector primitives *execute for real* on host memory
+// (so algorithm correctness is always exercised) and charge simulated cycles
+// according to the CostTable. Multiprocessor algorithms charge work to
+// explicit processor ids and call synchronize() at barriers; elapsed time is
+// the maximum over processors, which models a lockstep SIMD/MIMD machine
+// with per-barrier synchronization (Section 5 of the paper).
+//
+// Memory-bound primitives pay a bandwidth-contention multiplier
+// (1 + gamma*log2 p), reproducing the sub-linear multiprocessor speedups the
+// paper reports (Fig. 3, Fig. 11).
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "vm/config.hpp"
+#include "vm/cost_table.hpp"
+
+namespace lr90::vm {
+
+/// Aggregate operation counters, for the Table II "work" columns and for
+/// tests that assert how much data movement an algorithm performed.
+struct OpCounters {
+  std::uint64_t gathered = 0;      ///< elements moved by gather
+  std::uint64_t scattered = 0;     ///< elements moved by scatter
+  std::uint64_t element_ops = 0;   ///< total per-element operations charged
+  std::uint64_t vector_calls = 0;  ///< number of vector instructions issued
+  std::uint64_t scalar_steps = 0;  ///< scalar (non-vector) loop iterations
+  std::uint64_t syncs = 0;         ///< synchronization barriers
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg = MachineConfig{},
+                   CostTable costs = CostTable::cray_c90());
+
+  const MachineConfig& config() const { return cfg_; }
+  const CostTable& costs() const { return costs_; }
+  unsigned processors() const { return cfg_.processors; }
+
+  // -- accounting -------------------------------------------------------
+
+  /// Charges a vector operation over n elements to processor `proc`.
+  void charge(unsigned proc, const VectorCosts& c, std::size_t n);
+  /// Charges raw cycles (scalar work) to processor `proc`.
+  void charge_scalar(unsigned proc, double cycles, std::uint64_t steps = 0);
+  /// Charges a fused kernel over `lanes` virtual processors.
+  void charge_kernel(unsigned proc, Kernel k, std::size_t lanes);
+
+  /// Barrier: advances every processor to the current maximum and adds the
+  /// synchronization cost.
+  void synchronize();
+
+  double cycles(unsigned proc) const { return proc_cycles_.at(proc); }
+  /// Simulated elapsed cycles = max over processors.
+  double max_cycles() const;
+  /// Simulated elapsed wall time in nanoseconds.
+  double elapsed_ns() const { return max_cycles() * cfg_.clock_ns; }
+  /// Sum of cycles over all processors (total charged machine work).
+  double total_cycles() const;
+
+  const OpCounters& ops() const { return ops_; }
+
+  /// Cycles accumulated by a fused kernel across all processors -- the
+  /// per-phase cost breakdown (how much of a run went to traversal vs
+  /// packing vs fixed work). Not contention-adjusted per processor count;
+  /// it reports exactly what was charged.
+  double kernel_cycles(Kernel k) const {
+    return kernel_cycles_[static_cast<std::size_t>(k)];
+  }
+
+  /// Resets cycle and operation counters (configuration is kept).
+  void reset();
+
+  // -- vector primitives --------------------------------------------------
+  // All primitives execute the real data movement and charge `proc`.
+
+  /// dst[i] = table[idx[i]]
+  template <class T, class I>
+  void gather(unsigned proc, std::span<T> dst, std::span<const T> table,
+              std::span<const I> idx) {
+    assert(dst.size() == idx.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      assert(static_cast<std::size_t>(idx[i]) < table.size());
+      dst[i] = table[idx[i]];
+    }
+    ops_.gathered += dst.size();
+    charge(proc, costs_.gather, dst.size());
+  }
+
+  /// table[idx[i]] = src[i]
+  template <class T, class I>
+  void scatter(unsigned proc, std::span<T> table, std::span<const I> idx,
+               std::span<const T> src) {
+    assert(src.size() == idx.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      assert(static_cast<std::size_t>(idx[i]) < table.size());
+      table[idx[i]] = src[i];
+    }
+    ops_.scattered += src.size();
+    charge(proc, costs_.scatter, src.size());
+  }
+
+  /// dst[i] = f(dst[i]) for unary f, or with a second input span.
+  template <class T, class F>
+  void map1(unsigned proc, std::span<T> dst, F&& f) {
+    for (auto& x : dst) x = f(x);
+    charge(proc, costs_.map1, dst.size());
+  }
+
+  /// dst[i] = f(a[i], b[i])
+  template <class T, class U, class V, class F>
+  void map2(unsigned proc, std::span<T> dst, std::span<const U> a,
+            std::span<const V> b, F&& f) {
+    assert(dst.size() == a.size() && dst.size() == b.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = f(a[i], b[i]);
+    charge(proc, costs_.map2, dst.size());
+  }
+
+  template <class T>
+  void copy(unsigned proc, std::span<T> dst, std::span<const T> src) {
+    assert(dst.size() == src.size());
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+    charge(proc, costs_.copy, dst.size());
+  }
+
+  template <class T>
+  void fill(unsigned proc, std::span<T> dst, T value) {
+    for (auto& x : dst) x = value;
+    charge(proc, costs_.fill, dst.size());
+  }
+
+  /// dst[i] = base + i
+  template <class T>
+  void iota(unsigned proc, std::span<T> dst, T base) {
+    for (std::size_t i = 0; i < dst.size(); ++i)
+      dst[i] = base + static_cast<T>(i);
+    charge(proc, costs_.iota, dst.size());
+  }
+
+  /// In-place stable compress of `data` keeping elements where keep[i] != 0.
+  /// Returns the number of kept elements. Charged once per array.
+  template <class T>
+  std::size_t pack(unsigned proc, std::span<T> data,
+                   std::span<const std::uint8_t> keep) {
+    assert(data.size() == keep.size());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (keep[i]) data[out++] = data[i];
+    }
+    charge(proc, costs_.pack, data.size());
+    return out;
+  }
+
+  /// Horizontal reduction with a binary functor and identity.
+  template <class T, class F>
+  T reduce(unsigned proc, std::span<const T> data, T identity, F&& f) {
+    T acc = identity;
+    for (const auto& x : data) acc = f(acc, x);
+    charge(proc, costs_.reduce, data.size());
+    return acc;
+  }
+
+ private:
+  MachineConfig cfg_;
+  CostTable costs_;
+  std::vector<double> proc_cycles_;
+  OpCounters ops_;
+  double contention_;
+  double kernel_cycles_[static_cast<std::size_t>(Kernel::kCount_)] = {};
+};
+
+}  // namespace lr90::vm

@@ -1,0 +1,115 @@
+// Scans and segmented scans over dense vectors, with cycle accounting.
+//
+// The paper's implementation lineage (Blelloch's scan-vector model, Zagha's
+// pipelined-memory programming techniques, the loop-raking linear-recurrence
+// paper it cites) treats scans and *segmented* scans -- prefix operations
+// that restart at segment boundaries -- as the workhorse primitives of
+// vector multiprocessors. The library uses them in tests and examples as
+// the "array-side" counterpart of list scan: list scan == segmented scan
+// after ranking has turned lists into segments.
+//
+// All functions execute on host memory and charge the machine like the
+// other primitives (one load pass + one store pass + element ops; the
+// serial dependence is hidden by loop raking, which is how the Cray ran
+// recurrences at vector speed).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "lists/ops.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90::vm {
+
+/// Exclusive prefix scan: out[i] = op(v[0..i)), out[0] = identity.
+/// In-place allowed (out may alias values).
+template <class Op = OpPlus>
+void exclusive_scan(Machine& m, unsigned proc,
+                    std::span<const value_t> values, std::span<value_t> out,
+                    Op op = {}) {
+  assert(values.size() == out.size());
+  value_t acc = Op::identity();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const value_t v = values[i];
+    out[i] = acc;
+    acc = op(acc, v);
+  }
+  // Loop-raked recurrence: two passes (per-lane serial scan + lane-offset
+  // fixup), charged as three vector operations.
+  m.charge(proc, m.costs().copy, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+}
+
+/// Inclusive prefix scan: out[i] = op(v[0..i]).
+template <class Op = OpPlus>
+void inclusive_scan(Machine& m, unsigned proc,
+                    std::span<const value_t> values, std::span<value_t> out,
+                    Op op = {}) {
+  assert(values.size() == out.size());
+  value_t acc = Op::identity();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    acc = op(acc, values[i]);
+    out[i] = acc;
+  }
+  m.charge(proc, m.costs().copy, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+}
+
+/// Segmented exclusive scan: flags[i] != 0 starts a new segment at i; the
+/// scan restarts at identity there. flags[0] is implicitly a segment start.
+template <class Op = OpPlus>
+void segmented_exclusive_scan(Machine& m, unsigned proc,
+                              std::span<const value_t> values,
+                              std::span<const std::uint8_t> flags,
+                              std::span<value_t> out, Op op = {}) {
+  assert(values.size() == out.size());
+  assert(values.size() == flags.size());
+  value_t acc = Op::identity();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (flags[i]) acc = Op::identity();
+    const value_t v = values[i];
+    out[i] = acc;
+    acc = op(acc, v);
+  }
+  // One extra flag pass over the unsegmented cost.
+  m.charge(proc, m.costs().copy, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+  m.charge(proc, m.costs().map1, values.size());
+}
+
+/// Per-segment totals: seg_total[i] = op over the whole segment containing
+/// i... written at every element (the "copy-scan" form downstream code can
+/// gather from). Also returns the number of segments.
+template <class Op = OpPlus>
+std::size_t segmented_totals(vm::Machine& m, unsigned proc,
+                             std::span<const value_t> values,
+                             std::span<const std::uint8_t> flags,
+                             std::span<value_t> out, Op op = {}) {
+  assert(values.size() == out.size());
+  assert(values.size() == flags.size());
+  std::size_t segments = values.empty() ? 0 : 1;
+  std::size_t start = 0;
+  value_t acc = Op::identity();
+  for (std::size_t i = 0; i <= values.size(); ++i) {
+    const bool boundary = i == values.size() || (i > 0 && flags[i]);
+    if (boundary) {
+      for (std::size_t j = start; j < i; ++j) out[j] = acc;
+      if (i == values.size()) break;
+      ++segments;
+      start = i;
+      acc = Op::identity();
+    }
+    acc = op(acc, values[i]);
+  }
+  m.charge(proc, m.costs().copy, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+  m.charge(proc, m.costs().map2, values.size());
+  m.charge(proc, m.costs().copy, values.size());
+  return segments;
+}
+
+}  // namespace lr90::vm

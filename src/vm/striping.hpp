@@ -1,0 +1,102 @@
+// Virtual-processor assignment: strip-mining and loop-raking (Section 1.1).
+//
+// A vector register of length L acts as L "element processors"; n virtual
+// processors must be mapped onto them. The paper (following Zagha and
+// Blelloch) names the two standard mappings:
+//
+//   strip-mining: element processor i handles virtual processors
+//                 j*L + i  (interleaved; consecutive vps land in
+//                 consecutive lanes -- the natural vector layout);
+//   loop-raking:  element processor i handles virtual processors
+//                 i*ceil(n/L) + j  (blocked; each lane owns a contiguous
+//                 run -- what a serial recurrence per lane needs).
+//
+// Both appear throughout the library implicitly (the simulator's fused
+// kernels assume strip-mined lanes; Anderson-Miller's queues are a rake).
+// This module makes the mappings explicit and testable, and provides the
+// strip/iteration counts used to reason about vector-length efficiency.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace lr90::vm {
+
+/// One lane's share of work under either mapping.
+struct LaneSlice {
+  std::size_t count = 0;  ///< virtual processors handled by this lane
+};
+
+/// Interleaved mapping: vp k -> lane (k mod L), slot (k div L).
+class StripMining {
+ public:
+  StripMining(std::size_t n, std::size_t lanes) : n_(n), lanes_(lanes) {
+    assert(lanes >= 1);
+  }
+
+  std::size_t lanes() const { return lanes_; }
+  /// Number of vector "strips" (iterations of the stripped loop).
+  std::size_t strips() const { return (n_ + lanes_ - 1) / lanes_; }
+
+  std::size_t lane_of(std::size_t vp) const { return vp % lanes_; }
+  std::size_t slot_of(std::size_t vp) const { return vp / lanes_; }
+  /// Inverse: the vp handled by `lane` at strip `slot` (caller must check
+  /// in_range).
+  std::size_t vp_at(std::size_t lane, std::size_t slot) const {
+    return slot * lanes_ + lane;
+  }
+  bool in_range(std::size_t lane, std::size_t slot) const {
+    return vp_at(lane, slot) < n_;
+  }
+
+  LaneSlice slice(std::size_t lane) const {
+    const std::size_t full = n_ / lanes_;
+    return {full + (lane < n_ % lanes_ ? 1u : 0u)};
+  }
+
+  /// Vector length of strip `slot` (the last strip may be short -- the
+  /// "short vector" inefficiency the paper's Section 7 discusses).
+  std::size_t strip_length(std::size_t slot) const {
+    const std::size_t start = slot * lanes_;
+    if (start >= n_) return 0;
+    return std::min(lanes_, n_ - start);
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t lanes_;
+};
+
+/// Blocked mapping: lane i owns the contiguous vp range
+/// [i*ceil(n/L), min(n, (i+1)*ceil(n/L))).
+class LoopRaking {
+ public:
+  LoopRaking(std::size_t n, std::size_t lanes) : n_(n), lanes_(lanes) {
+    assert(lanes >= 1);
+    block_ = (n_ + lanes_ - 1) / lanes_;
+    if (block_ == 0) block_ = 1;
+  }
+
+  std::size_t lanes() const { return lanes_; }
+  std::size_t block() const { return block_; }
+
+  std::size_t lane_of(std::size_t vp) const { return vp / block_; }
+  std::size_t slot_of(std::size_t vp) const { return vp % block_; }
+  std::size_t begin_of(std::size_t lane) const {
+    return std::min(n_, lane * block_);
+  }
+  std::size_t end_of(std::size_t lane) const {
+    return std::min(n_, (lane + 1) * block_);
+  }
+  LaneSlice slice(std::size_t lane) const {
+    return {end_of(lane) - begin_of(lane)};
+  }
+
+ private:
+  std::size_t n_;
+  std::size_t lanes_;
+  std::size_t block_;
+};
+
+}  // namespace lr90::vm

@@ -1,0 +1,164 @@
+#include "baselines/anderson_miller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(AndersonMiller, RankMatchesReferenceAcrossSizes) {
+  Rng gen(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, gen);
+    std::vector<value_t> out(n, -1);
+    vm::Machine m;
+    Rng coins(100 + n);
+    anderson_miller_rank(m, l, out, coins);
+    testutil::expect_scan_eq(out, reference_rank(l));
+  }
+}
+
+TEST(AndersonMiller, ScanWithRandomValues) {
+  Rng gen(2);
+  for (const std::size_t n : {5u, 129u, 1000u, 5000u}) {
+    const LinkedList l = random_list(n, gen, ValueInit::kUniformSmall);
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng coins(n);
+    anderson_miller_scan(m, l, std::span<value_t>(out), coins);
+    testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  }
+}
+
+TEST(AndersonMiller, UnbiasedCoinStillCorrect) {
+  Rng gen(3);
+  const LinkedList l = random_list(2000, gen, ValueInit::kUniformSmall);
+  std::vector<value_t> out(2000);
+  vm::Machine m;
+  Rng coins(4);
+  AndersonMillerOptions opt;
+  opt.male_bias = 0.5;
+  anderson_miller_scan(m, l, std::span<value_t>(out), coins, OpPlus{}, opt);
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+}
+
+TEST(AndersonMiller, BiasedCoinNeedsFewerRounds) {
+  // The paper's key optimization: male bias 0.9 cuts rounds vs 0.5.
+  Rng gen(4);
+  const std::size_t n = 30000;
+  const LinkedList l = random_list(n, gen);
+  auto rounds_for = [&](double bias) {
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng coins(5);
+    AndersonMillerOptions opt;
+    opt.male_bias = bias;
+    opt.serial_switch = 0;  // run contraction to the end for a fair count
+    const AlgoStats s =
+        anderson_miller_rank(m, l, out, coins, opt);
+    testutil::expect_scan_eq(out, reference_rank(l));
+    return s.rounds;
+  };
+  const auto biased = rounds_for(0.9);
+  const auto unbiased = rounds_for(0.5);
+  EXPECT_LT(biased, unbiased);
+  // Roughly the 40% improvement the paper reports (we accept 25%+).
+  EXPECT_LT(static_cast<double>(biased), 0.75 * static_cast<double>(unbiased));
+}
+
+TEST(AndersonMiller, FewQueues) {
+  Rng gen(5);
+  const LinkedList l = random_list(333, gen, ValueInit::kUniformSmall);
+  std::vector<value_t> out(333);
+  vm::Machine m;
+  Rng coins(6);
+  AndersonMillerOptions opt;
+  opt.num_queues = 4;
+  opt.serial_switch = 1;
+  anderson_miller_scan(m, l, std::span<value_t>(out), coins, OpPlus{}, opt);
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+}
+
+TEST(AndersonMiller, MoreQueuesThanVertices) {
+  Rng gen(6);
+  const LinkedList l = random_list(50, gen);
+  std::vector<value_t> out(50);
+  vm::Machine m;
+  Rng coins(7);
+  AndersonMillerOptions opt;
+  opt.num_queues = 1024;  // clamped to n internally
+  anderson_miller_rank(m, l, out, coins, opt);
+  testutil::expect_scan_eq(out, reference_rank(l));
+}
+
+TEST(AndersonMiller, NoSerialSwitchStillTerminates) {
+  Rng gen(7);
+  const LinkedList l = random_list(900, gen);
+  std::vector<value_t> out(900);
+  vm::Machine m;
+  Rng coins(8);
+  AndersonMillerOptions opt;
+  opt.serial_switch = 0;
+  anderson_miller_rank(m, l, out, coins, opt);
+  testutil::expect_scan_eq(out, reference_rank(l));
+}
+
+TEST(AndersonMiller, LargeSerialSwitchDegeneratesToSerial) {
+  Rng gen(8);
+  const LinkedList l = random_list(700, gen, ValueInit::kUniformSmall);
+  std::vector<value_t> out(700);
+  vm::Machine m;
+  Rng coins(9);
+  AndersonMillerOptions opt;
+  opt.serial_switch = 1 << 20;  // stop immediately, serial-finish everything
+  const AlgoStats s =
+      anderson_miller_scan(m, l, std::span<value_t>(out), coins, OpPlus{}, opt);
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  EXPECT_EQ(s.rounds, 0u);
+}
+
+TEST(AndersonMiller, MinMaxOperators) {
+  Rng gen(9);
+  const LinkedList l = random_list(800, gen, ValueInit::kSigned);
+  std::vector<value_t> out(800);
+  vm::Machine m;
+  Rng coins(10);
+  anderson_miller_scan(m, l, std::span<value_t>(out), coins, OpMax{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMax{}));
+}
+
+TEST(AndersonMiller, CoinSeedInvariance) {
+  Rng gen(10);
+  const LinkedList l = random_list(1500, gen, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+    std::vector<value_t> out(1500);
+    vm::Machine m;
+    Rng coins(seed);
+    anderson_miller_scan(m, l, std::span<value_t>(out), coins);
+    testutil::expect_scan_eq(out, want);
+  }
+}
+
+TEST(AndersonMiller, ThroughputNearOneVertexPerQueuePerRound) {
+  Rng gen(11);
+  const std::size_t n = 64000;
+  const LinkedList l = random_list(n, gen);
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng coins(12);
+  AndersonMillerOptions opt;
+  opt.serial_switch = 0;
+  const AlgoStats s = anderson_miller_rank(m, l, out, coins, opt);
+  // With bias 0.9 and q=128 queues, rounds should be near (n/q)/0.9 --
+  // well under 2x of the ideal n/q.
+  const double ideal = static_cast<double>(n) / 128.0;
+  EXPECT_GT(static_cast<double>(s.rounds), ideal);
+  EXPECT_LT(static_cast<double>(s.rounds), 2.0 * ideal);
+}
+
+}  // namespace
+}  // namespace lr90

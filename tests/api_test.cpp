@@ -1,0 +1,125 @@
+#include "core/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(Api, AutoDispatchBySize) {
+  EXPECT_EQ(resolve_auto(10, Method::kAuto), Method::kSerial);
+  EXPECT_EQ(resolve_auto(kAutoSerialMax, Method::kAuto), Method::kSerial);
+  EXPECT_EQ(resolve_auto(kAutoSerialMax + 1, Method::kAuto), Method::kWyllie);
+  EXPECT_EQ(resolve_auto(kAutoWyllieMax + 1, Method::kAuto),
+            Method::kReidMiller);
+  EXPECT_EQ(resolve_auto(5, Method::kWyllie), Method::kWyllie);
+}
+
+TEST(Api, AllMethodsAgreeOnRank) {
+  Rng rng(1);
+  const LinkedList l = random_list(3000, rng);
+  const auto want = reference_rank(l);
+  for (const Method method :
+       {Method::kSerial, Method::kWyllie, Method::kMillerReif,
+        Method::kAndersonMiller, Method::kReidMiller,
+        Method::kReidMillerEncoded}) {
+    SimOptions opt;
+    opt.method = method;
+    const SimResult r = sim_list_rank(l, opt);
+    EXPECT_EQ(r.method_used, method);
+    testutil::expect_scan_eq(r.scan, want);
+    EXPECT_GT(r.cycles, 0.0) << method_name(method);
+  }
+}
+
+TEST(Api, AllMethodsAgreeOnScan) {
+  Rng rng(2);
+  const LinkedList l = random_list(2000, rng, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const Method method :
+       {Method::kSerial, Method::kWyllie, Method::kMillerReif,
+        Method::kAndersonMiller, Method::kReidMiller}) {
+    SimOptions opt;
+    opt.method = method;
+    const SimResult r = sim_list_scan(l, opt);
+    testutil::expect_scan_eq(r.scan, want);
+  }
+}
+
+TEST(Api, EncodedRejectsScan) {
+  Rng rng(3);
+  const LinkedList l = random_list(100, rng);
+  SimOptions opt;
+  opt.method = Method::kReidMillerEncoded;
+  EXPECT_THROW(sim_list_scan(l, opt), std::invalid_argument);
+}
+
+TEST(Api, InputListIsNotModified) {
+  Rng rng(4);
+  const LinkedList l = random_list(5000, rng, ValueInit::kUniformSmall);
+  const LinkedList copy = l;
+  SimOptions opt;
+  opt.method = Method::kReidMiller;
+  sim_list_scan(l, opt);
+  EXPECT_TRUE(lists_equal(l, copy));
+}
+
+TEST(Api, NsConsistentWithCycles) {
+  Rng rng(5);
+  const LinkedList l = random_list(4000, rng);
+  const SimResult r = sim_list_rank(l);
+  EXPECT_NEAR(r.ns, r.cycles * 4.2, 1e-6);
+  EXPECT_NEAR(r.ns_per_vertex, r.ns / 4000.0, 1e-9);
+}
+
+TEST(Api, EmptyAndSingletonLists) {
+  LinkedList empty;
+  const SimResult r0 = sim_list_rank(empty);
+  EXPECT_TRUE(r0.scan.empty());
+
+  LinkedList one;
+  one.next = {0};
+  one.value = {7};
+  one.head = 0;
+  const SimResult r1 = sim_list_scan(one);
+  ASSERT_EQ(r1.scan.size(), 1u);
+  EXPECT_EQ(r1.scan[0], 0);
+}
+
+TEST(Api, ProcessorsReduceSimulatedTime) {
+  Rng rng(6);
+  const LinkedList l = random_list(200000, rng);
+  SimOptions o1;
+  o1.method = Method::kReidMiller;
+  o1.processors = 1;
+  SimOptions o8 = o1;
+  o8.processors = 8;
+  const double t1 = sim_list_rank(l, o1).ns;
+  const double t8 = sim_list_rank(l, o8).ns;
+  EXPECT_LT(t8, t1 / 4.0);
+}
+
+TEST(Api, MethodNamesAreStable) {
+  EXPECT_STREQ(method_name(Method::kSerial), "serial");
+  EXPECT_STREQ(method_name(Method::kWyllie), "wyllie");
+  EXPECT_STREQ(method_name(Method::kReidMiller), "reid-miller");
+}
+
+TEST(Api, SeedChangesNothingButCost) {
+  Rng rng(7);
+  const LinkedList l = random_list(10000, rng);
+  SimOptions a;
+  a.method = Method::kReidMiller;
+  a.seed = 1;
+  SimOptions b = a;
+  b.seed = 999;
+  const SimResult ra = sim_list_rank(l, a);
+  const SimResult rb = sim_list_rank(l, b);
+  testutil::expect_scan_eq(ra.scan, rb.scan);
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,71 @@
+#include "lists/encode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(Encode, PackUnpackRoundTrip) {
+  const packed_t w = pack_link_value(0xdeadbeefu, 0x12345678u);
+  EXPECT_EQ(packed_link(w), 0xdeadbeefu);
+  EXPECT_EQ(packed_value(w), 0x12345678u);
+}
+
+TEST(Encode, ExtremesRoundTrip) {
+  const packed_t w = pack_link_value(0xffffffffu, 0xffffffffu);
+  EXPECT_EQ(packed_link(w), 0xffffffffu);
+  EXPECT_EQ(packed_value(w), 0xffffffffu);
+  const packed_t z = pack_link_value(0, 0);
+  EXPECT_EQ(packed_link(z), 0u);
+  EXPECT_EQ(packed_value(z), 0u);
+}
+
+TEST(Encode, ListRoundTrip) {
+  Rng rng(1);
+  const LinkedList l = random_list(50, rng, ValueInit::kUniformSmall);
+  const auto packed = encode_list(l);
+  const LinkedList back = decode_list(packed, l.head);
+  EXPECT_TRUE(lists_equal(l, back));
+}
+
+TEST(Encode, EmptyList) {
+  LinkedList l;
+  const auto packed = encode_list(l);
+  EXPECT_TRUE(packed.empty());
+  const LinkedList back = decode_list(packed, 0);
+  EXPECT_EQ(back.head, kNoVertex);
+}
+
+TEST(Encode, CanEncodeAcceptsSmallNonNegative) {
+  Rng rng(2);
+  const LinkedList l = random_list(10, rng, ValueInit::kOnes);
+  EXPECT_TRUE(can_encode(l));
+}
+
+TEST(Encode, CanEncodeRejectsNegativeValues) {
+  Rng rng(3);
+  LinkedList l = random_list(10, rng);
+  l.value[3] = -1;
+  EXPECT_FALSE(can_encode(l));
+}
+
+TEST(Encode, CanEncodeRejectsHugeValues) {
+  Rng rng(4);
+  LinkedList l = random_list(10, rng);
+  l.value[0] = static_cast<value_t>(1) << 33;
+  EXPECT_FALSE(can_encode(l));
+}
+
+TEST(Encode, SelfLoopSurvivesEncoding) {
+  Rng rng(5);
+  const LinkedList l = random_list(20, rng);
+  const auto packed = encode_list(l);
+  const index_t tail = l.find_tail();
+  EXPECT_EQ(packed_link(packed[tail]), tail);
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,231 @@
+#include "apps/euler_tour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lists/validate.hpp"
+
+namespace lr90 {
+namespace {
+
+/// Reference labels by plain serial traversal.
+struct RefLabels {
+  std::vector<value_t> depth, preorder, size;
+};
+
+RefLabels reference_labels(const RootedTree& t) {
+  const std::size_t n = t.size();
+  RefLabels ref;
+  ref.depth.assign(n, 0);
+  ref.preorder.assign(n, 0);
+  ref.size.assign(n, 1);
+  // Depths: repeated relaxation (trees are shallow enough for tests).
+  std::vector<std::vector<index_t>> kids(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    if (static_cast<index_t>(v) != t.root)
+      kids[t.parent[v]].push_back(static_cast<index_t>(v));
+  }
+  for (auto& k : kids) std::sort(k.begin(), k.end());
+  // Iterative preorder DFS with children in increasing order.
+  std::vector<index_t> stack{t.root};
+  value_t counter = 0;
+  while (!stack.empty()) {
+    const index_t v = stack.back();
+    stack.pop_back();
+    ref.preorder[v] = counter++;
+    for (auto it = kids[v].rbegin(); it != kids[v].rend(); ++it) {
+      ref.depth[*it] = ref.depth[v] + 1;
+      stack.push_back(*it);
+    }
+  }
+  // Subtree sizes bottom-up (process by decreasing depth).
+  std::vector<index_t> by_depth(n);
+  for (std::size_t v = 0; v < n; ++v) by_depth[v] = static_cast<index_t>(v);
+  std::sort(by_depth.begin(), by_depth.end(), [&](index_t a, index_t b) {
+    return ref.depth[a] > ref.depth[b];
+  });
+  for (const index_t v : by_depth) {
+    if (v != t.root) ref.size[t.parent[v]] += ref.size[v];
+  }
+  return ref;
+}
+
+RootedTree path_tree(std::size_t n) {
+  RootedTree t;
+  t.parent.resize(n);
+  t.root = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    t.parent[v] = static_cast<index_t>(v == 0 ? 0 : v - 1);
+  return t;
+}
+
+RootedTree star_tree(std::size_t n) {
+  RootedTree t;
+  t.parent.assign(n, 0);
+  t.root = 0;
+  return t;
+}
+
+TEST(EulerTour, ValidityChecks) {
+  EXPECT_TRUE(is_valid_tree(path_tree(5)));
+  EXPECT_TRUE(is_valid_tree(star_tree(5)));
+  RootedTree bad = path_tree(4);
+  bad.parent[1] = 2;
+  bad.parent[2] = 1;  // 2-cycle
+  EXPECT_FALSE(is_valid_tree(bad));
+  RootedTree no_root = path_tree(3);
+  no_root.parent[0] = 1;
+  EXPECT_FALSE(is_valid_tree(no_root));
+}
+
+TEST(EulerTour, TourIsAValidList) {
+  Rng rng(1);
+  for (const std::size_t n : {2u, 3u, 10u, 100u, 1000u}) {
+    const RootedTree t = random_tree(n, rng);
+    const EulerTour tour = build_euler_tour(t);
+    EXPECT_EQ(tour.arcs.size(), 2 * (n - 1));
+    EXPECT_TRUE(is_valid_list(tour.arcs)) << "n=" << n;
+  }
+}
+
+TEST(EulerTour, SingleNodeTree) {
+  const RootedTree t = star_tree(1);
+  const EulerTour tour = build_euler_tour(t);
+  EXPECT_TRUE(tour.arcs.empty());
+  EXPECT_EQ(tree_depths(t), std::vector<value_t>{0});
+  EXPECT_EQ(subtree_sizes(t), std::vector<value_t>{1});
+}
+
+TEST(EulerTour, PathTreeLabels) {
+  const std::size_t n = 64;
+  const RootedTree t = path_tree(n);
+  const TreeLabels got = tree_labels(t);
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(got.depth[v], static_cast<value_t>(v));
+    EXPECT_EQ(got.preorder[v], static_cast<value_t>(v));
+    EXPECT_EQ(got.subtree_size[v], static_cast<value_t>(n - v));
+  }
+}
+
+TEST(EulerTour, StarTreeLabels) {
+  const std::size_t n = 33;
+  const RootedTree t = star_tree(n);
+  const TreeLabels got = tree_labels(t);
+  EXPECT_EQ(got.depth[0], 0);
+  EXPECT_EQ(got.subtree_size[0], static_cast<value_t>(n));
+  for (std::size_t v = 1; v < n; ++v) {
+    EXPECT_EQ(got.depth[v], 1);
+    EXPECT_EQ(got.subtree_size[v], 1);
+    EXPECT_EQ(got.preorder[v], static_cast<value_t>(v));  // children by index
+  }
+}
+
+TEST(EulerTour, RandomTreesMatchReference) {
+  Rng rng(2);
+  for (const std::size_t n : {2u, 5u, 17u, 200u, 5000u}) {
+    const RootedTree t = random_tree(n, rng);
+    ASSERT_TRUE(is_valid_tree(t));
+    const RefLabels ref = reference_labels(t);
+    const TreeLabels got = tree_labels(t);
+    EXPECT_EQ(got.depth, ref.depth) << n;
+    EXPECT_EQ(got.preorder, ref.preorder) << n;
+    EXPECT_EQ(got.subtree_size, ref.size) << n;
+  }
+}
+
+TEST(EulerTour, PreorderIsAPermutation) {
+  Rng rng(3);
+  const RootedTree t = random_tree(500, rng);
+  const auto pre = preorder_numbers(t);
+  std::vector<char> seen(500, 0);
+  for (const value_t p : pre) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 500);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  EXPECT_EQ(pre[t.root], 0);
+}
+
+TEST(EulerTour, SubtreeSizesSumToDepthPlusOneIdentity) {
+  // sum over v of subtree_size(v) == sum over v of (depth(v) + 1).
+  Rng rng(4);
+  const RootedTree t = random_tree(1000, rng);
+  const TreeLabels got = tree_labels(t);
+  value_t lhs = 0, rhs = 0;
+  for (std::size_t v = 0; v < 1000; ++v) {
+    lhs += got.subtree_size[v];
+    rhs += got.depth[v] + 1;
+  }
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(EulerTour, PathSumsGeneralizeDepth) {
+  Rng rng(6);
+  const RootedTree t = random_tree(800, rng);
+  const std::vector<value_t> ones(800, 1);
+  const auto ps = path_sums(t, ones);
+  const auto depth = tree_depths(t);
+  for (std::size_t v = 0; v < 800; ++v) {
+    EXPECT_EQ(ps[v], depth[v]) << v;  // ancestors excluding v == depth
+  }
+}
+
+TEST(EulerTour, PathSumsMatchSerialWalk) {
+  Rng rng(7);
+  const RootedTree t = random_tree(500, rng);
+  std::vector<value_t> w(500);
+  for (auto& x : w) x = static_cast<value_t>(rng.uniform(100)) - 50;
+  const auto ps = path_sums(t, w);
+  for (std::size_t v = 0; v < 500; ++v) {
+    value_t want = 0;
+    index_t x = static_cast<index_t>(v);
+    while (x != t.root) {
+      x = t.parent[x];
+      want += w[x];
+    }
+    EXPECT_EQ(ps[v], want) << v;
+  }
+}
+
+TEST(EulerTour, SubtreeSumsGeneralizeSize) {
+  Rng rng(8);
+  const RootedTree t = random_tree(800, rng);
+  const std::vector<value_t> ones(800, 1);
+  EXPECT_EQ(subtree_sums(t, ones), subtree_sizes(t));
+}
+
+TEST(EulerTour, SubtreeSumsDecomposeOverChildren) {
+  // subtree_sum(v) == w(v) + sum over children c of subtree_sum(c).
+  Rng rng(9);
+  const RootedTree t = random_tree(600, rng);
+  std::vector<value_t> w(600);
+  for (auto& x : w) x = static_cast<value_t>(rng.uniform(1000));
+  const auto ss = subtree_sums(t, w);
+  std::vector<value_t> acc(w.begin(), w.end());
+  for (std::size_t v = 0; v < 600; ++v) {
+    if (static_cast<index_t>(v) != t.root) acc[t.parent[v]] += ss[v];
+  }
+  for (std::size_t v = 0; v < 600; ++v) EXPECT_EQ(ss[v], acc[v]) << v;
+}
+
+TEST(EulerTour, TreeScansSingleNode) {
+  const RootedTree t = star_tree(1);
+  const std::vector<value_t> w{7};
+  EXPECT_EQ(path_sums(t, w), std::vector<value_t>{0});
+  EXPECT_EQ(subtree_sums(t, w), std::vector<value_t>{7});
+}
+
+TEST(EulerTour, WorksWithMultipleHostThreads) {
+  Rng rng(5);
+  const RootedTree t = random_tree(3000, rng);
+  HostOptions opt;
+  opt.threads = 4;
+  const auto d1 = tree_depths(t);
+  const auto d4 = tree_depths(t, opt);
+  EXPECT_EQ(d1, d4);
+}
+
+}  // namespace
+}  // namespace lr90

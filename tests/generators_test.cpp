@@ -1,0 +1,107 @@
+#include "lists/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/validate.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(Generators, RandomListIsValidAtManySizes) {
+  Rng rng(1);
+  for (const std::size_t n : {0u, 1u, 2u, 3u, 5u, 17u, 100u, 1000u}) {
+    const LinkedList l = random_list(n, rng);
+    EXPECT_TRUE(is_valid_list(l)) << "n=" << n;
+    EXPECT_EQ(l.size(), n);
+  }
+}
+
+TEST(Generators, RandomListDeterministicPerSeed) {
+  Rng a(7), b(7);
+  const LinkedList la = random_list(100, a);
+  const LinkedList lb = random_list(100, b);
+  EXPECT_TRUE(lists_equal(la, lb));
+}
+
+TEST(Generators, RandomListVariesAcrossSeeds) {
+  Rng a(7), b(8);
+  const LinkedList la = random_list(100, a);
+  const LinkedList lb = random_list(100, b);
+  EXPECT_FALSE(lists_equal(la, lb));
+}
+
+TEST(Generators, SequentialListOrderIsIdentity) {
+  const LinkedList l = sequential_list(6);
+  const auto order = order_of(l);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_TRUE(is_valid_list(l));
+}
+
+TEST(Generators, ReversedListOrderIsReversed) {
+  const LinkedList l = reversed_list(5);
+  const auto order = order_of(l);
+  EXPECT_EQ(order, (std::vector<index_t>{4, 3, 2, 1, 0}));
+}
+
+TEST(Generators, BlockedListValidAndBlockwiseSequential) {
+  Rng rng(3);
+  const LinkedList l = blocked_list(100, 10, rng);
+  EXPECT_TRUE(is_valid_list(l));
+  // Within a block of 10, consecutive vertices follow each other.
+  const auto order = order_of(l);
+  int sequential_steps = 0;
+  for (std::size_t i = 0; i + 1 < order.size(); ++i)
+    sequential_steps += order[i + 1] == order[i] + 1;
+  EXPECT_GE(sequential_steps, 90 - 10);  // 9 of every 10 steps in-block
+}
+
+TEST(Generators, BlockedListUnevenBlocks) {
+  Rng rng(4);
+  const LinkedList l = blocked_list(23, 5, rng);
+  EXPECT_TRUE(is_valid_list(l));
+  EXPECT_EQ(l.size(), 23u);
+}
+
+TEST(Generators, OnesValues) {
+  Rng rng(5);
+  const LinkedList l = random_list(10, rng, ValueInit::kOnes);
+  for (const value_t v : l.value) EXPECT_EQ(v, 1);
+}
+
+TEST(Generators, IndexValues) {
+  const LinkedList l = sequential_list(4, ValueInit::kIndex);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(l.value[i], static_cast<value_t>(i));
+}
+
+TEST(Generators, UniformValuesInRange) {
+  Rng rng(6);
+  const LinkedList l = random_list(200, rng, ValueInit::kUniformSmall);
+  for (const value_t v : l.value) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+TEST(Generators, SignedValuesCoverNegatives) {
+  Rng rng(7);
+  const LinkedList l = random_list(500, rng, ValueInit::kSigned);
+  bool has_neg = false, has_pos = false;
+  for (const value_t v : l.value) {
+    has_neg |= v < 0;
+    has_pos |= v > 0;
+  }
+  EXPECT_TRUE(has_neg);
+  EXPECT_TRUE(has_pos);
+}
+
+TEST(Generators, ListFromExplicitOrder) {
+  const std::vector<index_t> order{3, 1, 0, 2};
+  const LinkedList l = list_from_order(order);
+  EXPECT_EQ(order_of(l), order);
+  EXPECT_EQ(l.head, 3u);
+  EXPECT_EQ(l.next[2], 2u);  // tail self-loop
+}
+
+}  // namespace
+}  // namespace lr90

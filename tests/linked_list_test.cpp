@@ -1,0 +1,112 @@
+#include "lists/linked_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+
+namespace lr90 {
+namespace {
+
+LinkedList tiny() {
+  // Order: 2 -> 0 -> 1 (tail).
+  LinkedList l;
+  l.next = {1, 1, 0};
+  l.value = {10, 20, 30};
+  l.head = 2;
+  return l;
+}
+
+TEST(LinkedList, FindTailLocatesSelfLoop) {
+  EXPECT_EQ(tiny().find_tail(), 1u);
+}
+
+TEST(LinkedList, FindTailEmpty) {
+  LinkedList l;
+  EXPECT_EQ(l.find_tail(), kNoVertex);
+}
+
+TEST(LinkedList, OrderOfWalksFromHead) {
+  const auto order = order_of(tiny());
+  EXPECT_EQ(order, (std::vector<index_t>{2, 0, 1}));
+}
+
+TEST(LinkedList, ForEachPositionsAreSequential) {
+  std::vector<std::size_t> pos;
+  for_each_in_order(tiny(), [&](index_t, std::size_t p) { pos.push_back(p); });
+  EXPECT_EQ(pos, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(LinkedList, SingleVertexList) {
+  LinkedList l;
+  l.next = {0};
+  l.value = {5};
+  l.head = 0;
+  EXPECT_EQ(l.find_tail(), 0u);
+  EXPECT_EQ(order_of(l), std::vector<index_t>{0});
+  EXPECT_TRUE(is_valid_list(l));
+}
+
+TEST(Validate, AcceptsEmpty) {
+  LinkedList l;
+  EXPECT_TRUE(is_valid_list(l));
+}
+
+TEST(Validate, RejectsEmptyWithHead) {
+  LinkedList l;
+  l.head = 0;
+  EXPECT_FALSE(is_valid_list(l));
+}
+
+TEST(Validate, RejectsOutOfRangeNext) {
+  LinkedList l = tiny();
+  l.next[0] = 99;
+  EXPECT_FALSE(is_valid_list(l));
+}
+
+TEST(Validate, RejectsMissingSelfLoop) {
+  LinkedList l = tiny();
+  l.next[1] = 2;  // now a cycle, no tail
+  EXPECT_FALSE(is_valid_list(l));
+}
+
+TEST(Validate, RejectsTwoSelfLoops) {
+  LinkedList l = tiny();
+  l.next[0] = 0;
+  EXPECT_FALSE(is_valid_list(l));
+}
+
+TEST(Validate, RejectsUnreachableVertices) {
+  // 0 -> 1(tail), 2 and 3 form their own chain into 1: 1 reached twice.
+  LinkedList l;
+  l.next = {1, 1, 3, 3};
+  l.value = {0, 0, 0, 0};
+  l.head = 0;
+  EXPECT_FALSE(is_valid_list(l));
+}
+
+TEST(Validate, MessageNamesTheProblem) {
+  LinkedList l = tiny();
+  l.head = 77;
+  const auto msg = validate_list(l);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_NE(msg->find("head"), std::string::npos);
+}
+
+TEST(Validate, ReferenceRankMatchesOrder) {
+  const auto r = reference_rank(tiny());
+  EXPECT_EQ(r[2], 0);
+  EXPECT_EQ(r[0], 1);
+  EXPECT_EQ(r[1], 2);
+}
+
+TEST(Validate, ListsEqualDetectsDifferences) {
+  const LinkedList a = tiny();
+  LinkedList b = tiny();
+  EXPECT_TRUE(lists_equal(a, b));
+  b.value[0] = 99;
+  EXPECT_FALSE(lists_equal(a, b));
+}
+
+}  // namespace
+}  // namespace lr90

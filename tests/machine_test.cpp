@@ -1,0 +1,176 @@
+#include "vm/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lr90::vm {
+namespace {
+
+TEST(MachineConfig, ContentionFactorSingleProcessorIsOne) {
+  MachineConfig cfg;
+  cfg.processors = 1;
+  EXPECT_DOUBLE_EQ(cfg.contention_factor(), 1.0);
+}
+
+TEST(MachineConfig, ContentionFactorGrowsWithProcessors) {
+  MachineConfig cfg;
+  cfg.processors = 8;
+  EXPECT_NEAR(cfg.contention_factor(), 1.0 + 0.063 * 3.0, 1e-12);
+  cfg.processors = 2;
+  EXPECT_NEAR(cfg.contention_factor(), 1.0 + 0.063, 1e-12);
+}
+
+TEST(Machine, ChargeAccumulatesLinearCost) {
+  Machine m;
+  const VectorCosts c{2.0, 10.0, false};
+  m.charge(0, c, 100);
+  EXPECT_DOUBLE_EQ(m.cycles(0), 210.0);
+  m.charge(0, c, 0);
+  EXPECT_DOUBLE_EQ(m.cycles(0), 220.0);  // startup still paid
+}
+
+TEST(Machine, MemoryBoundChargePaysContention) {
+  MachineConfig cfg;
+  cfg.processors = 4;
+  Machine m(cfg);
+  const VectorCosts mem{1.0, 0.0, true};
+  const VectorCosts alu{1.0, 0.0, false};
+  m.charge(0, mem, 1000);
+  m.charge(1, alu, 1000);
+  EXPECT_NEAR(m.cycles(0), 1000.0 * (1.0 + 0.063 * 2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(m.cycles(1), 1000.0);
+}
+
+TEST(Machine, MaxCyclesIsMaxOverProcessors) {
+  MachineConfig cfg;
+  cfg.processors = 3;
+  Machine m(cfg);
+  m.charge_scalar(0, 50.0);
+  m.charge_scalar(1, 70.0);
+  m.charge_scalar(2, 60.0);
+  EXPECT_DOUBLE_EQ(m.max_cycles(), 70.0);
+  EXPECT_DOUBLE_EQ(m.total_cycles(), 180.0);
+}
+
+TEST(Machine, SynchronizeAlignsEveryProcessor) {
+  MachineConfig cfg;
+  cfg.processors = 2;
+  cfg.sync_cycles = 500.0;
+  Machine m(cfg);
+  m.charge_scalar(0, 100.0);
+  m.charge_scalar(1, 300.0);
+  m.synchronize();
+  EXPECT_DOUBLE_EQ(m.cycles(0), 800.0);
+  EXPECT_DOUBLE_EQ(m.cycles(1), 800.0);
+  EXPECT_EQ(m.ops().syncs, 1u);
+}
+
+TEST(Machine, ElapsedNsUsesClock) {
+  Machine m;  // 4.2 ns clock
+  m.charge_scalar(0, 1000.0);
+  EXPECT_NEAR(m.elapsed_ns(), 4200.0, 1e-9);
+}
+
+TEST(Machine, ResetClearsCountersKeepsConfig) {
+  MachineConfig cfg;
+  cfg.processors = 2;
+  Machine m(cfg);
+  m.charge_scalar(0, 10.0);
+  m.synchronize();
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.max_cycles(), 0.0);
+  EXPECT_EQ(m.ops().syncs, 0u);
+  EXPECT_EQ(m.processors(), 2u);
+}
+
+TEST(Machine, GatherExecutesAndCounts) {
+  Machine m;
+  std::vector<std::int64_t> table{10, 20, 30, 40};
+  std::vector<std::uint32_t> idx{3, 0, 2};
+  std::vector<std::int64_t> dst(3);
+  m.gather<std::int64_t, std::uint32_t>(0, dst, table, idx);
+  EXPECT_EQ(dst, (std::vector<std::int64_t>{40, 10, 30}));
+  EXPECT_EQ(m.ops().gathered, 3u);
+  EXPECT_GT(m.cycles(0), 0.0);
+}
+
+TEST(Machine, ScatterExecutes) {
+  Machine m;
+  std::vector<std::int64_t> table(4, 0);
+  std::vector<std::uint32_t> idx{1, 3};
+  std::vector<std::int64_t> src{7, 9};
+  m.scatter<std::int64_t, std::uint32_t>(0, table, idx, src);
+  EXPECT_EQ(table, (std::vector<std::int64_t>{0, 7, 0, 9}));
+  EXPECT_EQ(m.ops().scattered, 2u);
+}
+
+TEST(Machine, PackCompressesStably) {
+  Machine m;
+  std::vector<int> data{1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> keep{1, 0, 1, 0, 1};
+  const std::size_t kept = m.pack<int>(0, data, keep);
+  EXPECT_EQ(kept, 3u);
+  EXPECT_EQ(data[0], 1);
+  EXPECT_EQ(data[1], 3);
+  EXPECT_EQ(data[2], 5);
+}
+
+TEST(Machine, MapAndReduceAndIota) {
+  Machine m;
+  std::vector<std::int64_t> a(5);
+  m.iota<std::int64_t>(0, a, 10);
+  EXPECT_EQ(a, (std::vector<std::int64_t>{10, 11, 12, 13, 14}));
+  m.map1<std::int64_t>(0, a, [](std::int64_t x) { return x * 2; });
+  EXPECT_EQ(a[4], 28);
+  const auto sum = m.reduce<std::int64_t>(
+      0, a, 0, [](std::int64_t x, std::int64_t y) { return x + y; });
+  EXPECT_EQ(sum, 20 + 22 + 24 + 26 + 28);
+}
+
+TEST(Machine, ZeroCostTableChargesNothing) {
+  Machine m(MachineConfig{}, CostTable::zero());
+  std::vector<std::int64_t> t{1, 2};
+  std::vector<std::uint32_t> i{0, 1};
+  std::vector<std::int64_t> d(2);
+  m.gather<std::int64_t, std::uint32_t>(0, d, t, i);
+  EXPECT_DOUBLE_EQ(m.max_cycles(), 0.0);
+}
+
+TEST(CostTable, KernelValuesMatchThePaper) {
+  const CostTable t = CostTable::cray_c90();
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kInitialScanStep).per_elem, 3.4);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kInitialScanStep).startup, 35.0);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kInitialPack).per_elem, 8.2);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kInitialPack).startup, 1200.0);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kFindSublistList).per_elem, 11.0);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kFinalScanStep).per_elem, 4.6);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kFinalPack).per_elem, 7.2);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kRestoreList).per_elem, 4.2);
+  EXPECT_DOUBLE_EQ(t.kernel(Kernel::kInitialize).per_elem, 22.0);
+}
+
+TEST(Machine, ChargeKernelUsesKernelCosts) {
+  Machine m;
+  m.charge_kernel(0, Kernel::kInitialScanStep, 100);
+  EXPECT_DOUBLE_EQ(m.cycles(0), 3.4 * 100 + 35.0);
+}
+
+TEST(Machine, KernelBreakdownAccumulates) {
+  MachineConfig cfg;
+  cfg.processors = 2;
+  Machine m(cfg);
+  m.charge_kernel(0, Kernel::kInitialScanStep, 100);
+  m.charge_kernel(1, Kernel::kInitialScanStep, 50);
+  m.charge_kernel(0, Kernel::kFinalPack, 10);
+  const double f = cfg.contention_factor();
+  EXPECT_DOUBLE_EQ(m.kernel_cycles(Kernel::kInitialScanStep),
+                   (3.4 * f * 100 + 35.0) + (3.4 * f * 50 + 35.0));
+  EXPECT_DOUBLE_EQ(m.kernel_cycles(Kernel::kFinalPack), 7.2 * f * 10 + 950.0);
+  EXPECT_DOUBLE_EQ(m.kernel_cycles(Kernel::kRestoreList), 0.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.kernel_cycles(Kernel::kInitialScanStep), 0.0);
+}
+
+}  // namespace
+}  // namespace lr90::vm

@@ -1,0 +1,123 @@
+#include "baselines/miller_reif.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(MillerReif, RankMatchesReferenceAcrossSizes) {
+  Rng gen(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, gen);
+    std::vector<value_t> out(n, -1);
+    vm::Machine m;
+    Rng coins(1000 + n);
+    miller_reif_rank(m, l, out, coins);
+    testutil::expect_scan_eq(out, reference_rank(l));
+  }
+}
+
+TEST(MillerReif, ScanWithRandomValues) {
+  Rng gen(2);
+  for (const std::size_t n : {3u, 10u, 500u, 3000u}) {
+    const LinkedList l = random_list(n, gen, ValueInit::kUniformSmall);
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng coins(n);
+    miller_reif_scan(m, l, std::span<value_t>(out), coins);
+    testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  }
+}
+
+TEST(MillerReif, CoinSeedDoesNotChangeTheAnswer) {
+  Rng gen(3);
+  const LinkedList l = random_list(400, gen, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const std::uint64_t seed : {1ULL, 2ULL, 99ULL, 12345ULL}) {
+    std::vector<value_t> out(400);
+    vm::Machine m;
+    Rng coins(seed);
+    miller_reif_scan(m, l, std::span<value_t>(out), coins);
+    testutil::expect_scan_eq(out, want);
+  }
+}
+
+TEST(MillerReif, MinMaxOperators) {
+  Rng gen(4);
+  const LinkedList l = random_list(600, gen, ValueInit::kSigned);
+  std::vector<value_t> out(600);
+  vm::Machine m;
+  Rng coins(5);
+  miller_reif_scan(m, l, std::span<value_t>(out), coins, OpMin{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMin{}));
+  Rng coins2(6);
+  miller_reif_scan(m, l, std::span<value_t>(out), coins2, OpMax{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMax{}));
+}
+
+TEST(MillerReif, SplicesEveryInteriorVertexExactlyOnce) {
+  Rng gen(5);
+  const std::size_t n = 1000;
+  const LinkedList l = random_list(n, gen);
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng coins(7);
+  const AlgoStats s = miller_reif_rank(m, l, out, coins);
+  EXPECT_EQ(s.splices, n - 2);  // everything except head and tail
+}
+
+TEST(MillerReif, AboutFourAttemptsPerSplice) {
+  // 1/4 of active vertices are spliced per round on average, so the total
+  // active-vertex steps should be near 4n (paper Section 2.3).
+  Rng gen(6);
+  const std::size_t n = 20000;
+  const LinkedList l = random_list(n, gen);
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng coins(8);
+  const AlgoStats s = miller_reif_rank(m, l, out, coins);
+  const double steps_per_vertex =
+      static_cast<double>(s.link_steps) / static_cast<double>(n);
+  EXPECT_GT(steps_per_vertex, 3.0);
+  EXPECT_LT(steps_per_vertex, 5.5);
+}
+
+TEST(MillerReif, RoundsAreLogarithmicish) {
+  Rng gen(7);
+  const std::size_t n = 10000;
+  const LinkedList l = random_list(n, gen);
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng coins(9);
+  const AlgoStats s = miller_reif_rank(m, l, out, coins);
+  // ~log_{4/3}(n) ~= 32 rounds for n = 10^4, plus straggler rounds.
+  EXPECT_GT(s.rounds, 15u);
+  EXPECT_LT(s.rounds, 150u);
+}
+
+TEST(MillerReif, SequentialLayoutWorks) {
+  const LinkedList l = sequential_list(512, ValueInit::kOnes, nullptr);
+  std::vector<value_t> out(512);
+  vm::Machine m;
+  Rng coins(10);
+  miller_reif_rank(m, l, out, coins);
+  testutil::expect_scan_eq(out, reference_rank(l));
+}
+
+TEST(MillerReif, SpaceIsLinearNotConstant) {
+  Rng gen(8);
+  const std::size_t n = 2048;
+  const LinkedList l = random_list(n, gen);
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng coins(11);
+  const AlgoStats s = miller_reif_rank(m, l, out, coins);
+  EXPECT_GE(s.extra_words, 2 * n);  // the Table II "> 2n" row
+}
+
+}  // namespace
+}  // namespace lr90

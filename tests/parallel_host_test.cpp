@@ -1,0 +1,103 @@
+#include "core/parallel_host.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(ParallelHost, RankMatchesReferenceAcrossSizes) {
+  Rng rng(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, rng);
+    const auto got = host_list_rank(l);
+    testutil::expect_scan_eq(got, reference_rank(l));
+  }
+}
+
+TEST(ParallelHost, ScanMatchesReference) {
+  Rng rng(2);
+  for (const std::size_t n : {3u, 100u, 10000u, 100000u}) {
+    const LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
+    const auto got = host_list_scan(l);
+    testutil::expect_scan_eq(got, testutil::expected_scan(l, OpPlus{}));
+  }
+}
+
+TEST(ParallelHost, ExplicitThreadCounts) {
+  Rng rng(3);
+  const LinkedList l = random_list(20000, rng, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    HostOptions opt;
+    opt.threads = threads;
+    testutil::expect_scan_eq(host_list_scan(l, OpPlus{}, opt), want);
+  }
+}
+
+TEST(ParallelHost, MinMaxXorOperators) {
+  Rng rng(4);
+  const LinkedList l = random_list(5000, rng, ValueInit::kSigned);
+  HostOptions opt;
+  opt.threads = 4;
+  testutil::expect_scan_eq(host_list_scan(l, OpMin{}, opt),
+                           testutil::expected_scan(l, OpMin{}));
+  testutil::expect_scan_eq(host_list_scan(l, OpMax{}, opt),
+                           testutil::expected_scan(l, OpMax{}));
+  testutil::expect_scan_eq(host_list_scan(l, OpXor{}, opt),
+                           testutil::expected_scan(l, OpXor{}));
+}
+
+TEST(ParallelHost, ManySublistsPerThread) {
+  Rng rng(5);
+  const LinkedList l = random_list(50000, rng);
+  HostOptions opt;
+  opt.threads = 2;
+  opt.sublists_per_thread = 500;
+  testutil::expect_scan_eq(host_list_rank(l, opt), reference_rank(l));
+}
+
+TEST(ParallelHost, SublistCountClampedForTinyLists) {
+  Rng rng(6);
+  const LinkedList l = random_list(6, rng, ValueInit::kUniformSmall);
+  HostOptions opt;
+  opt.threads = 8;
+  opt.sublists_per_thread = 1000;
+  testutil::expect_scan_eq(host_list_scan(l, OpPlus{}, opt),
+                           testutil::expected_scan(l, OpPlus{}));
+}
+
+TEST(ParallelHost, SeedInvariance) {
+  Rng rng(7);
+  const LinkedList l = random_list(30000, rng, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const std::uint64_t seed : {1ULL, 42ULL, 777ULL}) {
+    HostOptions opt;
+    opt.seed = seed;
+    opt.threads = 3;
+    testutil::expect_scan_eq(host_list_scan(l, OpPlus{}, opt), want);
+  }
+}
+
+TEST(ParallelHost, InputUntouched) {
+  Rng rng(8);
+  const LinkedList l = random_list(10000, rng, ValueInit::kUniformSmall);
+  const LinkedList copy = l;
+  HostOptions opt;
+  opt.threads = 4;
+  host_list_scan(l, OpPlus{}, opt);
+  EXPECT_TRUE(lists_equal(l, copy));
+}
+
+TEST(ParallelHost, SequentialLayout) {
+  const LinkedList l = sequential_list(8192);
+  HostOptions opt;
+  opt.threads = 4;
+  testutil::expect_scan_eq(host_list_rank(l, opt), reference_rank(l));
+}
+
+}  // namespace
+}  // namespace lr90

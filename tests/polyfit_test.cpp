@@ -1,0 +1,74 @@
+#include "support/polyfit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace lr90 {
+namespace {
+
+TEST(SolveLinear, Identity) {
+  const auto x = solve_linear({1, 0, 0, 1}, {3, 4});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(SolveLinear, KnownSystem) {
+  // 2a + b = 5; a - b = 1  =>  a = 2, b = 1.
+  const auto x = solve_linear({2, 1, 1, -1}, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinear, NeedsPivoting) {
+  // First pivot is zero; partial pivoting must handle it.
+  const auto x = solve_linear({0, 1, 1, 0}, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Polyfit, RecoversCubicExactly) {
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 6; ++i) {
+    const double x = i;
+    xs.push_back(x);
+    ys.push_back(1.0 - 2.0 * x + 0.5 * x * x + 0.25 * x * x * x);
+  }
+  const Polynomial p = polyfit(xs, ys, 3);
+  ASSERT_EQ(p.degree(), 3);
+  EXPECT_NEAR(p.coeffs[0], 1.0, 1e-9);
+  EXPECT_NEAR(p.coeffs[1], -2.0, 1e-9);
+  EXPECT_NEAR(p.coeffs[2], 0.5, 1e-9);
+  EXPECT_NEAR(p.coeffs[3], 0.25, 1e-9);
+}
+
+TEST(Polyfit, DegreeZeroIsMean) {
+  std::vector<double> xs{0, 1, 2, 3}, ys{2, 4, 6, 8};
+  const Polynomial p = polyfit(xs, ys, 0);
+  EXPECT_NEAR(p.coeffs[0], 5.0, 1e-12);
+}
+
+TEST(Polyfit, EvaluateMatchesHorner) {
+  Polynomial p;
+  p.coeffs = {1.0, 2.0, 3.0};  // 1 + 2x + 3x^2
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(1.0), 6.0);
+  EXPECT_DOUBLE_EQ(p(2.0), 17.0);
+  EXPECT_DOUBLE_EQ(p(-1.0), 2.0);
+}
+
+TEST(Polyfit, OverdeterminedLeastSquares) {
+  // Noisy line, quadratic fit: the quadratic coefficient should be small.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(i * 0.25);
+    ys.push_back(7.0 + 2.0 * i * 0.25 + ((i % 2) ? 1e-3 : -1e-3));
+  }
+  const Polynomial p = polyfit(xs, ys, 2);
+  EXPECT_NEAR(p.coeffs[1], 2.0, 1e-2);
+  EXPECT_NEAR(p.coeffs[2], 0.0, 1e-2);
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,248 @@
+// Property-based tests: invariants that must hold for every algorithm,
+// every list shape, every operator, and every seed. Uses parameterized
+// gtest suites to sweep the cross products.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/anderson_miller.hpp"
+#include "baselines/miller_reif.hpp"
+#include "baselines/serial.hpp"
+#include "baselines/wyllie.hpp"
+#include "core/api.hpp"
+#include "core/parallel_host.hpp"
+#include "core/reid_miller.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+enum class Shape { kRandom, kSequential, kReversed, kBlocked };
+
+LinkedList make_shape(Shape shape, std::size_t n, ValueInit init, Rng& rng) {
+  switch (shape) {
+    case Shape::kRandom: return random_list(n, rng, init);
+    case Shape::kSequential: return sequential_list(n, init, &rng);
+    case Shape::kReversed: return reversed_list(n, init, &rng);
+    case Shape::kBlocked:
+      return blocked_list(n, std::max<std::size_t>(1, n / 16), rng, init);
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------
+// Every method x every shape x several sizes: rank == reference.
+// ---------------------------------------------------------------------
+using MethodShape = std::tuple<Method, Shape, std::size_t>;
+
+class RankProperty : public ::testing::TestWithParam<MethodShape> {};
+
+TEST_P(RankProperty, MatchesReference) {
+  const auto [method, shape, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<int>(shape));
+  const LinkedList l = make_shape(shape, n, ValueInit::kOnes, rng);
+  SimOptions opt;
+  opt.method = method;
+  const SimResult r = sim_list_rank(l, opt);
+  testutil::expect_scan_eq(r.scan, reference_rank(l));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethodsShapesSizes, RankProperty,
+    ::testing::Combine(
+        ::testing::Values(Method::kSerial, Method::kWyllie,
+                          Method::kMillerReif, Method::kAndersonMiller,
+                          Method::kReidMiller, Method::kReidMillerEncoded),
+        ::testing::Values(Shape::kRandom, Shape::kSequential,
+                          Shape::kReversed, Shape::kBlocked),
+        ::testing::Values<std::size_t>(1, 2, 3, 13, 128, 1500)));
+
+// ---------------------------------------------------------------------
+// Scan under every operator agrees with the reference walk.
+// ---------------------------------------------------------------------
+class OperatorProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+template <class Op>
+void check_all_scan_algorithms(const LinkedList& l, Op op) {
+  const auto want = testutil::expected_scan(l, op);
+  const std::size_t n = l.size();
+  vm::Machine m;
+  std::vector<value_t> out(n);
+
+  serial_scan(m, 0, l, std::span<value_t>(out), op);
+  testutil::expect_scan_eq(out, want);
+
+  wyllie_scan(m, l, std::span<value_t>(out), op);
+  testutil::expect_scan_eq(out, want);
+
+  Rng c1(1);
+  miller_reif_scan(m, l, std::span<value_t>(out), c1, op);
+  testutil::expect_scan_eq(out, want);
+
+  Rng c2(2);
+  anderson_miller_scan(m, l, std::span<value_t>(out), c2, op);
+  testutil::expect_scan_eq(out, want);
+
+  LinkedList work = l;
+  Rng c3(3);
+  reid_miller_scan(m, work, std::span<value_t>(out), c3, op);
+  testutil::expect_scan_eq(out, want);
+  EXPECT_TRUE(lists_equal(work, l));
+
+  HostOptions hopt;
+  hopt.threads = 3;
+  testutil::expect_scan_eq(host_list_scan(l, op, hopt), want);
+}
+
+TEST_P(OperatorProperty, AllAlgorithmsAgree) {
+  const auto [op_id, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(op_id) * 1000 + n);
+  const LinkedList l = make_shape(Shape::kRandom, n, ValueInit::kSigned, rng);
+  switch (op_id) {
+    case 0: check_all_scan_algorithms(l, OpPlus{}); break;
+    case 1: check_all_scan_algorithms(l, OpMin{}); break;
+    case 2: check_all_scan_algorithms(l, OpMax{}); break;
+    case 3: check_all_scan_algorithms(l, OpXor{}); break;
+    default: FAIL();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsTimesSizes, OperatorProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<std::size_t>(2, 9, 257, 2048)));
+
+// ---------------------------------------------------------------------
+// Exhaustive tiny lists: every permutation of up to 6 vertices.
+// ---------------------------------------------------------------------
+TEST(ExhaustiveTiny, EveryPermutationRanksCorrectly) {
+  for (std::size_t n = 1; n <= 6; ++n) {
+    std::vector<index_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<index_t>(i);
+    do {
+      const LinkedList l = list_from_order(order);
+      const auto want = reference_rank(l);
+      SimOptions opt;
+      opt.method = Method::kReidMiller;
+      const SimResult rm = sim_list_rank(l, opt);
+      ASSERT_EQ(rm.scan, want);
+      opt.method = Method::kMillerReif;
+      ASSERT_EQ(sim_list_rank(l, opt).scan, want);
+      opt.method = Method::kAndersonMiller;
+      ASSERT_EQ(sim_list_rank(l, opt).scan, want);
+      opt.method = Method::kWyllie;
+      ASSERT_EQ(sim_list_rank(l, opt).scan, want);
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Multiprocessor sweep: methods that support p > 1 x processor counts.
+// ---------------------------------------------------------------------
+using MethodProcs = std::tuple<Method, unsigned, std::size_t>;
+
+class MultiprocProperty : public ::testing::TestWithParam<MethodProcs> {};
+
+TEST_P(MultiprocProperty, CorrectOnEveryProcessorCount) {
+  const auto [method, procs, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(procs) * 7919 + n);
+  const LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
+  SimOptions opt;
+  opt.method = method;
+  opt.processors = procs;
+  const SimResult r = sim_list_scan(l, opt);
+  testutil::expect_scan_eq(r.scan, testutil::expected_scan(l, OpPlus{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodsTimesProcs, MultiprocProperty,
+    ::testing::Combine(::testing::Values(Method::kWyllie,
+                                         Method::kReidMiller),
+                       ::testing::Values(1u, 2u, 3u, 5u, 8u, 16u),
+                       ::testing::Values<std::size_t>(37, 4096, 50000)));
+
+// ---------------------------------------------------------------------
+// Reid-Miller option matrix: schedule kind x explicit m choices.
+// ---------------------------------------------------------------------
+using RmConfig = std::tuple<ScheduleKind, double>;
+
+class RmOptionProperty : public ::testing::TestWithParam<RmConfig> {};
+
+TEST_P(RmOptionProperty, CorrectAndRestoring) {
+  const auto [kind, m_frac] = GetParam();
+  const std::size_t n = 8000;
+  Rng rng(static_cast<std::uint64_t>(m_frac * 1000) + 5);
+  const LinkedList l = random_list(n, rng, ValueInit::kSigned);
+  LinkedList work = l;
+  std::vector<value_t> out(n);
+  vm::Machine machine;
+  Rng r(17);
+  ReidMillerOptions opt;
+  opt.schedule = kind;
+  opt.m = m_frac > 0 ? m_frac * static_cast<double>(n) : 0;
+  reid_miller_scan(machine, work, std::span<value_t>(out), r, OpPlus{}, opt);
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  EXPECT_TRUE(lists_equal(work, l));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchedulesTimesM, RmOptionProperty,
+    ::testing::Combine(::testing::Values(ScheduleKind::kOptimal,
+                                         ScheduleKind::kUniform,
+                                         ScheduleKind::kNone),
+                       ::testing::Values(0.0, 0.001, 0.02, 0.25, 0.9)));
+
+// ---------------------------------------------------------------------
+// Structural invariants.
+// ---------------------------------------------------------------------
+class SeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedProperty, ScanOfOnesEqualsRank) {
+  Rng rng(GetParam());
+  LinkedList l = random_list(3000, rng, ValueInit::kOnes);
+  SimOptions opt;
+  opt.method = Method::kReidMiller;
+  opt.seed = GetParam();
+  const SimResult rank = sim_list_rank(l, opt);
+  const SimResult scan = sim_list_scan(l, opt);
+  testutil::expect_scan_eq(scan.scan, rank.scan);
+}
+
+TEST_P(SeedProperty, XorScanAppliedTwiceRecoversPrefixParity) {
+  // xor-scan is its own "inverse" check: out[v] ^ value[v] equals the
+  // inclusive prefix, and the inclusive prefix of the tail equals the xor
+  // of everything except the tail... a cheap end-to-end consistency chain.
+  Rng rng(GetParam() + 100);
+  const LinkedList l = random_list(1024, rng, ValueInit::kUniformSmall);
+  const auto out = host_list_scan(l, OpXor{});
+  value_t all = 0;
+  for (const value_t v : l.value) all ^= v;
+  const index_t tail = l.find_tail();
+  EXPECT_EQ(out[tail] ^ l.value[tail], all);
+  EXPECT_EQ(out[l.head], 0);
+}
+
+TEST_P(SeedProperty, RanksAreAPermutationOfZeroToNMinusOne) {
+  Rng rng(GetParam() + 200);
+  const LinkedList l = random_list(4096, rng);
+  SimOptions opt;
+  opt.method = Method::kReidMillerEncoded;
+  opt.seed = GetParam();
+  const SimResult r = sim_list_rank(l, opt);
+  std::vector<char> seen(4096, 0);
+  for (const value_t v : r.scan) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 4096);
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,295 @@
+#include "core/reid_miller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(ReidMiller, RankMatchesReferenceAcrossSizes) {
+  Rng gen(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, gen);
+    LinkedList work = l;
+    std::vector<value_t> out(n, -1);
+    vm::Machine m;
+    Rng r(100 + n);
+    reid_miller_rank(m, work, out, r);
+    testutil::expect_scan_eq(out, reference_rank(l));
+    EXPECT_TRUE(lists_equal(work, l)) << "restoration failed, n=" << n;
+  }
+}
+
+TEST(ReidMiller, ScanWithRandomValues) {
+  Rng gen(2);
+  for (const std::size_t n : {5u, 64u, 1000u, 20000u}) {
+    const LinkedList l = random_list(n, gen, ValueInit::kUniformSmall);
+    LinkedList work = l;
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(n);
+    reid_miller_scan(m, work, std::span<value_t>(out), r);
+    testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+    EXPECT_TRUE(lists_equal(work, l));
+  }
+}
+
+TEST(ReidMiller, RestoresListExactlyEvenWithExplicitM) {
+  Rng gen(3);
+  const LinkedList l = random_list(5000, gen, ValueInit::kSigned);
+  for (const double m_opt : {1.0, 2.0, 10.0, 100.0, 2000.0, 4999.0}) {
+    LinkedList work = l;
+    std::vector<value_t> out(5000);
+    vm::Machine m;
+    Rng r(static_cast<std::uint64_t>(m_opt));
+    ReidMillerOptions opt;
+    opt.m = m_opt;
+    opt.s1 = 8;
+    reid_miller_scan(m, work, std::span<value_t>(out), r, OpPlus{}, opt);
+    testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+    EXPECT_TRUE(lists_equal(work, l)) << "m=" << m_opt;
+  }
+}
+
+TEST(ReidMiller, MinMaxXorOperators) {
+  Rng gen(4);
+  const LinkedList l = random_list(3000, gen, ValueInit::kSigned);
+  LinkedList work = l;
+  std::vector<value_t> out(3000);
+  vm::Machine m;
+  Rng r(5);
+  reid_miller_scan(m, work, std::span<value_t>(out), r, OpMin{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMin{}));
+  reid_miller_scan(m, work, std::span<value_t>(out), r, OpMax{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMax{}));
+  reid_miller_scan(m, work, std::span<value_t>(out), r, OpXor{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpXor{}));
+}
+
+TEST(ReidMiller, MultiprocessorCorrectAndFaster) {
+  Rng gen(5);
+  const std::size_t n = 100000;
+  const LinkedList l = random_list(n, gen);
+  const auto want = reference_rank(l);
+  double prev_cycles = 0.0;
+  for (const unsigned p : {1u, 2u, 4u, 8u}) {
+    LinkedList work = l;
+    std::vector<value_t> out(n);
+    vm::MachineConfig cfg;
+    cfg.processors = p;
+    vm::Machine m(cfg);
+    Rng r(6);
+    reid_miller_rank(m, work, out, r);
+    testutil::expect_scan_eq(out, want);
+    if (p > 1) {
+      EXPECT_LT(m.max_cycles(), prev_cycles) << "p=" << p;
+    }
+    prev_cycles = m.max_cycles();
+  }
+}
+
+TEST(ReidMiller, ForcedRecursionInPhase2) {
+  Rng gen(6);
+  const std::size_t n = 50000;
+  const LinkedList l = random_list(n, gen, ValueInit::kUniformSmall);
+  LinkedList work = l;
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng r(7);
+  ReidMillerOptions opt;
+  opt.m = 8000;          // large reduced list...
+  opt.s1 = 4;
+  opt.serial_threshold = 16;   // ...forced through recursion
+  opt.wyllie_threshold = 64;
+  reid_miller_scan(m, work, std::span<value_t>(out), r, OpPlus{}, opt);
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  EXPECT_TRUE(lists_equal(work, l));
+}
+
+TEST(ReidMiller, WylliePhase2Path) {
+  Rng gen(7);
+  const std::size_t n = 30000;
+  const LinkedList l = random_list(n, gen);
+  LinkedList work = l;
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  Rng r(8);
+  ReidMillerOptions opt;
+  opt.m = 3000;
+  opt.s1 = 5;
+  opt.serial_threshold = 100;  // reduced list (3001) goes to Wyllie
+  reid_miller_rank(m, work, out, r, opt);
+  testutil::expect_scan_eq(out, reference_rank(l));
+}
+
+TEST(ReidMiller, ScheduleKindsAllCorrect) {
+  Rng gen(8);
+  const std::size_t n = 20000;
+  const LinkedList l = random_list(n, gen, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const ScheduleKind kind :
+       {ScheduleKind::kOptimal, ScheduleKind::kUniform, ScheduleKind::kNone}) {
+    LinkedList work = l;
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(9);
+    ReidMillerOptions opt;
+    opt.schedule = kind;
+    reid_miller_scan(m, work, std::span<value_t>(out), r, OpPlus{}, opt);
+    testutil::expect_scan_eq(out, want);
+    EXPECT_TRUE(lists_equal(work, l));
+  }
+}
+
+TEST(ReidMiller, OptimalScheduleBeatsNoBalancing) {
+  Rng gen(9);
+  const std::size_t n = 200000;
+  const LinkedList l = random_list(n, gen);
+  auto cycles_for = [&](ScheduleKind kind) {
+    LinkedList work = l;
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(10);
+    ReidMillerOptions opt;
+    opt.schedule = kind;
+    reid_miller_rank(m, work, out, r, opt);
+    return m.max_cycles();
+  };
+  EXPECT_LT(cycles_for(ScheduleKind::kOptimal),
+            cycles_for(ScheduleKind::kNone));
+}
+
+TEST(ReidMiller, EncodedRankMatchesReference) {
+  Rng gen(10);
+  for (const std::size_t n : {5u, 100u, 2000u, 60000u}) {
+    const LinkedList l = random_list(n, gen);
+    LinkedList ones = l;
+    ones.value.assign(n, 1);
+    std::vector<packed_t> packed = encode_list(ones);
+    const std::vector<packed_t> orig = packed;
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(11);
+    reid_miller_rank_encoded(m, packed, l.head, std::span<value_t>(out), r);
+    testutil::expect_scan_eq(out, reference_rank(l));
+    EXPECT_EQ(packed, orig) << "packed restoration failed, n=" << n;
+  }
+}
+
+TEST(ReidMiller, EncodedIsCheaperThanGenericRank) {
+  Rng gen(11);
+  const std::size_t n = 500000;
+  const LinkedList l = random_list(n, gen);
+  double generic, encoded;
+  {
+    LinkedList work = l;
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(12);
+    reid_miller_rank(m, work, out, r);
+    generic = m.max_cycles();
+  }
+  {
+    LinkedList ones = l;
+    ones.value.assign(n, 1);
+    std::vector<packed_t> packed = encode_list(ones);
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(12);
+    reid_miller_rank_encoded(m, packed, l.head, std::span<value_t>(out), r);
+    encoded = m.max_cycles();
+  }
+  EXPECT_LT(encoded, generic * 0.85);
+}
+
+TEST(ReidMiller, TailHintGivesSameAnswer) {
+  Rng gen(12);
+  const LinkedList l = random_list(4000, gen, ValueInit::kUniformSmall);
+  const index_t tail = l.find_tail();
+  LinkedList work = l;
+  std::vector<value_t> out(4000);
+  vm::Machine m;
+  Rng r(13);
+  reid_miller_scan(m, work, std::span<value_t>(out), r, OpPlus{}, {}, tail);
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+}
+
+TEST(ReidMiller, SeedInvariance) {
+  Rng gen(13);
+  const LinkedList l = random_list(9000, gen, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+  for (const std::uint64_t seed : {3ULL, 33ULL, 333ULL}) {
+    LinkedList work = l;
+    std::vector<value_t> out(9000);
+    vm::Machine m;
+    Rng r(seed);
+    reid_miller_scan(m, work, std::span<value_t>(out), r);
+    testutil::expect_scan_eq(out, want);
+  }
+}
+
+TEST(ReidMiller, SequentialAndBlockedLayouts) {
+  Rng gen(14);
+  const LinkedList seq = sequential_list(10000);
+  LinkedList w1 = seq;
+  std::vector<value_t> out(10000);
+  vm::Machine m;
+  Rng r(15);
+  reid_miller_rank(m, w1, out, r);
+  testutil::expect_scan_eq(out, reference_rank(seq));
+
+  const LinkedList blocked = blocked_list(10000, 64, gen);
+  LinkedList w2 = blocked;
+  Rng r2(16);
+  reid_miller_rank(m, w2, out, r2);
+  testutil::expect_scan_eq(out, reference_rank(blocked));
+}
+
+TEST(ReidMiller, AsymptoticCyclesPerVertexNearPaper) {
+  // Paper: 7.4 cycles/vertex (scan) and 5.1 (encoded rank) on 1 processor.
+  Rng gen(15);
+  const std::size_t n = 2000000;
+  const LinkedList l = random_list(n, gen, ValueInit::kOnes);
+  {
+    LinkedList work = l;
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(17);
+    reid_miller_scan(m, work, std::span<value_t>(out), r);
+    const double cpv = m.max_cycles() / static_cast<double>(n);
+    EXPECT_GT(cpv, 7.4 * 0.85);
+    EXPECT_LT(cpv, 7.4 * 1.35);
+  }
+  {
+    std::vector<packed_t> packed = encode_list(l);
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    Rng r(17);
+    reid_miller_rank_encoded(m, packed, l.head, std::span<value_t>(out), r);
+    const double cpv = m.max_cycles() / static_cast<double>(n);
+    EXPECT_GT(cpv, 5.1 * 0.85);
+    EXPECT_LT(cpv, 5.1 * 1.35);
+  }
+}
+
+TEST(ReidMiller, StatsAreFilled) {
+  Rng gen(16);
+  const LinkedList l = random_list(50000, gen);
+  LinkedList work = l;
+  std::vector<value_t> out(50000);
+  vm::Machine m;
+  Rng r(18);
+  const AlgoStats s = reid_miller_rank(m, work, out, r);
+  EXPECT_GT(s.rounds, 0u);
+  EXPECT_GT(s.link_steps, 50000u);       // both phases traverse every link
+  EXPECT_LT(s.link_steps, 4u * 50000u);  // ...but with bounded overshoot
+  EXPECT_GT(s.sim_cycles, 0.0);
+  EXPECT_GT(s.extra_words, 0u);
+  EXPECT_LT(s.extra_words, 50000u);  // O(m), far below O(n)
+}
+
+}  // namespace
+}  // namespace lr90

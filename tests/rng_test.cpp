@@ -1,0 +1,138 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace lr90 {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234;
+  std::uint64_t s2 = 1234;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformBoundOneIsAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, CoinBiasRoughlyHolds) {
+  Rng rng(5);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.coin(0.9);
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.9, 0.02);
+}
+
+TEST(Rng, UnbiasedCoinRoughlyFair) {
+  Rng rng(6);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.coin();
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.5, 0.02);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(7);
+  std::vector<std::uint32_t> p(257);
+  rng.permutation(p);
+  std::vector<std::uint32_t> sorted(p);
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationEmptyAndSingle) {
+  Rng rng(8);
+  std::vector<std::uint32_t> empty;
+  rng.permutation(empty);  // must not crash
+  std::vector<std::uint32_t> one(1);
+  rng.permutation(one);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(9);
+  std::vector<std::uint32_t> p(100);
+  rng.permutation(p);
+  int fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) fixed += p[i] == i;
+  EXPECT_LT(fixed, 10);  // expected ~1 fixed point
+}
+
+TEST(Rng, SampleDistinctProducesDistinctInRange) {
+  Rng rng(10);
+  const auto s = rng.sample_distinct(50, 200);
+  EXPECT_EQ(s.size(), 50u);
+  std::set<std::uint32_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 50u);
+  for (const auto v : s) EXPECT_LT(v, 200u);
+}
+
+TEST(Rng, SampleDistinctFullRange) {
+  Rng rng(11);
+  const auto s = rng.sample_distinct(32, 32);
+  std::set<std::uint32_t> set(s.begin(), s.end());
+  EXPECT_EQ(set.size(), 32u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic) {
+  Rng a(12);
+  Rng c1 = a.split();
+  Rng a2(12);
+  Rng c2 = a2.split();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,87 @@
+#include "baselines/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(Serial, RankMatchesReferenceAcrossSizes) {
+  Rng rng(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, rng);
+    std::vector<value_t> out(n, -1);
+    vm::Machine m;
+    serial_rank(m, 0, l, out);
+    const auto want = reference_rank(l);
+    testutil::expect_scan_eq(out, want);
+  }
+}
+
+TEST(Serial, ScanMatchesReferenceWithRandomValues) {
+  Rng rng(2);
+  for (const std::size_t n : {1u, 5u, 100u, 1000u}) {
+    const LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
+    std::vector<value_t> out(n, -1);
+    vm::Machine m;
+    serial_scan(m, 0, l, std::span<value_t>(out));
+    testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  }
+}
+
+TEST(Serial, ScanSupportsMinMaxXor) {
+  Rng rng(3);
+  const LinkedList l = random_list(300, rng, ValueInit::kSigned);
+  vm::Machine m;
+  std::vector<value_t> out(300);
+  serial_scan(m, 0, l, std::span<value_t>(out), OpMin{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMin{}));
+  serial_scan(m, 0, l, std::span<value_t>(out), OpMax{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMax{}));
+  serial_scan(m, 0, l, std::span<value_t>(out), OpXor{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpXor{}));
+}
+
+TEST(Serial, ChargesThePaperCyclesPerVertex) {
+  Rng rng(4);
+  const std::size_t n = 10000;
+  const LinkedList l = random_list(n, rng);
+  std::vector<value_t> out(n);
+  {
+    vm::Machine m;
+    serial_rank(m, 0, l, out);
+    EXPECT_NEAR(m.max_cycles(), 42.1 * n + 100.0, 1e-6);
+    // Table I: 177 ns/vertex asymptotically.
+    EXPECT_NEAR(m.elapsed_ns() / n, 177.0, 2.0);
+  }
+  {
+    vm::Machine m;
+    serial_scan(m, 0, l, std::span<value_t>(out));
+    EXPECT_NEAR(m.elapsed_ns() / n, 183.0, 2.0);
+  }
+}
+
+TEST(Serial, HeadGetsIdentity) {
+  Rng rng(5);
+  const LinkedList l = random_list(50, rng, ValueInit::kUniformSmall);
+  std::vector<value_t> out(50);
+  serial_scan_host(l, std::span<value_t>(out));
+  EXPECT_EQ(out[l.head], 0);
+}
+
+TEST(Serial, StatsReportLinkSteps) {
+  Rng rng(6);
+  const LinkedList l = random_list(128, rng);
+  std::vector<value_t> out(128);
+  vm::Machine m;
+  const AlgoStats s = serial_rank(m, 0, l, out);
+  EXPECT_EQ(s.link_steps, 128u);
+  EXPECT_EQ(s.rounds, 1u);
+  EXPECT_EQ(s.extra_words, 0u);
+}
+
+}  // namespace
+}  // namespace lr90

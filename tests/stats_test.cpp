@@ -1,0 +1,75 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lr90 {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of that classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5}, ys;
+  for (const double x : xs) ys.push_back(2.5 * x - 1.0);
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, ConstantData) {
+  std::vector<double> xs{1, 2, 3}, ys{4, 4, 4};
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 0.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);  // degenerate ss_tot treated as perfect
+}
+
+TEST(LinearFit, NoisyDataReasonableR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i + ((i % 2) ? 0.5 : -0.5));
+  }
+  const LinearFit f = linear_fit(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 0.01);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,107 @@
+#include "vm/striping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lr90::vm {
+namespace {
+
+TEST(StripMining, RoundTripLaneSlot) {
+  const StripMining s(1000, 128);
+  for (std::size_t vp = 0; vp < 1000; vp += 17) {
+    EXPECT_EQ(s.vp_at(s.lane_of(vp), s.slot_of(vp)), vp);
+  }
+}
+
+TEST(StripMining, InterleavedAssignment) {
+  const StripMining s(10, 4);
+  EXPECT_EQ(s.lane_of(0), 0u);
+  EXPECT_EQ(s.lane_of(1), 1u);
+  EXPECT_EQ(s.lane_of(4), 0u);
+  EXPECT_EQ(s.slot_of(4), 1u);
+}
+
+TEST(StripMining, StripCountAndLengths) {
+  const StripMining s(10, 4);
+  EXPECT_EQ(s.strips(), 3u);
+  EXPECT_EQ(s.strip_length(0), 4u);
+  EXPECT_EQ(s.strip_length(1), 4u);
+  EXPECT_EQ(s.strip_length(2), 2u);  // the short final strip
+  EXPECT_EQ(s.strip_length(3), 0u);
+}
+
+TEST(StripMining, SlicesCoverEverything) {
+  const StripMining s(1001, 128);
+  std::size_t total = 0;
+  for (std::size_t lane = 0; lane < 128; ++lane)
+    total += s.slice(lane).count;
+  EXPECT_EQ(total, 1001u);
+}
+
+TEST(StripMining, BalanceWithinOne) {
+  const StripMining s(1000, 128);
+  std::size_t mn = 1000, mx = 0;
+  for (std::size_t lane = 0; lane < 128; ++lane) {
+    mn = std::min(mn, s.slice(lane).count);
+    mx = std::max(mx, s.slice(lane).count);
+  }
+  EXPECT_LE(mx - mn, 1u);
+}
+
+TEST(LoopRaking, ContiguousBlocks) {
+  const LoopRaking r(1000, 128);
+  for (std::size_t lane = 0; lane < 128; ++lane) {
+    for (std::size_t vp = r.begin_of(lane); vp < r.end_of(lane); ++vp) {
+      EXPECT_EQ(r.lane_of(vp), lane);
+    }
+  }
+}
+
+TEST(LoopRaking, BlocksPartition) {
+  const LoopRaking r(1001, 16);
+  std::size_t total = 0;
+  std::size_t prev_end = 0;
+  for (std::size_t lane = 0; lane < 16; ++lane) {
+    EXPECT_EQ(r.begin_of(lane), prev_end);
+    prev_end = r.end_of(lane);
+    total += r.slice(lane).count;
+  }
+  EXPECT_EQ(prev_end, 1001u);
+  EXPECT_EQ(total, 1001u);
+}
+
+TEST(LoopRaking, SlotWithinBlock) {
+  const LoopRaking r(100, 10);
+  EXPECT_EQ(r.block(), 10u);
+  EXPECT_EQ(r.lane_of(37), 3u);
+  EXPECT_EQ(r.slot_of(37), 7u);
+}
+
+TEST(LoopRaking, MoreLanesThanWork) {
+  const LoopRaking r(3, 8);
+  std::size_t nonempty = 0;
+  for (std::size_t lane = 0; lane < 8; ++lane)
+    nonempty += r.slice(lane).count > 0;
+  EXPECT_EQ(nonempty, 3u);  // block size 1
+}
+
+TEST(Striping, EveryVpAssignedExactlyOnceBothSchemes) {
+  const std::size_t n = 777, lanes = 32;
+  const StripMining s(n, lanes);
+  const LoopRaking r(n, lanes);
+  std::vector<int> seen_s(n, 0), seen_r(n, 0);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t slot = 0; s.in_range(lane, slot); ++slot)
+      seen_s[s.vp_at(lane, slot)]++;
+    for (std::size_t vp = r.begin_of(lane); vp < r.end_of(lane); ++vp)
+      seen_r[vp]++;
+  }
+  for (std::size_t vp = 0; vp < n; ++vp) {
+    EXPECT_EQ(seen_s[vp], 1) << vp;
+    EXPECT_EQ(seen_r[vp], 1) << vp;
+  }
+}
+
+}  // namespace
+}  // namespace lr90::vm

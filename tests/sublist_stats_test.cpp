@@ -1,0 +1,106 @@
+#include "analysis/sublist_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "lists/generators.hpp"
+#include "support/stats.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(SublistStats, GSurvivorsAtZeroIsMPlusOne) {
+  EXPECT_DOUBLE_EQ(g_survivors(10000, 200, 0), 201.0);
+}
+
+TEST(SublistStats, GSurvivorsDecaysExponentially) {
+  const double n = 10000, m = 200;
+  const double mean = n / m;
+  EXPECT_NEAR(g_survivors(n, m, mean), 201.0 / std::exp(1.0), 1e-9);
+  EXPECT_LT(g_survivors(n, m, 10 * mean), 0.01);
+}
+
+TEST(SublistStats, ExpectedShortestAndLongestFormulas) {
+  const double n = 10000, m = 200;
+  EXPECT_NEAR(expected_shortest(n, m), n / m * std::log(201.0 / 200.5), 1e-9);
+  EXPECT_NEAR(expected_longest(n, m), n / m * std::log(402.0), 1e-9);
+  EXPECT_LT(expected_shortest(n, m), n / m);
+  EXPECT_GT(expected_longest(n, m), n / m);
+}
+
+TEST(SublistStats, JthShortestIsMonotoneInJ) {
+  const double n = 10000, m = 100;
+  double prev = 0;
+  for (double j = 0; j <= m; j += 10) {
+    const double x = expected_jth_shortest(n, m, j);
+    EXPECT_GT(x, prev);
+    prev = x;
+  }
+}
+
+TEST(SublistStats, MedianNearLn2Mean) {
+  // The median of an exponential with mean n/m is (n/m) ln 2.
+  const double n = 10000, m = 400;
+  const double median = expected_jth_shortest(n, m, m / 2.0);
+  EXPECT_NEAR(median, n / m * std::log(2.0), n / m * 0.01);
+}
+
+TEST(SublistStats, ObservedLengthsPartitionTheList) {
+  Rng rng(1);
+  const LinkedList l = random_list(1000, rng);
+  Rng picker(2);
+  std::vector<index_t> tails;
+  for (int i = 0; i < 99; ++i)
+    tails.push_back(static_cast<index_t>(picker.uniform(1000)));
+  const auto lengths = observed_sublist_lengths(l, tails);
+  const std::size_t total =
+      std::accumulate(lengths.begin(), lengths.end(), std::size_t{0});
+  EXPECT_EQ(total, 1000u);
+  for (std::size_t i = 1; i < lengths.size(); ++i)
+    EXPECT_GE(lengths[i], lengths[i - 1]);  // sorted ascending
+}
+
+TEST(SublistStats, ObservedCountMatchesDistinctTails) {
+  Rng rng(3);
+  const LinkedList l = random_list(500, rng);
+  const index_t gtail = l.find_tail();
+  std::vector<index_t> tails{10, 20, 30, 10};  // one duplicate
+  const bool contains_gtail =
+      gtail == 10 || gtail == 20 || gtail == 30;
+  const auto lengths = observed_sublist_lengths(l, tails);
+  EXPECT_EQ(lengths.size(), contains_gtail ? 3u : 4u);
+}
+
+TEST(SublistStats, EmpiricalMeanMatchesTheory) {
+  // Fig. 9 check at sample scale: the observed j-th shortest length,
+  // averaged over 20 seeds, should track the expected curve within ~15%
+  // at a few representative quantiles.
+  const std::size_t n = 10000;
+  const std::size_t m = 200;
+  Rng listgen(4);
+  const LinkedList l = random_list(n, listgen);
+
+  std::vector<RunningStats> by_j(m + 1);
+  for (int sample = 0; sample < 20; ++sample) {
+    Rng picker(100 + sample);
+    std::vector<index_t> tails;
+    for (std::size_t i = 0; i < m; ++i)
+      tails.push_back(static_cast<index_t>(picker.uniform(n)));
+    const auto lengths = observed_sublist_lengths(l, tails);
+    // Duplicates shrink the count slightly; index from the short end.
+    for (std::size_t j = 0; j < lengths.size(); ++j)
+      by_j[j].add(static_cast<double>(lengths[j]));
+  }
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    const auto j = static_cast<std::size_t>(q * static_cast<double>(m));
+    const double want =
+        expected_jth_shortest(static_cast<double>(n),
+                              static_cast<double>(m), static_cast<double>(j));
+    EXPECT_NEAR(by_j[j].mean(), want, want * 0.15) << "quantile " << q;
+  }
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,57 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lr90 {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("only"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"x", "longheader"});
+  t.add_row({"12345", "y"});
+  const std::string s = t.render();
+  // Header line and data line should place column 2 at the same offset.
+  const std::size_t nl1 = s.find('\n');
+  const std::string header = s.substr(0, nl1);
+  EXPECT_EQ(header.find("longheader"), 7u);  // "12345" width 5 + 2 spaces
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(TextTable::num(static_cast<long long>(-7)), "-7");
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTable, EmptyTableStillRendersHeader) {
+  TextTable t({"solo"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("solo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lr90

@@ -1,0 +1,42 @@
+// Shared helpers for the algorithm test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "baselines/serial.hpp"
+#include "lists/generators.hpp"
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+
+namespace lr90::testutil {
+
+/// Ground-truth exclusive scan under any operator: a plain walk.
+template <class Op>
+std::vector<value_t> expected_scan(const LinkedList& list, Op op) {
+  std::vector<value_t> out(list.size(), Op::identity());
+  value_t acc = Op::identity();
+  for_each_in_order(list, [&](index_t v, std::size_t) {
+    out[v] = acc;
+    acc = op(acc, list.value[v]);
+  });
+  return out;
+}
+
+/// Asserts two per-vertex result vectors match, reporting the first diff.
+inline void expect_scan_eq(const std::vector<value_t>& got,
+                           const std::vector<value_t>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_EQ(got[v], want[v]) << "first mismatch at vertex " << v;
+  }
+}
+
+/// The list sizes every algorithm is swept over.
+inline std::vector<std::size_t> sweep_sizes() {
+  return {0, 1, 2, 3, 4, 5, 7, 8, 16, 17, 33, 64, 100, 257, 1000, 4096};
+}
+
+}  // namespace lr90::testutil

@@ -1,0 +1,154 @@
+#include "lists/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(Transform, ListToArrayMatchesSerialOrder) {
+  Rng rng(1);
+  const LinkedList l = random_list(500, rng, ValueInit::kUniformSmall);
+  const auto arr = list_to_array(l);
+  std::size_t pos = 0;
+  for_each_in_order(l, [&](index_t v, std::size_t) {
+    EXPECT_EQ(arr[pos], l.value[v]);
+    ++pos;
+  });
+}
+
+TEST(Transform, ListToArrayAcceptsPrecomputedRank) {
+  Rng rng(2);
+  const LinkedList l = random_list(100, rng, ValueInit::kIndex);
+  const auto rank = reference_rank(l);
+  const auto a = list_to_array(l, rank);
+  const auto b = list_to_array(l);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Transform, OrderPermutationEqualsOrderOf) {
+  Rng rng(3);
+  const LinkedList l = random_list(300, rng);
+  EXPECT_EQ(order_permutation(l), order_of(l));
+}
+
+TEST(Transform, ReverseListIsValidAndReversed) {
+  Rng rng(4);
+  const LinkedList l = random_list(200, rng, ValueInit::kUniformSmall);
+  const LinkedList rev = reverse_list(l);
+  EXPECT_TRUE(is_valid_list(rev));
+  auto fwd = order_of(l);
+  auto bwd = order_of(rev);
+  std::reverse(bwd.begin(), bwd.end());
+  EXPECT_EQ(fwd, bwd);
+  EXPECT_EQ(rev.value, l.value);
+}
+
+TEST(Transform, ReverseTwiceIsIdentity) {
+  Rng rng(5);
+  const LinkedList l = random_list(77, rng, ValueInit::kSigned);
+  EXPECT_TRUE(lists_equal(reverse_list(reverse_list(l)), l));
+}
+
+TEST(Transform, ReverseTinyLists) {
+  LinkedList empty;
+  EXPECT_TRUE(is_valid_list(reverse_list(empty)));
+  LinkedList one;
+  one.next = {0};
+  one.value = {9};
+  one.head = 0;
+  const LinkedList r = reverse_list(one);
+  EXPECT_TRUE(lists_equal(r, one));
+}
+
+TEST(Transform, SplitPartitionsAndPreservesOrder) {
+  Rng rng(6);
+  const LinkedList l = random_list(100, rng, ValueInit::kIndex);
+  const auto order = order_of(l);
+  // Cut after the 10th, 40th, 41st vertices in traversal order.
+  const std::vector<index_t> cuts{order[10], order[40], order[41]};
+  const auto parts = split_list(l, cuts);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].size(), 11u);
+  EXPECT_EQ(parts[1].size(), 30u);
+  EXPECT_EQ(parts[2].size(), 1u);
+  EXPECT_EQ(parts[3].size(), 58u);
+  std::size_t pos = 0;
+  for (const auto& part : parts) {
+    EXPECT_TRUE(is_valid_list(part));
+    for_each_in_order(part, [&](index_t v, std::size_t) {
+      EXPECT_EQ(part.value[v], l.value[order[pos]]);
+      ++pos;
+    });
+  }
+  EXPECT_EQ(pos, 100u);
+}
+
+TEST(Transform, SplitIgnoresTailAndDuplicateCuts) {
+  Rng rng(7);
+  const LinkedList l = random_list(50, rng);
+  const index_t tail = l.find_tail();
+  const auto order = order_of(l);
+  const std::vector<index_t> cuts{tail, order[5], order[5]};
+  const auto parts = split_list(l, cuts);
+  EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST(Transform, SplitWithNoCutsIsWholeList) {
+  Rng rng(8);
+  const LinkedList l = random_list(30, rng, ValueInit::kUniformSmall);
+  const auto parts = split_list(l, {});
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(list_to_array(parts[0]), list_to_array(l));
+}
+
+TEST(Transform, ConcatInvertsSplit) {
+  Rng rng(9);
+  const LinkedList l = random_list(64, rng, ValueInit::kUniformSmall);
+  const auto order = order_of(l);
+  const std::vector<index_t> cuts{order[7], order[31]};
+  const auto parts = split_list(l, cuts);
+  const LinkedList joined = concat_lists(parts);
+  EXPECT_TRUE(is_valid_list(joined));
+  EXPECT_EQ(list_to_array(joined), list_to_array(l));
+}
+
+TEST(Transform, ConcatHandlesEmptyPieces) {
+  Rng rng(10);
+  const LinkedList a = random_list(5, rng, ValueInit::kIndex);
+  const LinkedList empty;
+  const LinkedList b = random_list(3, rng, ValueInit::kIndex);
+  const std::vector<LinkedList> pieces{empty, a, empty, b, empty};
+  const LinkedList joined = concat_lists(pieces);
+  EXPECT_TRUE(is_valid_list(joined));
+  EXPECT_EQ(joined.size(), 8u);
+  const auto arr = list_to_array(joined);
+  const auto aa = list_to_array(a);
+  const auto bb = list_to_array(b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(arr[i], aa[i]);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(arr[5 + i], bb[i]);
+}
+
+TEST(Transform, ConcatAllEmpty) {
+  const std::vector<LinkedList> pieces(3);
+  const LinkedList joined = concat_lists(pieces);
+  EXPECT_TRUE(joined.empty());
+  EXPECT_TRUE(is_valid_list(joined));
+}
+
+TEST(Transform, ListOfPermutationRoundTrip) {
+  Rng rng(11);
+  std::vector<std::uint32_t> perm(40);
+  rng.permutation(perm);
+  std::vector<index_t> p(perm.begin(), perm.end());
+  const LinkedList l = list_of_permutation(p);
+  EXPECT_TRUE(is_valid_list(l));
+  EXPECT_EQ(order_permutation(l), p);
+}
+
+}  // namespace
+}  // namespace lr90

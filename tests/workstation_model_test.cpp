@@ -1,0 +1,53 @@
+#include "analysis/workstation_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lr90 {
+namespace {
+
+TEST(WorkstationModel, CachedEndpointsMatchTableI) {
+  const WorkstationModel ws;
+  // Small lists fit in the 2 MB cache entirely.
+  EXPECT_DOUBLE_EQ(ws.rank_ns_per_vertex(1000), 98.0);
+  EXPECT_DOUBLE_EQ(ws.scan_ns_per_vertex(1000), 200.0);
+}
+
+TEST(WorkstationModel, MemoryEndpointsApproachTableI) {
+  const WorkstationModel ws;
+  EXPECT_NEAR(ws.rank_ns_per_vertex(100000000), 690.0, 10.0);
+  EXPECT_NEAR(ws.scan_ns_per_vertex(100000000), 990.0, 10.0);
+}
+
+TEST(WorkstationModel, MonotoneInN) {
+  const WorkstationModel ws;
+  double prev = 0;
+  for (std::size_t n = 1024; n <= (1u << 26); n *= 4) {
+    const double t = ws.rank_ns_per_vertex(n);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(WorkstationModel, ScanCostsMoreThanRank) {
+  const WorkstationModel ws;
+  for (std::size_t n : {100u, 100000u, 10000000u}) {
+    EXPECT_GT(ws.scan_ns_per_vertex(n), ws.rank_ns_per_vertex(n));
+  }
+}
+
+TEST(WorkstationModel, TransitionStartsAtCacheBoundary) {
+  const WorkstationModel ws;
+  const auto at_boundary =
+      static_cast<std::size_t>(ws.cache_bytes / ws.rank_bytes_per_vertex);
+  EXPECT_DOUBLE_EQ(ws.rank_ns_per_vertex(at_boundary), 98.0);
+  EXPECT_GT(ws.rank_ns_per_vertex(at_boundary * 2), 98.0);
+}
+
+TEST(WorkstationModel, TotalsScaleWithN) {
+  const WorkstationModel ws;
+  EXPECT_DOUBLE_EQ(ws.rank_ns(1000), 98.0 * 1000);
+  EXPECT_GT(ws.scan_ns(2000), ws.scan_ns(1000));
+}
+
+}  // namespace
+}  // namespace lr90

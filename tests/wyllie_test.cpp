@@ -1,0 +1,130 @@
+#include "baselines/wyllie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+TEST(Wyllie, RankMatchesReferenceAcrossSizes) {
+  Rng rng(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, rng);
+    std::vector<value_t> out(n, -1);
+    vm::Machine m;
+    wyllie_rank(m, l, out);
+    testutil::expect_scan_eq(out, reference_rank(l));
+  }
+}
+
+TEST(Wyllie, ScanWithRandomValues) {
+  Rng rng(2);
+  for (const std::size_t n : {2u, 9u, 100u, 2048u}) {
+    const LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    wyllie_scan(m, l, std::span<value_t>(out));
+    testutil::expect_scan_eq(out, testutil::expected_scan(l, OpPlus{}));
+  }
+}
+
+TEST(Wyllie, NonInvertibleOperatorsWork) {
+  // The predecessor-jumping formulation needs no inverses: min and max are
+  // the acid test.
+  Rng rng(3);
+  const LinkedList l = random_list(777, rng, ValueInit::kSigned);
+  std::vector<value_t> out(777);
+  vm::Machine m;
+  wyllie_scan(m, l, std::span<value_t>(out), OpMin{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMin{}));
+  wyllie_scan(m, l, std::span<value_t>(out), OpMax{});
+  testutil::expect_scan_eq(out, testutil::expected_scan(l, OpMax{}));
+}
+
+TEST(Wyllie, RoundsFollowCeilLog2) {
+  EXPECT_EQ(detail::wyllie_rounds(0), 0u);
+  EXPECT_EQ(detail::wyllie_rounds(1), 0u);
+  EXPECT_EQ(detail::wyllie_rounds(2), 0u);
+  EXPECT_EQ(detail::wyllie_rounds(3), 1u);
+  EXPECT_EQ(detail::wyllie_rounds(5), 2u);
+  EXPECT_EQ(detail::wyllie_rounds(9), 3u);
+  EXPECT_EQ(detail::wyllie_rounds(1025), 10u);
+}
+
+TEST(Wyllie, StatsRoundsMatchFormulaAndSawtooth) {
+  Rng rng(4);
+  // Crossing a power of two adds one round: the Fig. 1 sawtooth.
+  for (const std::size_t n : {1023u, 1026u}) {
+    const LinkedList l = random_list(n, rng);
+    std::vector<value_t> out(n);
+    vm::Machine m;
+    const AlgoStats s = wyllie_rank(m, l, out);
+    EXPECT_EQ(s.rounds, detail::wyllie_rounds(n));
+  }
+}
+
+TEST(Wyllie, WorkIsNLogN) {
+  Rng rng(5);
+  const std::size_t n = 4096;
+  const LinkedList l = random_list(n, rng);
+  std::vector<value_t> out(n);
+  vm::Machine m;
+  const AlgoStats s = wyllie_rank(m, l, out);
+  EXPECT_EQ(s.link_steps, n * detail::wyllie_rounds(n));
+}
+
+TEST(Wyllie, MultiprocessorCorrectAndFaster) {
+  Rng rng(6);
+  const std::size_t n = 5000;
+  const LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
+  const auto want = testutil::expected_scan(l, OpPlus{});
+
+  double t1 = 0.0;
+  for (const unsigned p : {1u, 2u, 4u, 8u}) {
+    vm::MachineConfig cfg;
+    cfg.processors = p;
+    vm::Machine m(cfg);
+    std::vector<value_t> out(n);
+    wyllie_scan(m, l, std::span<value_t>(out));
+    testutil::expect_scan_eq(out, want);
+    if (p == 1) {
+      t1 = m.max_cycles();
+    } else {
+      EXPECT_LT(m.max_cycles(), t1) << "p=" << p;
+    }
+  }
+}
+
+TEST(Wyllie, ScalesAlmostLinearly) {
+  Rng rng(7);
+  const std::size_t n = 100000;
+  const LinkedList l = random_list(n, rng);
+  std::vector<value_t> out(n);
+  vm::MachineConfig c1;
+  c1.processors = 1;
+  vm::Machine m1(c1);
+  wyllie_rank(m1, l, out);
+  vm::MachineConfig c8;
+  c8.processors = 8;
+  vm::Machine m8(c8);
+  wyllie_rank(m8, l, out);
+  const double speedup = m1.max_cycles() / m8.max_cycles();
+  EXPECT_GT(speedup, 5.0);   // near-linear, degraded by contention+sync
+  EXPECT_LT(speedup, 8.01);
+}
+
+TEST(Wyllie, SequentialAndReversedLayouts) {
+  for (const auto make : {&sequential_list, &reversed_list}) {
+    const LinkedList l = make(300, ValueInit::kOnes, nullptr);
+    std::vector<value_t> out(300);
+    vm::Machine m;
+    wyllie_rank(m, l, out);
+    testutil::expect_scan_eq(out, reference_rank(l));
+  }
+}
+
+}  // namespace
+}  // namespace lr90
