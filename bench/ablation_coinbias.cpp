@@ -3,9 +3,8 @@
 // reducing rounds and run time by ~40% versus the unbiased coin.
 #include <cstdio>
 
-#include "baselines/anderson_miller.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
-#include "lists/validate.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -16,26 +15,27 @@ int main() {
   const std::size_t n = 200000;
   Rng gen(1);
   const LinkedList list = random_list(n, gen);
-  const auto want = reference_rank(list);
 
   TextTable t({"bias", "rounds", "cycles/vertex", "vs bias 0.9"});
   double best = 0;
   for (const double bias : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
-    vm::Machine m;
-    Rng coins(7);
-    AndersonMillerOptions opt;
-    opt.male_bias = bias;
-    opt.serial_switch = 0;
-    std::vector<value_t> out(n);
-    const AlgoStats s = anderson_miller_rank(m, list, out, coins, opt);
-    if (out != want) {
-      std::fprintf(stderr, "wrong answer at bias %.2f\n", bias);
+    EngineOptions eo;
+    eo.backend = BackendKind::kSim;
+    eo.seed = 7;
+    eo.anderson_miller.male_bias = bias;
+    eo.anderson_miller.serial_switch = 0;
+    eo.verify_output = true;
+    Engine engine(std::move(eo));
+    const RunResult r = engine.rank(list, Method::kAndersonMiller);
+    if (!r.ok()) {
+      std::fprintf(stderr, "bias %.2f failed: %s\n", bias,
+                   r.status.message.c_str());
       return 1;
     }
-    const double cpv = m.max_cycles() / static_cast<double>(n);
+    const double cpv = r.stats.sim_cycles / static_cast<double>(n);
     if (bias == 0.9) best = cpv;
     t.add_row({TextTable::num(bias, 2),
-               TextTable::num(static_cast<long long>(s.rounds)),
+               TextTable::num(static_cast<long long>(r.stats.algo.rounds)),
                TextTable::num(cpv, 2), ""});
   }
   t.print();

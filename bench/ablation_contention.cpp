@@ -7,7 +7,7 @@
 // machine the PRAM model assumes.
 #include <cstdio>
 
-#include "core/api.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
 #include "support/table.hpp"
 
@@ -26,11 +26,19 @@ int main() {
     double cycles[2];
     int i = 0;
     for (const unsigned p : {1u, 8u}) {
-      SimOptions opt;
-      opt.method = Method::kReidMiller;
-      opt.processors = p;
-      opt.machine.contention_gamma = gamma;
-      cycles[i++] = sim_list_scan(list, opt).cycles;
+      EngineOptions eo;
+      eo.backend = BackendKind::kSim;
+      eo.processors = p;
+      eo.machine.contention_gamma = gamma;
+      Engine engine(std::move(eo));
+      const RunResult r =
+          engine.scan(list, ScanOp::kPlus, Method::kReidMiller);
+      if (!r.ok()) {
+        std::fprintf(stderr, "gamma %.3f p=%u failed: %s\n", gamma, p,
+                     r.status.message.c_str());
+        return 1;
+      }
+      cycles[i++] = r.stats.sim_cycles;
     }
     const double factor = 1.0 + gamma * 3.0;  // log2(8) = 3
     t.add_row({TextTable::num(gamma, 3),

@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "analysis/tuner.hpp"
-#include "core/api.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
 #include "support/table.hpp"
 
@@ -24,12 +24,18 @@ int main() {
   double at_tuned = 0;
   const double factors[] = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
   for (const double f : factors) {
-    SimOptions opt;
-    opt.method = Method::kReidMiller;
-    opt.reid_miller.m = tuned.m * f;
-    opt.reid_miller.s1 = tuned.s1;
-    const double cpv =
-        sim_list_scan(list, opt).cycles / static_cast<double>(n);
+    EngineOptions eo;
+    eo.backend = BackendKind::kSim;
+    eo.reid_miller.m = tuned.m * f;
+    eo.reid_miller.s1 = tuned.s1;
+    Engine engine(std::move(eo));
+    const RunResult r = engine.scan(list, ScanOp::kPlus, Method::kReidMiller);
+    if (!r.ok()) {
+      std::fprintf(stderr, "m=%.0f failed: %s\n", tuned.m * f,
+                   r.status.message.c_str());
+      return 1;
+    }
+    const double cpv = r.stats.sim_cycles / static_cast<double>(n);
     if (f == 1.0) at_tuned = cpv;
     t.add_row({TextTable::num(f, 3), TextTable::num(tuned.m * f, 0),
                TextTable::num(cpv, 2),

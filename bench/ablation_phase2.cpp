@@ -4,7 +4,7 @@
 // method for several reduced-list sizes.
 #include <cstdio>
 
-#include "core/api.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
 #include "support/table.hpp"
 
@@ -31,14 +31,21 @@ int main() {
         {0, 0},                // always recurse
     };
     for (const auto& pol : policies) {
-      SimOptions opt;
-      opt.method = Method::kReidMiller;
-      opt.reid_miller.m = m;
-      opt.reid_miller.serial_threshold = pol.serial_threshold;
-      opt.reid_miller.wyllie_threshold = pol.wyllie_threshold;
-      const double cpv =
-          sim_list_scan(list, opt).cycles / static_cast<double>(n);
-      row.push_back(TextTable::num(cpv, 2));
+      EngineOptions eo;
+      eo.backend = BackendKind::kSim;
+      eo.reid_miller.m = m;
+      eo.reid_miller.serial_threshold = pol.serial_threshold;
+      eo.reid_miller.wyllie_threshold = pol.wyllie_threshold;
+      Engine engine(std::move(eo));
+      const RunResult r =
+          engine.scan(list, ScanOp::kPlus, Method::kReidMiller);
+      if (!r.ok()) {
+        std::fprintf(stderr, "m=%.0f failed: %s\n", m,
+                     r.status.message.c_str());
+        return 1;
+      }
+      row.push_back(
+          TextTable::num(r.stats.sim_cycles / static_cast<double>(n), 2));
     }
     t.add_row(row);
   }

@@ -3,9 +3,8 @@
 // This isolates the paper's Section 4.3 design choice.
 #include <cstdio>
 
-#include "core/api.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
-#include "lists/validate.hpp"
 #include "support/table.hpp"
 
 int main() {
@@ -20,10 +19,18 @@ int main() {
     const ScheduleKind kinds[] = {ScheduleKind::kOptimal,
                                   ScheduleKind::kUniform, ScheduleKind::kNone};
     for (int i = 0; i < 3; ++i) {
-      SimOptions opt;
-      opt.method = Method::kReidMiller;
-      opt.reid_miller.schedule = kinds[i];
-      cycles[i] = sim_list_scan(list, opt).cycles;
+      EngineOptions eo;
+      eo.backend = BackendKind::kSim;
+      eo.reid_miller.schedule = kinds[i];
+      Engine engine(std::move(eo));
+      const RunResult r =
+          engine.scan(list, ScanOp::kPlus, Method::kReidMiller);
+      if (!r.ok()) {
+        std::fprintf(stderr, "n=%zu schedule %d failed: %s\n", n, i,
+                     r.status.message.c_str());
+        return 1;
+      }
+      cycles[i] = r.stats.sim_cycles;
     }
     t.add_row({TextTable::num(static_cast<long long>(n)),
                TextTable::num(cycles[0] / static_cast<double>(n), 2),

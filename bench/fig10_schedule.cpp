@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lr90;
+  CheckedRunner sim;  // records wrong answers, exits non-zero
   const double n = 10000, m = 199;
   const CostConstants k = CostConstants::from(vm::CostTable::cray_c90());
   const TuneResult tuned = tune(n, k);
@@ -45,11 +46,12 @@ int main() {
         phase2_serial_cycles(tr.m, k);
     const double eq5 = expected_cycles_eq5(static_cast<double>(nn), tr.m,
                                            tr.s1, s.size(), k);
-    const double sim = run_sim(Method::kReidMiller, nn, 1, false).cycles;
+    const double measured = sim(Method::kReidMiller, nn, 1, false).cycles;
     p.add_row({TextTable::num(static_cast<long long>(nn)),
                TextTable::num(eq3, 0), TextTable::num(eq5, 0),
-               TextTable::num(sim, 0), TextTable::num(eq3 / sim, 3)});
+               TextTable::num(measured, 0),
+               TextTable::num(eq3 / measured, 3)});
   }
   p.print();
-  return 0;
+  return sim.exit_code();
 }

@@ -9,6 +9,7 @@
 
 int main() {
   using namespace lr90;
+  CheckedRunner sim;  // records wrong answers, exits non-zero
   std::puts("Fig. 11: list-scan ns/vertex on 1, 2, 4, 8 processors\n");
 
   TextTable t({"n", "1 proc", "2 proc", "4 proc", "8 proc"});
@@ -17,7 +18,7 @@ int main() {
     std::vector<std::string> row{TextTable::num(static_cast<long long>(n))};
     for (const unsigned p : {1u, 2u, 4u, 8u}) {
       row.push_back(
-          TextTable::num(run_sim(Method::kReidMiller, n, p, false)
+          TextTable::num(sim(Method::kReidMiller, n, p, false)
                              .ns_per_vertex, 1));
     }
     t.add_row(row);
@@ -32,12 +33,12 @@ int main() {
   int i = 0;
   for (const unsigned p : {1u, 2u, 4u, 8u}) {
     const double scan =
-        run_sim(Method::kReidMiller, big, p, false).cycles_per_vertex;
+        sim(Method::kReidMiller, big, p, false).cycles_per_vertex;
     const double rank =
-        run_sim(Method::kReidMillerEncoded, big, p, true).cycles_per_vertex;
+        sim(Method::kReidMillerEncoded, big, p, true).cycles_per_vertex;
     std::printf("  %u proc:  %5.2f (%4.2f)    %5.2f (%4.2f)\n", p, scan,
                 paper_scan[i], rank, paper_rank[i]);
     ++i;
   }
-  return 0;
+  return sim.exit_code();
 }

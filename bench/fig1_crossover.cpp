@@ -10,6 +10,7 @@
 
 int main() {
   using namespace lr90;
+  CheckedRunner sim;  // records wrong answers, exits non-zero
   std::puts("Fig. 1: list-scan ns/vertex vs n, one processor");
   std::puts("(paper shape: Wyllie sawtooth crossing ours near n~1000;\n"
             " MR ~20x ours and ~3.5x serial; AM between serial and MR)\n");
@@ -23,26 +24,26 @@ int main() {
                             524288, 1048576};
   for (const std::size_t n : ns) {
     t.add_row({TextTable::num(static_cast<long long>(n)),
-               TextTable::num(run_sim(Method::kSerial, n, 1, false)
+               TextTable::num(sim(Method::kSerial, n, 1, false)
                                   .ns_per_vertex, 1),
-               TextTable::num(run_sim(Method::kWyllie, n, 1, false)
+               TextTable::num(sim(Method::kWyllie, n, 1, false)
                                   .ns_per_vertex, 1),
-               TextTable::num(run_sim(Method::kMillerReif, n, 1, false)
+               TextTable::num(sim(Method::kMillerReif, n, 1, false)
                                   .ns_per_vertex, 1),
-               TextTable::num(run_sim(Method::kAndersonMiller, n, 1, false)
+               TextTable::num(sim(Method::kAndersonMiller, n, 1, false)
                                   .ns_per_vertex, 1),
-               TextTable::num(run_sim(Method::kReidMiller, n, 1, false)
+               TextTable::num(sim(Method::kReidMiller, n, 1, false)
                                   .ns_per_vertex, 1)});
   }
   t.print();
 
   // Ratio block at the largest n (the Section 2.3/2.4 claims).
   const std::size_t big = 1048576;
-  const double ours = run_sim(Method::kReidMiller, big, 1, false).ns_per_vertex;
-  const double serial = run_sim(Method::kSerial, big, 1, false).ns_per_vertex;
-  const double mr = run_sim(Method::kMillerReif, big, 1, false).ns_per_vertex;
+  const double ours = sim(Method::kReidMiller, big, 1, false).ns_per_vertex;
+  const double serial = sim(Method::kSerial, big, 1, false).ns_per_vertex;
+  const double mr = sim(Method::kMillerReif, big, 1, false).ns_per_vertex;
   const double am =
-      run_sim(Method::kAndersonMiller, big, 1, false).ns_per_vertex;
+      sim(Method::kAndersonMiller, big, 1, false).ns_per_vertex;
   std::printf("\nlong-list ratios at n=%zu:\n", big);
   std::printf("  miller-reif / ours        = %5.1f   (paper ~20)\n", mr / ours);
   std::printf("  miller-reif / serial      = %5.2f   (paper ~3.5)\n",
@@ -51,5 +52,5 @@ int main() {
   std::printf("  miller-reif / and-miller  = %5.2f   (paper ~3)\n", mr / am);
   std::printf("  serial / ours             = %5.2f   (paper ~5.9 for scan)\n",
               serial / ours);
-  return 0;
+  return sim.exit_code();
 }

@@ -9,6 +9,7 @@
 
 int main() {
   using namespace lr90;
+  CheckedRunner sim;  // records wrong answers, exits non-zero
   std::puts("Fig. 3: relative speedup of our list scan vs #processors");
   std::puts("(paper: close to linear, tapering with p; worse for small n)\n");
 
@@ -21,12 +22,12 @@ int main() {
     std::vector<std::string> row{TextTable::num(static_cast<long long>(p))};
     for (std::size_t i = 0; i < 4; ++i) {
       const double cycles =
-          run_sim(Method::kReidMiller, sizes[i], p, false).cycles;
+          sim(Method::kReidMiller, sizes[i], p, false).cycles;
       if (p == 1) base[i] = cycles;
       row.push_back(TextTable::num(base[i] / cycles, 2));
     }
     t.add_row(row);
   }
   t.print();
-  return 0;
+  return sim.exit_code();
 }

@@ -1,14 +1,15 @@
 // Wall-clock google-benchmark of the host-path implementations: the serial
-// walk, the OpenMP Reid-Miller host path, and (for context) the simulator
-// overhead of the main algorithms. Run with --benchmark_filter=... to
-// narrow.
+// walk, the Engine's OpenMP host backend (workspace reused across
+// iterations), the legacy one-shot shim for comparison, and (for context)
+// the host cost of the simulator itself. Run with --benchmark_filter=...
+// to narrow.
 #include <benchmark/benchmark.h>
 
 #include <map>
 
 #include "apps/euler_tour.hpp"
 #include "baselines/serial.hpp"
-#include "core/api.hpp"
+#include "core/engine.hpp"
 #include "core/parallel_host.hpp"
 #include "lists/generators.hpp"
 #include "lists/transform.hpp"
@@ -42,7 +43,35 @@ void BM_SerialScanHost(benchmark::State& state) {
 }
 BENCHMARK(BM_SerialScanHost)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_HostListScan(benchmark::State& state) {
+void BM_EngineHostScan(benchmark::State& state) {
+  // The Engine path: the workspace warms up on the first iteration and
+  // every later run reuses it (state.counters report the reuse ratio).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const LinkedList& l = cached_list(n);
+  EngineOptions eo;
+  eo.backend = BackendKind::kHost;
+  eo.threads = static_cast<unsigned>(state.range(1));
+  Engine engine(std::move(eo));
+  for (auto _ : state) {
+    auto r = engine.scan(l);
+    benchmark::DoNotOptimize(r.scan.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["ws_alloc"] =
+      static_cast<double>(engine.workspace().allocations());
+  state.counters["ws_reuse"] =
+      static_cast<double>(engine.workspace().reuse_hits());
+}
+BENCHMARK(BM_EngineHostScan)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 2})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 2})
+    ->Args({1 << 20, 4});
+
+void BM_HostListScanShim(benchmark::State& state) {
+  // Legacy one-shot shim: allocates a fresh workspace every call.
   const auto n = static_cast<std::size_t>(state.range(0));
   const LinkedList& l = cached_list(n);
   HostOptions opt;
@@ -54,35 +83,55 @@ void BM_HostListScan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_HostListScan)
-    ->Args({1 << 16, 1})
-    ->Args({1 << 16, 2})
-    ->Args({1 << 20, 1})
-    ->Args({1 << 20, 2})
-    ->Args({1 << 20, 4});
+BENCHMARK(BM_HostListScanShim)->Args({1 << 20, 2})->Args({1 << 20, 4});
 
-void BM_HostListRank(benchmark::State& state) {
+void BM_EngineHostRank(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const LinkedList& l = cached_list(n);
-  HostOptions opt;
-  opt.threads = 0;  // library default
+  Engine engine({.backend = BackendKind::kHost});
   for (auto _ : state) {
-    auto out = host_list_rank(l, opt);
-    benchmark::DoNotOptimize(out.data());
+    auto r = engine.rank(l);
+    benchmark::DoNotOptimize(r.scan.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_HostListRank)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_EngineHostRank)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_EngineRunBatch(benchmark::State& state) {
+  // A batch of independent rank requests through one warm workspace.
+  const auto lists_count = static_cast<std::size_t>(state.range(0));
+  const auto each = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  std::vector<LinkedList> lists;
+  lists.reserve(lists_count);
+  for (std::size_t i = 0; i < lists_count; ++i)
+    lists.push_back(random_list(each, rng));
+  std::vector<Request> requests;
+  requests.reserve(lists_count);
+  for (const LinkedList& l : lists)
+    requests.push_back(RankRequest{&l});
+  Engine engine({.backend = BackendKind::kHost});
+  for (auto _ : state) {
+    auto results = engine.run_batch(requests);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lists_count * each));
+  state.counters["ws_alloc"] =
+      static_cast<double>(engine.workspace().allocations());
+}
+BENCHMARK(BM_EngineRunBatch)->Args({256, 256})->Args({16, 65536});
 
 void BM_SimReidMiller(benchmark::State& state) {
   // Host cost of the functional simulation itself (not simulated ns).
   const auto n = static_cast<std::size_t>(state.range(0));
   const LinkedList& l = cached_list(n);
-  SimOptions opt;
-  opt.method = Method::kReidMiller;
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  Engine engine(std::move(eo));
   for (auto _ : state) {
-    auto r = sim_list_scan(l, opt);
+    auto r = engine.scan(l, ScanOp::kPlus, Method::kReidMiller);
     benchmark::DoNotOptimize(r.scan.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -104,6 +153,8 @@ void BM_EulerTourLabels(benchmark::State& state) {
 BENCHMARK(BM_EulerTourLabels)->Arg(1 << 14)->Arg(1 << 18);
 
 void BM_RankManyBatch(benchmark::State& state) {
+  // The concat-once-rank-once batching of lists/transform.hpp, for
+  // comparison with BM_EngineRunBatch's per-request execution.
   const auto lists_count = static_cast<std::size_t>(state.range(0));
   const auto each = static_cast<std::size_t>(state.range(1));
   Rng rng(7);
@@ -142,10 +193,11 @@ BENCHMARK(BM_SegmentedScan)->Arg(1 << 16)->Arg(1 << 20);
 void BM_SimWyllie(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const LinkedList& l = cached_list(n);
-  SimOptions opt;
-  opt.method = Method::kWyllie;
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  Engine engine(std::move(eo));
   for (auto _ : state) {
-    auto r = sim_list_scan(l, opt);
+    auto r = engine.scan(l, ScanOp::kPlus, Method::kWyllie);
     benchmark::DoNotOptimize(r.scan.data());
   }
 }

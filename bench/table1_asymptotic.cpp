@@ -15,15 +15,17 @@ namespace {
 
 using namespace lr90;
 
-double vectorized_ns(std::size_t n, unsigned p, bool rank) {
+double vectorized_ns(CheckedRunner& sim, std::size_t n, unsigned p,
+                     bool rank) {
   const Method method = rank ? Method::kReidMillerEncoded : Method::kReidMiller;
-  return run_sim(method, n, p, rank).ns_per_vertex;
+  return sim(method, n, p, rank).ns_per_vertex;
 }
 
 }  // namespace
 
 int main() {
   using lr90::TextTable;
+  lr90::CheckedRunner sim;  // records wrong answers, exits non-zero
   std::puts("Table I: asymptotic ns/vertex, list rank and list scan");
   std::puts("(paper: rank 98/690/177/21.3/10.9/5.8/3.1,"
             " scan 200/990/183/30.8/16.1/8.5/4.6)\n");
@@ -39,9 +41,9 @@ int main() {
     row.push_back(TextTable::num(alpha.rank_ns_per_vertex(1000), 1));
     row.push_back(TextTable::num(alpha.rank_ns_per_vertex(100000000), 1));
     row.push_back(TextTable::num(
-        lr90::run_sim(lr90::Method::kSerial, n, 1, true).ns_per_vertex, 1));
+        sim(lr90::Method::kSerial, n, 1, true).ns_per_vertex, 1));
     for (const unsigned p : {1u, 2u, 4u, 8u})
-      row.push_back(TextTable::num(vectorized_ns(n, p, true), 1));
+      row.push_back(TextTable::num(vectorized_ns(sim, n, p, true), 1));
     t.add_row(row);
   }
   {
@@ -49,11 +51,11 @@ int main() {
     row.push_back(TextTable::num(alpha.scan_ns_per_vertex(1000), 1));
     row.push_back(TextTable::num(alpha.scan_ns_per_vertex(100000000), 1));
     row.push_back(TextTable::num(
-        lr90::run_sim(lr90::Method::kSerial, n, 1, false).ns_per_vertex, 1));
+        sim(lr90::Method::kSerial, n, 1, false).ns_per_vertex, 1));
     for (const unsigned p : {1u, 2u, 4u, 8u})
-      row.push_back(TextTable::num(vectorized_ns(n, p, false), 1));
+      row.push_back(TextTable::num(vectorized_ns(sim, n, p, false), 1));
     t.add_row(row);
   }
   t.print();
-  return 0;
+  return sim.exit_code();
 }

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace lr90;
+  CheckedRunner sim;  // records wrong answers, exits non-zero
   using Row = std::pair<Method, const char*>;
   const std::size_t n = 1u << 19;  // 512K vertices
 
@@ -27,7 +28,7 @@ int main() {
       {Method::kReidMillerEncoded, "O(n/p + log^2 n)"},
   };
   for (const auto& [method, time] : rows) {
-    const SimRun run = run_sim(method, n, 1, /*rank=*/true);
+    const SimRun run = sim(method, n, 1, /*rank=*/true);
     const char* work =
         method == Method::kWyllie ? "O(n log n)" : "O(n)";
     t.add_row({method_name(method), time, work,
@@ -41,5 +42,5 @@ int main() {
   t.print();
   std::puts("\npaper space column: serial c | Wyllie n+c | randomized >2n |"
             " ours 5p+c");
-  return 0;
+  return sim.exit_code();
 }

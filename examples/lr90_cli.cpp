@@ -1,27 +1,29 @@
 // Command-line driver: run any algorithm of the library on a generated
-// workload and report simulated Cray C90 costs plus host wall-clock.
+// workload through an lr90::Engine and report the merged statistics --
+// simulated Cray C90 costs on the sim backend, wall-clock always.
 //
 //   $ ./lr90_cli --n 1000000 --method reid-miller --procs 8 --workload random
 //   $ ./lr90_cli --n 500000 --method all --rank
+//   $ ./lr90_cli --n 4000000 --backend host --threads 8 --rank
 //
 // Options:
 //   --n N            list length                      (default 1000000)
 //   --method M       serial|wyllie|miller-reif|anderson-miller|
 //                    reid-miller|reid-miller-encoded|auto|all
+//   --backend B      sim|host|serial                  (default sim)
 //   --procs P        simulated processors             (default 1)
+//   --threads T      host worker threads, 0 = default (default 0)
 //   --workload W     random|sequential|reversed|blocked (default random)
 //   --rank           rank instead of scan
 //   --seed S         workload/algorithm seed          (default 42)
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "core/api.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
-#include "lists/validate.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -39,13 +41,24 @@ Method parse_method(const std::string& name) {
   std::exit(2);
 }
 
+BackendKind parse_backend(const std::string& name) {
+  for (const BackendKind b :
+       {BackendKind::kSim, BackendKind::kHost, BackendKind::kSerial}) {
+    if (name == backend_name(b)) return b;
+  }
+  std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t n = 1000000;
   std::string method_arg = "reid-miller";
+  std::string backend_arg = "sim";
   std::string workload = "random";
   unsigned procs = 1;
+  unsigned threads = 0;
   bool rank = false;
   std::uint64_t seed = 42;
 
@@ -60,7 +73,9 @@ int main(int argc, char** argv) {
     };
     if (a == "--n") n = std::strtoull(next(), nullptr, 10);
     else if (a == "--method") method_arg = next();
+    else if (a == "--backend") backend_arg = next();
     else if (a == "--procs") procs = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+    else if (a == "--threads") threads = static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     else if (a == "--workload") workload = next();
     else if (a == "--rank") rank = true;
     else if (a == "--seed") seed = std::strtoull(next(), nullptr, 10);
@@ -82,6 +97,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const BackendKind backend = parse_backend(backend_arg);
   std::vector<Method> methods;
   if (method_arg == "all") {
     methods = {Method::kSerial, Method::kWyllie, Method::kMillerReif,
@@ -91,35 +107,53 @@ int main(int argc, char** argv) {
     methods = {parse_method(method_arg)};
   }
 
-  std::printf("%s of a %s list, n=%zu, %u simulated processor(s)\n\n",
-              rank ? "list rank" : "list scan", workload.c_str(), n, procs);
+  EngineOptions eo;
+  eo.backend = backend;
+  eo.processors = procs;
+  eo.threads = threads;
+  eo.seed = seed + 1;
+  eo.verify_output = true;
+  Engine engine(std::move(eo));
 
-  const auto want = rank ? reference_rank(list) : std::vector<value_t>{};
+  std::printf("%s of a %s list, n=%zu, backend=%s, %u simulated"
+              " processor(s)\n\n",
+              rank ? "list rank" : "list scan", workload.c_str(), n,
+              backend_name(backend), procs);
+
   TextTable t({"method", "sim cycles", "sim ns/vertex", "cycles/vertex",
                "host ms", "rounds", "extra words"});
+  bool failed = false;
   for (const Method m : methods) {
-    SimOptions opt;
-    opt.method = m;
-    opt.processors = procs;
-    opt.seed = seed + 1;
-    const auto t0 = std::chrono::steady_clock::now();
-    const SimResult r =
-        rank ? sim_list_rank(list, opt) : sim_list_scan(list, opt);
-    const auto t1 = std::chrono::steady_clock::now();
-    if (rank && r.scan != want) {
-      std::fprintf(stderr, "%s computed a WRONG answer\n",
-                   method_name(r.method_used));
-      return 1;
+    Request req;
+    req.list = &list;
+    req.rank = rank;
+    req.method = m;
+    const RunResult r = engine.run(req);
+    if (r.status.code == StatusCode::kUnsupported) {
+      std::fprintf(stderr, "%s: skipped (%s)\n", method_name(m),
+                   r.status.message.c_str());
+      continue;
     }
-    const double host_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
-    t.add_row({method_name(r.method_used), TextTable::num(r.cycles, 0),
-               TextTable::num(r.ns_per_vertex, 2),
-               TextTable::num(r.cycles / static_cast<double>(n), 2),
-               TextTable::num(host_ms, 1),
-               TextTable::num(static_cast<long long>(r.stats.rounds)),
-               TextTable::num(static_cast<long long>(r.stats.extra_words))});
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s: [%s] %s\n", method_name(m),
+                   status_code_name(r.status.code),
+                   r.status.message.c_str());
+      failed = true;
+      continue;
+    }
+    const bool sim = r.stats.has_sim;
+    t.add_row({method_name(r.method_used),
+               sim ? TextTable::num(r.stats.sim_cycles, 0) : "-",
+               sim ? TextTable::num(r.stats.sim_ns_per_vertex, 2) : "-",
+               sim && n > 0
+                   ? TextTable::num(
+                         r.stats.sim_cycles / static_cast<double>(n), 2)
+                   : "-",
+               TextTable::num(r.stats.wall_ns / 1e6, 1),
+               TextTable::num(static_cast<long long>(r.stats.algo.rounds)),
+               TextTable::num(
+                   static_cast<long long>(r.stats.algo.extra_words))});
   }
   t.print();
-  return 0;
+  return failed ? 1 : 0;
 }

@@ -1,7 +1,7 @@
 // Tuning explorer: for a given list length, show what the cost model
 // recommends -- the number of sublists m, the first balance interval S1,
 // the full Eq. 4 schedule -- and compare the model's Eq. 3 prediction with
-// an actual simulated run (paper Section 4.4).
+// an actual simulated run through the Engine (paper Section 4.4).
 //
 //   $ ./tuning_explorer [n]
 #include <cstdio>
@@ -10,7 +10,7 @@
 #include "analysis/schedule.hpp"
 #include "analysis/sublist_stats.hpp"
 #include "analysis/tuner.hpp"
-#include "core/reid_miller.hpp"
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
 #include "support/table.hpp"
 
@@ -44,18 +44,29 @@ int main(int argc, char** argv) {
               eq3, eq3 / n);
 
   Rng rng(5);
-  LinkedList list = random_list(static_cast<std::size_t>(n), rng,
-                                ValueInit::kUniformSmall);
-  vm::Machine machine;
-  Rng algo_rng(6);
-  std::vector<value_t> out(list.size());
-  reid_miller_scan(machine, list, std::span<value_t>(out), algo_rng);
-  const double sim = machine.max_cycles();
+  const LinkedList list = random_list(static_cast<std::size_t>(n), rng,
+                                      ValueInit::kUniformSmall);
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  eo.seed = 6;
+  Engine engine(std::move(eo));
+  const RunResult r = engine.scan(list, ScanOp::kPlus, Method::kReidMiller);
+  if (!r.ok()) {
+    std::fprintf(stderr, "simulated run failed: %s\n",
+                 r.status.message.c_str());
+    return 1;
+  }
+  const double sim = r.stats.sim_cycles;
   std::printf("simulated run:        %.0f cycles (%.2f cycles/vertex),"
               " prediction/actual = %.3f\n",
               sim, sim / n, eq3 / sim);
+  std::printf("planner prediction:   %.0f cycles (what Engine kAuto"
+              " compares against serial and Wyllie)\n",
+              engine.planner().reid_miller_cycles(
+                  static_cast<std::size_t>(n), false));
 
   std::puts("\nwhere the cycles went (fused-kernel breakdown):");
+  const vm::Machine& machine = *engine.sim_machine();
   TextTable bd({"kernel", "cycles", "share"});
   const std::pair<vm::Kernel, const char*> kernels[] = {
       {vm::Kernel::kInitialize, "initialize"},
@@ -66,8 +77,8 @@ int main(int argc, char** argv) {
       {vm::Kernel::kFinalPack, "phase 3 packing"},
       {vm::Kernel::kRestoreList, "restoration"},
   };
-  for (const auto& [k, name] : kernels) {
-    const double c = machine.kernel_cycles(k);
+  for (const auto& [kern, name] : kernels) {
+    const double c = machine.kernel_cycles(kern);
     bd.add_row({name, TextTable::num(c, 0),
                 TextTable::num(100.0 * c / sim, 1) + "%"});
   }

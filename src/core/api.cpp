@@ -1,117 +1,41 @@
 #include "core/api.hpp"
 
-#include <cassert>
 #include <stdexcept>
-
-#include "baselines/anderson_miller.hpp"
-#include "baselines/miller_reif.hpp"
-#include "baselines/serial.hpp"
-#include "baselines/wyllie.hpp"
-#include "lists/encode.hpp"
-#include "lists/validate.hpp"
+#include <utility>
 
 namespace lr90 {
 
-const char* method_name(Method m) {
-  switch (m) {
-    case Method::kAuto: return "auto";
-    case Method::kSerial: return "serial";
-    case Method::kWyllie: return "wyllie";
-    case Method::kMillerReif: return "miller-reif";
-    case Method::kAndersonMiller: return "anderson-miller";
-    case Method::kReidMiller: return "reid-miller";
-    case Method::kReidMillerEncoded: return "reid-miller-encoded";
-  }
-  return "?";
-}
-
-Method resolve_auto(std::size_t n, Method requested) {
-  if (requested != Method::kAuto) return requested;
-  if (n <= kAutoSerialMax) return Method::kSerial;
-  if (n <= kAutoWyllieMax) return Method::kWyllie;
-  return Method::kReidMiller;
-}
-
 namespace {
 
-SimResult run(const LinkedList& input, const SimOptions& opt, bool rank) {
-  if (opt.validate_input) {
-    if (const auto err = validate_list(input)) {
-      throw std::invalid_argument("invalid linked list: " + *err);
-    }
-  }
-  SimResult result;
-  const std::size_t n = input.size();
-  result.scan.assign(n, 0);
-  const Method method = resolve_auto(n, opt.method);
-  result.method_used = method;
+SimResult run(const LinkedList& list, const SimOptions& opt, bool rank) {
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  eo.processors = opt.processors;
+  eo.seed = opt.seed;
+  eo.machine = opt.machine;
+  eo.reid_miller = opt.reid_miller;
+  eo.validate_input = opt.validate_input;
+  Engine engine(std::move(eo));
 
-  vm::MachineConfig cfg = opt.machine;
-  cfg.processors = opt.processors;
-  vm::Machine machine(cfg);
-  Rng rng(opt.seed);
-  std::span<value_t> out(result.scan);
+  Request req;
+  req.list = &list;
+  req.rank = rank;
+  // Legacy contract: kAuto resolves by the fixed Fig. 1 thresholds, not
+  // the Engine's cost-model planner.
+  req.method = resolve_auto(list.size(), opt.method);
 
-  // Algorithms that mutate the list work on a copy so the input stays
-  // const for callers (the in-place + restore behaviour is still exercised
-  // directly by tests and benches).
-  switch (method) {
-    case Method::kSerial:
-      result.stats = rank ? serial_rank(machine, 0, input, out)
-                          : serial_scan(machine, 0, input, out);
-      break;
-    case Method::kWyllie:
-      result.stats = rank ? wyllie_rank(machine, input, out)
-                          : wyllie_scan(machine, input, out);
-      break;
-    case Method::kMillerReif:
-      if (rank) {
-        result.stats = miller_reif_rank(machine, input, out, rng);
-      } else {
-        result.stats = miller_reif_scan(machine, input, out, rng);
-      }
-      break;
-    case Method::kAndersonMiller:
-      if (rank) {
-        result.stats = anderson_miller_rank(machine, input, out, rng);
-      } else {
-        result.stats = anderson_miller_scan(machine, input, out, rng);
-      }
-      break;
-    case Method::kReidMiller: {
-      LinkedList copy = input;
-      result.stats =
-          rank ? reid_miller_rank(machine, copy, out, rng, opt.reid_miller)
-               : reid_miller_scan(machine, copy, out, rng, OpPlus{},
-                                  opt.reid_miller);
-      break;
-    }
-    case Method::kReidMillerEncoded: {
-      if (!rank) {
-        throw std::invalid_argument(
-            "the encoded single-gather path supports ranking only");
-      }
-      LinkedList ones = input;
-      ones.value.assign(n, 1);
-      if (!can_encode(ones)) {
-        throw std::invalid_argument(
-            "list too long for the (link,value) 64-bit encoding");
-      }
-      std::vector<packed_t> packed = encode_list(ones);
-      result.stats = reid_miller_rank_encoded(machine, packed, input.head,
-                                              out, rng);
-      break;
-    }
-    case Method::kAuto:
-      assert(false && "resolve_auto never returns kAuto");
-      break;
-  }
+  RunResult r = engine.run(req);
+  if (!r.ok()) throw std::invalid_argument(r.status.message);
 
-  result.cycles = machine.max_cycles();
-  result.ns = machine.elapsed_ns();
-  result.ns_per_vertex = n > 0 ? result.ns / static_cast<double>(n) : 0.0;
-  result.ops = machine.ops();
-  return result;
+  SimResult out;
+  out.scan = std::move(r.scan);
+  out.stats = r.stats.algo;
+  out.method_used = r.method_used;
+  out.cycles = r.stats.sim_cycles;
+  out.ns = r.stats.sim_ns;
+  out.ns_per_vertex = r.stats.sim_ns_per_vertex;
+  out.ops = r.stats.ops;
+  return out;
 }
 
 }  // namespace

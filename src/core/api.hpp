@@ -1,44 +1,38 @@
-// Public API of the listrank90 library.
+// Legacy public API of the listrank90 library -- thin shims over
+// lr90::Engine (core/engine.hpp).
 //
-// Two families of entry points:
+// Historically the library exposed two disjoint entry-point families:
 //
-//  * sim_list_rank / sim_list_scan -- run a chosen algorithm on the
-//    simulated Cray C90 (vm::Machine) and report both the answer and the
-//    simulated cost. This is what the paper's experiments use.
+//  * sim_list_rank / sim_list_scan (this header) -- run a chosen algorithm
+//    on the simulated Cray C90 and report the simulated cost;
 //  * host_list_rank / host_list_scan (core/parallel_host.hpp) -- portable
 //    execution on the real host, parallelized with OpenMP when available.
 //
-// Method::kAuto picks the fastest algorithm for the list length the way
-// the paper does for Phase 2 (Fig. 1): serial for short lists, Wyllie for
-// moderate ones, Reid-Miller beyond the crossover (~1000 vertices).
+// Both families now delegate to the Engine: these wrappers build a
+// one-shot sim-backend Engine, translate SimOptions/SimResult, and keep
+// the original contracts -- including Method::kAuto resolving by the
+// legacy fixed thresholds (resolve_auto) rather than the Engine's
+// cost-model Planner, and errors surfacing as std::invalid_argument
+// throws rather than typed Status values. New code should construct an
+// Engine directly: it unifies both backends, batches, and reuses its
+// workspace across calls.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "baselines/algo_stats.hpp"
+#include "core/engine.hpp"
 #include "core/reid_miller.hpp"
 #include "lists/linked_list.hpp"
 #include "vm/machine.hpp"
 
 namespace lr90 {
 
-enum class Method {
-  kAuto,
-  kSerial,
-  kWyllie,
-  kMillerReif,
-  kAndersonMiller,
-  kReidMiller,
-  kReidMillerEncoded,  ///< rank only: the single-gather packed fast path
-};
-
-const char* method_name(Method m);
-
 struct SimOptions {
   Method method = Method::kAuto;
   unsigned processors = 1;
-  std::uint64_t seed = 0x5eed5eedULL;
+  std::uint64_t seed = kDefaultSeed;
   vm::MachineConfig machine;     ///< processors field is overridden
   ReidMillerOptions reid_miller;
   /// When true, run the O(n) structural validator on the input first and
@@ -57,11 +51,6 @@ struct SimResult {
   double ns_per_vertex = 0.0;
   vm::OpCounters ops;
 };
-
-/// Thresholds for Method::kAuto (empirical crossovers, Fig. 1).
-inline constexpr std::size_t kAutoSerialMax = 128;
-inline constexpr std::size_t kAutoWyllieMax = 1024;
-Method resolve_auto(std::size_t n, Method requested);
 
 /// List ranking on the simulated machine.
 SimResult sim_list_rank(const LinkedList& list, const SimOptions& opt = {});

@@ -1,0 +1,286 @@
+// lr90::Engine -- the unified entry point of the listrank90 library.
+//
+// The library grew two disjoint API families: the simulated-Cray-C90 path
+// (sim_list_rank / sim_list_scan, core/api.hpp) and the real-hardware
+// OpenMP path (host_list_rank / host_list_scan, core/parallel_host.hpp),
+// each with its own option struct, result shape, and auto-dispatch policy.
+// The Engine puts one facade in front of both:
+//
+//   Engine engine({.backend = BackendKind::kHost});
+//   RunResult r = engine.rank(list);            // scan: engine.scan(list)
+//   if (!r.ok()) report(r.status);              // typed errors, no aborts
+//
+// An Engine owns
+//   * an ExecutionBackend -- SimBackend (wraps vm::Machine), HostBackend
+//     (wraps the OpenMP sublist kernel), or SerialBackend (the degenerate
+//     single-walk case);
+//   * a Planner that resolves Method::kAuto per backend by consulting the
+//     paper's cost equations and tuner (analysis/cost_eqs, analysis/tuner)
+//     instead of hard-coded crossovers;
+//   * a Workspace of reusable scratch buffers, so repeated calls (and
+//     run_batch) stop paying per-call allocation -- the paper's "assign
+//     work once, balance locally" discipline applied to memory.
+//
+// Results carry one merged RunStats: wall-clock always, simulated
+// cycles/ns when the backend simulates, AlgoStats always.
+//
+// The legacy families remain as thin shims over the Engine (see
+// core/api.hpp and core/parallel_host.hpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/algo_stats.hpp"
+#include "baselines/anderson_miller.hpp"
+#include "core/reid_miller.hpp"
+#include "core/workspace.hpp"
+#include "lists/linked_list.hpp"
+#include "support/rng.hpp"
+#include "vm/machine.hpp"
+
+namespace lr90 {
+
+// -- methods (moved here from core/api.hpp; api.hpp re-exposes them) -------
+
+enum class Method {
+  kAuto,
+  kSerial,
+  kWyllie,
+  kMillerReif,
+  kAndersonMiller,
+  kReidMiller,
+  kReidMillerEncoded,  ///< rank only: the single-gather packed fast path
+};
+
+const char* method_name(Method m);
+
+/// Legacy fixed thresholds for Method::kAuto (empirical crossovers, Fig. 1)
+/// used by the sim_list_* shims. New code goes through the Planner, which
+/// derives the crossovers from the cost model instead.
+inline constexpr std::size_t kAutoSerialMax = 128;
+inline constexpr std::size_t kAutoWyllieMax = 1024;
+Method resolve_auto(std::size_t n, Method requested);
+
+// -- backends ---------------------------------------------------------------
+
+enum class BackendKind {
+  kSerial,  ///< single serial walk on the host (degenerate reference)
+  kSim,     ///< simulated Cray C90 (vm::Machine); reports cycles and ns
+  kHost,    ///< real execution, OpenMP-parallel when available
+};
+
+const char* backend_name(BackendKind k);
+
+// -- status -----------------------------------------------------------------
+
+enum class StatusCode {
+  kOk,
+  kInvalidInput,  ///< malformed list / request
+  kUnsupported,   ///< method or operator the backend cannot run
+  kWrongAnswer,   ///< verify_output found a mismatch with the reference
+};
+
+const char* status_code_name(StatusCode c);
+
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+  static Status success() { return {}; }
+  static Status invalid(std::string msg);
+  static Status unsupported(std::string msg);
+  static Status wrong_answer(std::string msg);
+};
+
+// -- requests ---------------------------------------------------------------
+
+/// Binary associative operator of a scan request, runtime-dispatchable.
+/// (The template entry points remain available for custom operators.)
+enum class ScanOp { kPlus, kMin, kMax, kXor };
+
+const char* scan_op_name(ScanOp op);
+
+struct RankRequest {
+  const LinkedList* list = nullptr;
+  Method method = Method::kAuto;
+};
+
+struct ScanRequest {
+  const LinkedList* list = nullptr;
+  ScanOp op = ScanOp::kPlus;
+  Method method = Method::kAuto;
+};
+
+/// The unified request run_batch consumes; converts from either family.
+struct Request {
+  const LinkedList* list = nullptr;
+  bool rank = true;
+  ScanOp op = ScanOp::kPlus;  ///< ignored when rank
+  Method method = Method::kAuto;
+
+  Request() = default;
+  Request(const RankRequest& r)  // NOLINT(google-explicit-constructor)
+      : list(r.list), rank(true), method(r.method) {}
+  Request(const ScanRequest& s)  // NOLINT(google-explicit-constructor)
+      : list(s.list), rank(false), op(s.op), method(s.method) {}
+};
+
+// -- results ----------------------------------------------------------------
+
+/// Merged statistics: wall-clock and AlgoStats always; simulated figures
+/// when the backend simulates (has_sim).
+struct RunStats {
+  AlgoStats algo;
+  double wall_ns = 0.0;  ///< host wall-clock of the execution
+
+  bool has_sim = false;
+  double sim_cycles = 0.0;        ///< simulated machine cycles
+  double sim_ns = 0.0;            ///< simulated wall time
+  double sim_ns_per_vertex = 0.0;
+  vm::OpCounters ops;             ///< simulated data-movement counters
+};
+
+struct RunResult {
+  Status status;
+  std::vector<value_t> scan;  ///< exclusive scan/rank per vertex index
+  Method method_used = Method::kAuto;
+  BackendKind backend = BackendKind::kSerial;
+  RunStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+// -- options ----------------------------------------------------------------
+
+struct EngineOptions {
+  BackendKind backend = BackendKind::kHost;
+  /// Simulated processors (sim backend; overrides machine.processors).
+  unsigned processors = 1;
+  /// Host worker threads; 0 = OpenMP default (host backend).
+  unsigned threads = 0;
+  /// Sublists per thread the host planner targets (more = better balance,
+  /// more overhead).
+  unsigned sublists_per_thread = 64;
+  std::uint64_t seed = kDefaultSeed;
+  vm::MachineConfig machine;           ///< sim backend configuration
+  ReidMillerOptions reid_miller;       ///< sim backend algorithm knobs
+  AndersonMillerOptions anderson_miller;
+  /// Run the O(n) structural validator on every input first; malformed
+  /// lists yield StatusCode::kInvalidInput instead of undefined behaviour.
+  bool validate_input = false;
+  /// Check every answer against the serial reference; mismatches yield
+  /// StatusCode::kWrongAnswer. Costs one serial pass per run.
+  bool verify_output = false;
+};
+
+// -- planner ----------------------------------------------------------------
+
+/// Resolves Method::kAuto and picks the sublist count per backend.
+///
+/// Sim backend: chooses the cheapest of serial / Wyllie / Reid-Miller by
+/// the paper's cost model -- the serial scalar line, a Wyllie estimate
+/// built from the machine's vector costs (2 gathers + 1 combine per round
+/// plus a barrier), and the tuner's Eq. 3 + Phase-2 minimum -- rather than
+/// the legacy hard-coded kAutoSerialMax/kAutoWyllieMax thresholds. Also
+/// reports the tuned m and S_1 so the algorithm skips re-tuning.
+///
+/// Host backend: serial below a small per-thread break-even, otherwise the
+/// sublist kernel with threads * sublists_per_thread sublists (the paper's
+/// oversubscription discipline; the tuner models C90 vector startups, which
+/// do not exist on the host).
+class Planner {
+ public:
+  explicit Planner(const EngineOptions& opt);
+
+  struct Decision {
+    Method method = Method::kSerial;
+    double sublists = 0.0;  ///< m (sim Reid-Miller) / total target (host)
+    double s1 = 0.0;        ///< first balance interval (sim Reid-Miller)
+    unsigned threads = 1;   ///< host worker threads (host backend only)
+    double predicted_cycles = 0.0;  ///< sim cost-model estimate; 0 if n/a
+  };
+
+  /// Plans one run of length n. `requested` != kAuto is honoured verbatim
+  /// (the backend may still reject it as unsupported).
+  Decision decide(std::size_t n, Method requested, bool rank) const;
+
+  // Cost-model estimates behind the sim decision, exposed for tests and
+  // benches (cycles on the configured processor count).
+  double serial_cycles(std::size_t n, bool rank) const;
+  double wyllie_cycles(std::size_t n, bool rank) const;
+  double reid_miller_cycles(std::size_t n, bool rank) const;
+
+ private:
+  TuneResult tuned(double n, bool rank_kernels) const;
+
+  BackendKind backend_;
+  unsigned processors_;
+  unsigned threads_;
+  unsigned sublists_per_thread_;
+  double pinned_m_;   ///< caller-pinned reid_miller.m (<= 0 = auto)
+  double pinned_s1_;  ///< caller-pinned reid_miller.s1 (<= 0 = auto)
+  double contention_;
+  double sync_cycles_;
+  vm::CostTable table_;
+  /// tune() results memoized per (n, kernel family). Planner (like Engine)
+  /// is not thread-safe; engines are cheap, use one per thread.
+  mutable std::map<std::pair<double, bool>, TuneResult> tune_cache_;
+};
+
+// -- backend interface ------------------------------------------------------
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+  virtual BackendKind kind() const = 0;
+  /// Executes the planned request into `result` (scan already sized).
+  virtual Status execute(const Request& req, const Planner::Decision& plan,
+                         Workspace& ws, RunResult& result) = 0;
+  /// The simulated machine of the last run (sim backend only; null
+  /// otherwise). Valid until the next execute().
+  virtual const vm::Machine* machine() const { return nullptr; }
+};
+
+// -- engine -----------------------------------------------------------------
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opt = {});
+  ~Engine();
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+
+  /// Exclusive list rank (number of predecessors per vertex).
+  RunResult rank(const LinkedList& list, Method method = Method::kAuto);
+  /// Exclusive list scan under `op`.
+  RunResult scan(const LinkedList& list, ScanOp op = ScanOp::kPlus,
+                 Method method = Method::kAuto);
+  /// Runs one unified request.
+  RunResult run(const Request& req);
+  /// Runs a batch front to back on this engine's workspace; one result per
+  /// request (failures are per-request, the batch never aborts).
+  std::vector<RunResult> run_batch(std::span<const Request> requests);
+
+  const EngineOptions& options() const { return opt_; }
+  const Planner& planner() const { return planner_; }
+  Workspace& workspace() { return ws_; }
+  const Workspace& workspace() const { return ws_; }
+  /// Simulated machine of the last run (sim backend only; null otherwise).
+  /// For post-run introspection, e.g. per-kernel cycle breakdowns.
+  const vm::Machine* sim_machine() const { return backend_->machine(); }
+
+ private:
+  EngineOptions opt_;
+  Planner planner_;
+  std::unique_ptr<ExecutionBackend> backend_;
+  Workspace ws_;
+};
+
+}  // namespace lr90

@@ -1,12 +1,8 @@
 #include "core/experiment.hpp"
 
-#include <cassert>
 #include <cstdio>
-#include <cstdlib>
 
-#include "baselines/serial.hpp"
 #include "lists/generators.hpp"
-#include "lists/validate.hpp"
 
 namespace lr90 {
 
@@ -16,31 +12,42 @@ SimRun run_sim(Method method, std::size_t n, unsigned p, bool rank,
   const LinkedList list =
       random_list(n, rng, rank ? ValueInit::kOnes : ValueInit::kUniformSmall);
 
-  SimOptions opt;
-  opt.method = method;
-  opt.processors = p;
-  opt.seed = rng.next_u64();
-  opt.reid_miller = rm;
-  const SimResult result =
-      rank ? sim_list_rank(list, opt) : sim_list_scan(list, opt);
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  eo.processors = p;
+  eo.seed = rng.next_u64();
+  eo.reid_miller = rm;
+  eo.verify_output = true;  // a bench that lies is worthless
+  Engine engine(std::move(eo));
 
-  // Verify against the serial reference; a bench that lies is worthless.
-  std::vector<value_t> expect(n, 0);
-  serial_scan_host(list, std::span<value_t>(expect));
-  if (result.scan != expect) {
-    std::fprintf(stderr,
-                 "run_sim: %s produced a wrong answer (n=%zu, p=%u)\n",
-                 method_name(method), n, p);
-    std::abort();
-  }
+  Request req;
+  req.list = &list;
+  req.rank = rank;
+  req.method = method;
+  const RunResult result = engine.run(req);
 
   SimRun run;
-  run.cycles = result.cycles;
-  run.ns = result.ns;
-  run.ns_per_vertex = result.ns_per_vertex;
+  run.status = result.status;
+  run.cycles = result.stats.sim_cycles;
+  run.ns = result.stats.sim_ns;
+  run.ns_per_vertex = result.stats.sim_ns_per_vertex;
   run.cycles_per_vertex =
-      n > 0 ? result.cycles / static_cast<double>(n) : 0.0;
-  run.stats = result.stats;
+      n > 0 ? result.stats.sim_cycles / static_cast<double>(n) : 0.0;
+  run.stats = result.stats.algo;
+  return run;
+}
+
+SimRun CheckedRunner::operator()(Method method, std::size_t n, unsigned p,
+                                 bool rank, std::uint64_t seed,
+                                 const ReidMillerOptions& rm) {
+  SimRun run = run_sim(method, n, p, rank, seed, rm);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run_sim: %s failed (n=%zu, p=%u): [%s] %s\n",
+                 method_name(method), n, p,
+                 status_code_name(run.status.code),
+                 run.status.message.c_str());
+    failed_ = true;
+  }
   return run;
 }
 

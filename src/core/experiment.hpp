@@ -2,31 +2,52 @@
 //
 // Each of the paper's tables and figures boils down to: build a random
 // list, run algorithm X on a machine with p processors, report simulated
-// ns-per-vertex. run_sim() packages that (and verifies the answer against
-// the serial reference each time, so every bench doubles as an integration
-// test).
+// ns-per-vertex. run_sim() packages that through an lr90::Engine with
+// verify_output on, so every bench doubles as an integration test -- a
+// wrong answer comes back as a typed Status (it used to abort the whole
+// bench), and CheckedRunner gives benches a one-liner to record failures
+// and exit non-zero.
 #pragma once
 
 #include <cstdint>
 
-#include "core/api.hpp"
+#include "core/engine.hpp"
 
 namespace lr90 {
 
 struct SimRun {
+  Status status;  ///< kWrongAnswer when the verified output mismatched
   double cycles = 0.0;
   double ns = 0.0;
   double ns_per_vertex = 0.0;
   double cycles_per_vertex = 0.0;
   AlgoStats stats;
+
+  bool ok() const { return status.ok(); }
 };
 
 /// Runs `method` on a fresh random list of n vertices with p simulated
-/// processors and returns the simulated costs. Aborts (assert) if the
-/// algorithm produced a wrong answer. `rank` selects list ranking
+/// processors and returns the simulated costs. The answer is checked
+/// against the serial reference; mismatches are reported in `status`
+/// (cost fields still describe the bad run). `rank` selects list ranking
 /// (all-ones values) versus list scan (random values).
 SimRun run_sim(Method method, std::size_t n, unsigned p, bool rank,
                std::uint64_t seed = 42,
                const ReidMillerOptions& rm = {});
+
+/// run_sim for bench mains: forwards every call, prints failures to
+/// stderr and remembers them so the bench can `return sim.exit_code();`.
+class CheckedRunner {
+ public:
+  SimRun operator()(Method method, std::size_t n, unsigned p, bool rank,
+                    std::uint64_t seed = 42,
+                    const ReidMillerOptions& rm = {});
+
+  bool failed() const { return failed_; }
+  int exit_code() const { return failed_ ? 1 : 0; }
+
+ private:
+  bool failed_ = false;
+};
 
 }  // namespace lr90

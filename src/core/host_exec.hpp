@@ -1,0 +1,161 @@
+// The host execution kernel: Reid-Miller's three-phase sublist scan on real
+// hardware (OpenMP threads when available), generic over the operator and
+// allocation-free given a warmed-up Workspace.
+//
+// This is the single implementation behind both entry points:
+//   * lr90::Engine with BackendKind::kHost (workspace reused across calls);
+//   * the legacy host_list_scan/host_list_rank shims (one local workspace
+//     per call, core/parallel_host.hpp).
+//
+// Same structure as the paper's algorithm, non-destructively: sublist
+// boundaries live in a bitmap instead of planted self-loops, so the input
+// list stays shared read-only across threads. Threads own contiguous blocks
+// of sublists ("assign virtual processors to physical processors once, load
+// balance only locally"); OpenMP dynamic scheduling within the block plays
+// the role of the vector load balancing.
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "core/workspace.hpp"
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+#include "support/rng.hpp"
+
+#if defined(LISTRANK90_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace lr90::host_exec {
+
+/// Execution shape chosen by the Planner (or the legacy shims).
+struct HostPlan {
+  /// Worker threads to use (already resolved; >= 1).
+  unsigned threads = 1;
+  /// Total sublist count target; < 2 selects the serial fallback.
+  std::size_t sublists = 0;
+};
+
+/// Worker threads actually available for `requested` (0 = library default:
+/// the OpenMP thread count, or 1 without OpenMP).
+inline unsigned effective_threads(unsigned requested) {
+  if (requested > 0) return requested;
+#if defined(LISTRANK90_HAVE_OPENMP)
+  return static_cast<unsigned>(std::max(1, omp_get_max_threads()));
+#else
+  return 1;
+#endif
+}
+
+/// Serial walk fallback, used when parallelism cannot pay off.
+template <class Op>
+void serial_scan_into(const LinkedList& list, std::span<value_t> out,
+                      Op op = {}) {
+  value_t acc = Op::identity();
+  for_each_in_order(list, [&](index_t v, std::size_t) {
+    out[v] = acc;
+    acc = op(acc, list.value[v]);
+  });
+}
+
+/// Chooses `count` distinct sublist boundary vertices (plus the global
+/// tail) into ws.is_tail / ws.picks. Rejection sampling against the bitmap
+/// needs no per-call set: the pick density is at most 1/2, so the expected
+/// number of retries per pick is below one.
+inline void choose_boundaries(const LinkedList& list, std::size_t count,
+                              Workspace& ws, index_t global_tail) {
+  const std::size_t n = list.size();
+  ws.fit(ws.is_tail, n, std::uint8_t{0});
+  ws.fit_uninit(ws.picks, count);
+  ws.picks.clear();  // keep capacity, refill below
+  ws.is_tail[global_tail] = 1;
+  while (ws.picks.size() < count) {
+    const auto r = static_cast<index_t>(ws.rng.uniform(n));
+    if (ws.is_tail[r]) continue;  // duplicate or the global tail: redraw
+    ws.is_tail[r] = 1;
+    ws.picks.push_back(r);
+  }
+}
+
+/// Exclusive list scan into `out` (sized n) per the plan, reusing `ws`.
+/// Preconditions: `list` is a valid LinkedList, out.size() == list.size().
+template <class Op>
+void scan_into(const LinkedList& list, Op op, const HostPlan& plan,
+               Workspace& ws, std::span<value_t> out) {
+  const std::size_t n = list.size();
+  if (n == 0) return;
+  if (n == 1) {
+    out[list.head] = Op::identity();
+    return;
+  }
+
+  const std::size_t want = std::min(plan.sublists, n / 2);
+  if (plan.threads <= 1 || want < 2) {
+    serial_scan_into(list, out, op);
+    return;
+  }
+
+  choose_boundaries(list, want - 1, ws, list.find_tail());
+
+  // Sublist heads: the whole-list head plus each pick's successor. A pick
+  // whose successor is itself a tail yields a single-vertex sublist.
+  ws.fit_uninit(ws.heads, want);
+  ws.heads.clear();
+  ws.heads.push_back(list.head);
+  for (const index_t r : ws.picks) ws.heads.push_back(list.next[r]);
+  const std::size_t k = ws.heads.size();
+
+  // Phase 1: per-sublist inclusive sums; record each sublist's tail.
+  ws.fit(ws.sums, k, Op::identity());
+  ws.fit(ws.tails, k, kNoVertex);
+#if defined(LISTRANK90_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8) num_threads(plan.threads)
+#endif
+  for (std::size_t j = 0; j < k; ++j) {
+    index_t v = ws.heads[j];
+    value_t acc = Op::identity();
+    while (true) {
+      acc = op(acc, list.value[v]);
+      if (ws.is_tail[v]) break;
+      v = list.next[v];
+    }
+    ws.sums[j] = acc;
+    ws.tails[j] = v;
+  }
+
+  // Phase 2 (serial; k is tiny): order the sublists by chaining
+  // tail -> successor head, then exclusive-scan their sums.
+  ws.fit(ws.owner_of_head, n, kNoVertex);
+  for (std::size_t j = 0; j < k; ++j)
+    ws.owner_of_head[ws.heads[j]] = static_cast<index_t>(j);
+  ws.fit(ws.headscan, k, Op::identity());
+  {
+    value_t acc = Op::identity();
+    std::size_t j = 0;  // the first sublist starts at the list head
+    for (std::size_t seen = 0; seen < k; ++seen) {
+      ws.headscan[j] = acc;
+      acc = op(acc, ws.sums[j]);
+      const index_t t = ws.tails[j];
+      if (list.next[t] == t) break;  // the global tail ends the chain
+      j = ws.owner_of_head[list.next[t]];
+    }
+  }
+
+  // Phase 3: expand each sublist from its head's scan value.
+#if defined(LISTRANK90_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8) num_threads(plan.threads)
+#endif
+  for (std::size_t j = 0; j < k; ++j) {
+    index_t v = ws.heads[j];
+    value_t acc = ws.headscan[j];
+    while (true) {
+      out[v] = acc;
+      acc = op(acc, list.value[v]);
+      if (ws.is_tail[v]) break;
+      v = list.next[v];
+    }
+  }
+}
+
+}  // namespace lr90::host_exec

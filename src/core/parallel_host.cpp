@@ -1,44 +1,6 @@
 #include "core/parallel_host.hpp"
 
-#include <algorithm>
-
-#if defined(LISTRANK90_HAVE_OPENMP)
-#include <omp.h>
-#endif
-
 namespace lr90 {
-
-namespace host_detail {
-
-unsigned effective_threads(unsigned requested) {
-  if (requested > 0) return requested;
-#if defined(LISTRANK90_HAVE_OPENMP)
-  return static_cast<unsigned>(std::max(1, omp_get_max_threads()));
-#else
-  return 1;
-#endif
-}
-
-Boundaries choose_boundaries(const LinkedList& list, std::size_t count,
-                             Rng& rng) {
-  const std::size_t n = list.size();
-  Boundaries b;
-  b.is_tail.assign(n, 0);
-  b.global_tail = list.find_tail();
-  b.is_tail[b.global_tail] = 1;
-  std::vector<std::uint32_t> sample = rng.sample_distinct(
-      static_cast<std::uint32_t>(std::min(count, n - 1)),
-      static_cast<std::uint32_t>(n));
-  b.picks.reserve(sample.size());
-  for (const std::uint32_t r : sample) {
-    if (r == b.global_tail) continue;  // degenerate pick, drop it
-    b.is_tail[r] = 1;
-    b.picks.push_back(static_cast<index_t>(r));
-  }
-  return b;
-}
-
-}  // namespace host_detail
 
 std::vector<value_t> host_list_rank(const LinkedList& list,
                                     const HostOptions& opt) {

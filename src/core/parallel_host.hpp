@@ -1,21 +1,20 @@
-// Portable host execution of the Reid-Miller algorithm (real wall clock,
-// OpenMP threads when available).
+// Legacy host entry points -- thin shims over the host execution kernel
+// (core/host_exec.hpp), which is what lr90::Engine's HostBackend runs.
 //
-// This is the "production" path a downstream user calls to rank real lists
-// on real hardware. It is the same three-phase algorithm as the simulated
-// version -- random sublists, reduced-list scan, final expansion -- but
-// implemented non-destructively: sublist boundaries live in a bitmap
-// instead of planted self-loops, so the input list is shared read-only
-// across threads and no restoration pass is needed.
+// host_list_scan / host_list_rank keep their original one-call contract:
+// build a plan from HostOptions, run the three-phase sublist scan on a
+// local workspace, return the result vector. Every call pays the scratch
+// allocations that an Engine amortizes across runs; batched or repeated
+// callers should construct an Engine with BackendKind::kHost instead.
 //
-// Threads each own a contiguous block of sublists (the paper's "assign
-// virtual processors to physical processors once, load balance only
-// locally"); OpenMP dynamic scheduling within the block plays the role of
-// the vector load balancing.
+// The template entry point remains the way to scan under a custom operator
+// type (the Engine's runtime ScanOp covers plus/min/max/xor).
 #pragma once
 
 #include <vector>
 
+#include "core/host_exec.hpp"
+#include "core/workspace.hpp"
 #include "lists/linked_list.hpp"
 #include "lists/ops.hpp"
 #include "support/rng.hpp"
@@ -28,130 +27,26 @@ struct HostOptions {
   /// Sublists per thread; the total sublist count is threads * per_thread
   /// (capped at n/2). More sublists = better balance, more overhead.
   unsigned sublists_per_thread = 64;
-  std::uint64_t seed = 0x5eed5eedULL;
+  std::uint64_t seed = kDefaultSeed;
 };
 
 /// Exclusive list scan on the host. Generic over the operator.
 template <class Op = OpPlus>
 std::vector<value_t> host_list_scan(const LinkedList& list, Op op = {},
-                                    const HostOptions& opt = {});
+                                    const HostOptions& opt = {}) {
+  std::vector<value_t> out(list.size(), Op::identity());
+  Workspace ws;
+  ws.rng = Rng(opt.seed);
+  host_exec::HostPlan plan;
+  plan.threads = host_exec::effective_threads(opt.threads);
+  plan.sublists = static_cast<std::size_t>(plan.threads) *
+                  std::max(1u, opt.sublists_per_thread);
+  host_exec::scan_into(list, op, plan, ws, std::span<value_t>(out));
+  return out;
+}
 
 /// Exclusive list rank on the host.
 std::vector<value_t> host_list_rank(const LinkedList& list,
                                     const HostOptions& opt = {});
-
-// -- implementation ------------------------------------------------------
-
-namespace host_detail {
-unsigned effective_threads(unsigned requested);
-
-/// Chooses boundary vertices (sublist tails): `count` distinct non-tail
-/// picks plus the global tail, returned as a bitmap plus the pick list.
-struct Boundaries {
-  std::vector<std::uint8_t> is_tail;  // by vertex
-  std::vector<index_t> picks;         // excludes the global tail
-  index_t global_tail;
-};
-Boundaries choose_boundaries(const LinkedList& list, std::size_t count,
-                             Rng& rng);
-}  // namespace host_detail
-
-/// Serial fallback used when parallelism cannot pay off.
-template <class Op>
-void serial_scan_fallback(const LinkedList& list, std::vector<value_t>& out,
-                          Op op) {
-  value_t acc = Op::identity();
-  for_each_in_order(list, [&](index_t v, std::size_t) {
-    out[v] = acc;
-    acc = op(acc, list.value[v]);
-  });
-}
-
-template <class Op>
-std::vector<value_t> host_list_scan(const LinkedList& list, Op op,
-                                    const HostOptions& opt) {
-  const std::size_t n = list.size();
-  std::vector<value_t> out(n, Op::identity());
-  if (n == 0) return out;
-  if (n == 1) {
-    out[list.head] = Op::identity();
-    return out;
-  }
-
-  const unsigned threads = host_detail::effective_threads(opt.threads);
-  std::size_t want = static_cast<std::size_t>(threads) *
-                     std::max(1u, opt.sublists_per_thread);
-  want = std::min(want, n / 2);
-  Rng rng(opt.seed);
-
-  if (threads == 1 || want < 2) {
-    serial_scan_fallback(list, out, op);
-    return out;
-  }
-
-  const host_detail::Boundaries b =
-      host_detail::choose_boundaries(list, want, rng);
-
-  // Sublist heads: the whole-list head plus each pick's successor. A pick
-  // whose successor is itself a tail yields a single-vertex sublist.
-  std::vector<index_t> heads;
-  heads.reserve(b.picks.size() + 1);
-  heads.push_back(list.head);
-  for (const index_t r : b.picks) heads.push_back(list.next[r]);
-  const std::size_t k = heads.size();
-
-  // Phase 1: per-sublist inclusive sums; record each sublist's tail.
-  std::vector<value_t> sums(k, Op::identity());
-  std::vector<index_t> tails(k, kNoVertex);
-#if defined(LISTRANK90_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 8) num_threads(threads)
-#endif
-  for (std::size_t j = 0; j < k; ++j) {
-    index_t v = heads[j];
-    value_t acc = Op::identity();
-    while (true) {
-      acc = op(acc, list.value[v]);
-      if (b.is_tail[v]) break;
-      v = list.next[v];
-    }
-    sums[j] = acc;
-    tails[j] = v;
-  }
-
-  // Phase 2 (serial; k is tiny): order the sublists by chaining
-  // tail -> successor head, then exclusive-scan their sums.
-  std::vector<index_t> owner_of_head(n, kNoVertex);
-  for (std::size_t j = 0; j < k; ++j) owner_of_head[heads[j]] =
-      static_cast<index_t>(j);
-  std::vector<value_t> headscan(k, Op::identity());
-  {
-    value_t acc = Op::identity();
-    std::size_t j = 0;  // the first sublist starts at the list head
-    for (std::size_t seen = 0; seen < k; ++seen) {
-      headscan[j] = acc;
-      acc = op(acc, sums[j]);
-      const index_t t = tails[j];
-      if (t == b.global_tail) break;
-      const index_t nh = list.next[t];
-      j = owner_of_head[nh];
-    }
-  }
-
-  // Phase 3: expand each sublist from its head's scan value.
-#if defined(LISTRANK90_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 8) num_threads(threads)
-#endif
-  for (std::size_t j = 0; j < k; ++j) {
-    index_t v = heads[j];
-    value_t acc = headscan[j];
-    while (true) {
-      out[v] = acc;
-      acc = op(acc, list.value[v]);
-      if (b.is_tail[v]) break;
-      v = list.next[v];
-    }
-  }
-  return out;
-}
 
 }  // namespace lr90

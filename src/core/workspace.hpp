@@ -1,0 +1,112 @@
+// Reusable per-engine scratch memory.
+//
+// The host execution path needs a handful of O(n) and O(k) scratch arrays
+// (sublist boundary bitmap, heads/sums/tails, the head-ownership table).
+// Allocating them per call dominates the cost of ranking short lists and
+// fragments the heap under batched traffic, so an Engine owns one Workspace
+// and every run re-fits the same buffers: capacity only ever grows, and a
+// warmed-up workspace serves steady-state traffic with zero allocations.
+//
+// The counters make reuse observable: `allocations()` increments whenever a
+// fit must grow a buffer, `reuse_hits()` whenever existing capacity was
+// enough. Tests assert that a batch of same-shaped requests stops
+// allocating after the first one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lists/linked_list.hpp"
+#include "support/rng.hpp"
+
+namespace lr90 {
+
+class Workspace {
+ public:
+  // -- scratch buffers (backends wire these directly) --------------------
+  std::vector<std::uint8_t> is_tail;      ///< by vertex: sublist tail flag
+  std::vector<index_t> heads;             ///< sublist head vertices
+  std::vector<index_t> tails;             ///< sublist tail vertices
+  std::vector<index_t> picks;             ///< chosen boundary vertices
+  std::vector<index_t> owner_of_head;     ///< by vertex: owning sublist id
+  std::vector<value_t> sums;              ///< per-sublist inclusive sums
+  std::vector<value_t> headscan;          ///< per-sublist exclusive scan
+  std::vector<value_t> verify;            ///< serial reference (verify_output)
+  LinkedList scratch_list;                ///< mutable copy of an input list
+
+  /// RNG used for boundary picks; reseeded per run from the engine options
+  /// so results do not depend on what ran before.
+  Rng rng{kDefaultSeed};
+
+  /// Buffer-growth events: a fit() that had to (re)allocate.
+  std::uint64_t allocations() const { return allocations_; }
+  /// Fits served entirely from existing capacity.
+  std::uint64_t reuse_hits() const { return reuse_hits_; }
+
+  /// Sizes `v` to n elements, all set to `init`, reusing capacity.
+  template <class T>
+  std::vector<T>& fit(std::vector<T>& v, std::size_t n, T init) {
+    note(v.capacity() >= n);
+    v.assign(n, init);
+    return v;
+  }
+
+  /// Sizes `v` to n elements without initializing new content.
+  template <class T>
+  std::vector<T>& fit_uninit(std::vector<T>& v, std::size_t n) {
+    note(v.capacity() >= n);
+    v.clear();
+    v.resize(n);
+    return v;
+  }
+
+  /// Copies `src` into the scratch list, reusing its capacity. Algorithms
+  /// that mutate their input (the simulated Reid-Miller path) run on this
+  /// copy so the caller's list stays const without a per-call allocation.
+  LinkedList& fit_list(const LinkedList& src) {
+    note(scratch_list.next.capacity() >= src.next.size() &&
+         scratch_list.value.capacity() >= src.value.size());
+    scratch_list.next = src.next;
+    scratch_list.value = src.value;
+    scratch_list.head = src.head;
+    return scratch_list;
+  }
+
+  /// Copies `src`'s structure with every value forced to one (list ranking
+  /// as a scan of all-ones), reusing capacity.
+  LinkedList& fit_ones(const LinkedList& src) {
+    note(scratch_list.next.capacity() >= src.next.size() &&
+         scratch_list.value.capacity() >= src.next.size());
+    scratch_list.next = src.next;
+    scratch_list.value.assign(src.next.size(), 1);
+    scratch_list.head = src.head;
+    return scratch_list;
+  }
+
+  /// Releases all held memory (counters are kept).
+  void release() {
+    is_tail = {};
+    heads = {};
+    tails = {};
+    picks = {};
+    owner_of_head = {};
+    sums = {};
+    headscan = {};
+    verify = {};
+    scratch_list = {};
+  }
+
+ private:
+  void note(bool fits) {
+    if (fits) {
+      ++reuse_hits_;
+    } else {
+      ++allocations_;
+    }
+  }
+
+  std::uint64_t allocations_ = 0;
+  std::uint64_t reuse_hits_ = 0;
+};
+
+}  // namespace lr90

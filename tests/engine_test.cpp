@@ -1,0 +1,424 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/api.hpp"
+#include "lists/generators.hpp"
+#include "lists/validate.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+EngineOptions backend_options(BackendKind kind) {
+  EngineOptions eo;
+  eo.backend = kind;
+  if (kind == BackendKind::kHost) eo.threads = 2;
+  return eo;
+}
+
+// -- backend parity ---------------------------------------------------------
+
+TEST(Engine, BackendsAgreeOnRankAcrossSizes) {
+  Rng rng(1);
+  for (const std::size_t n : testutil::sweep_sizes()) {
+    const LinkedList l = random_list(n, rng);
+    const auto want = reference_rank(l);
+    for (const BackendKind kind :
+         {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+      Engine engine(backend_options(kind));
+      const RunResult r = engine.rank(l);
+      ASSERT_TRUE(r.ok()) << backend_name(kind) << " n=" << n << ": "
+                          << r.status.message;
+      EXPECT_EQ(r.backend, kind);
+      testutil::expect_scan_eq(r.scan, want);
+    }
+  }
+}
+
+TEST(Engine, BackendsAgreeOnDegenerateLayouts) {
+  for (const std::size_t n : {1u, 2u, 5u, 300u}) {
+    for (const bool reversed : {false, true}) {
+      const LinkedList l =
+          reversed ? reversed_list(n) : sequential_list(n);
+      const auto want = reference_rank(l);
+      for (const BackendKind kind :
+           {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+        Engine engine(backend_options(kind));
+        const RunResult r = engine.rank(l);
+        ASSERT_TRUE(r.ok());
+        testutil::expect_scan_eq(r.scan, want);
+      }
+    }
+  }
+}
+
+TEST(Engine, BackendsAgreeOnEveryScanOp) {
+  Rng rng(2);
+  const LinkedList l = random_list(3000, rng, ValueInit::kSigned);
+  for (const ScanOp op :
+       {ScanOp::kPlus, ScanOp::kMin, ScanOp::kMax, ScanOp::kXor}) {
+    std::vector<value_t> want;
+    switch (op) {
+      case ScanOp::kPlus: want = testutil::expected_scan(l, OpPlus{}); break;
+      case ScanOp::kMin: want = testutil::expected_scan(l, OpMin{}); break;
+      case ScanOp::kMax: want = testutil::expected_scan(l, OpMax{}); break;
+      case ScanOp::kXor: want = testutil::expected_scan(l, OpXor{}); break;
+    }
+    for (const BackendKind kind :
+         {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+      Engine engine(backend_options(kind));
+      const RunResult r = engine.scan(l, op);
+      ASSERT_TRUE(r.ok()) << backend_name(kind) << " op "
+                          << scan_op_name(op) << ": " << r.status.message;
+      testutil::expect_scan_eq(r.scan, want);
+    }
+  }
+}
+
+TEST(Engine, EmptyAndSingleVertexLists) {
+  for (const BackendKind kind :
+       {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+    Engine engine(backend_options(kind));
+
+    const LinkedList empty;
+    const RunResult r0 = engine.rank(empty);
+    ASSERT_TRUE(r0.ok());
+    EXPECT_TRUE(r0.scan.empty());
+
+    const LinkedList one = sequential_list(1);
+    const RunResult r1 = engine.rank(one);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_EQ(r1.scan.size(), 1u);
+    EXPECT_EQ(r1.scan[0], 0);
+    const RunResult s1 = engine.scan(one, ScanOp::kMin);
+    ASSERT_TRUE(s1.ok());
+    EXPECT_EQ(s1.scan[0], OpMin::identity());
+  }
+}
+
+// -- merged stats -----------------------------------------------------------
+
+TEST(Engine, SimStatsCarrySimulatedFigures) {
+  Rng rng(3);
+  const LinkedList l = random_list(5000, rng);
+  Engine engine(backend_options(BackendKind::kSim));
+  const RunResult r = engine.rank(l, Method::kReidMiller);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.stats.has_sim);
+  EXPECT_GT(r.stats.sim_cycles, 0.0);
+  EXPECT_GT(r.stats.sim_ns, 0.0);
+  EXPECT_GT(r.stats.sim_ns_per_vertex, 0.0);
+  EXPECT_GT(r.stats.algo.link_steps, 0u);
+  EXPECT_GE(r.stats.wall_ns, 0.0);
+  ASSERT_NE(engine.sim_machine(), nullptr);
+  EXPECT_DOUBLE_EQ(engine.sim_machine()->max_cycles(), r.stats.sim_cycles);
+}
+
+TEST(Engine, HostStatsHaveNoSimFigures) {
+  Rng rng(4);
+  const LinkedList l = random_list(5000, rng);
+  Engine engine(backend_options(BackendKind::kHost));
+  const RunResult r = engine.rank(l);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.stats.has_sim);
+  EXPECT_EQ(r.stats.sim_cycles, 0.0);
+  EXPECT_GE(r.stats.wall_ns, 0.0);
+  EXPECT_EQ(engine.sim_machine(), nullptr);
+}
+
+// -- typed errors -----------------------------------------------------------
+
+TEST(Engine, NullListIsInvalidInput) {
+  Engine engine;
+  const RunResult r = engine.run(Request{});
+  EXPECT_EQ(r.status.code, StatusCode::kInvalidInput);
+}
+
+TEST(Engine, MalformedListIsInvalidInputWhenValidating) {
+  LinkedList bad;
+  bad.next = {1, 0};  // two-cycle, no tail
+  bad.value = {1, 1};
+  bad.head = 0;
+  EngineOptions eo = backend_options(BackendKind::kSim);
+  eo.validate_input = true;
+  Engine engine(std::move(eo));
+  const RunResult r = engine.rank(bad);
+  EXPECT_EQ(r.status.code, StatusCode::kInvalidInput);
+}
+
+TEST(Engine, UnsupportedCombinationsAreTypedNotThrown) {
+  Rng rng(5);
+  const LinkedList l = random_list(100, rng);
+  {
+    Engine sim(backend_options(BackendKind::kSim));
+    const RunResult r = sim.scan(l, ScanOp::kPlus,
+                                 Method::kReidMillerEncoded);
+    EXPECT_EQ(r.status.code, StatusCode::kUnsupported);
+  }
+  {
+    Engine host(backend_options(BackendKind::kHost));
+    const RunResult r = host.rank(l, Method::kWyllie);
+    EXPECT_EQ(r.status.code, StatusCode::kUnsupported);
+  }
+  {
+    Engine serial(backend_options(BackendKind::kSerial));
+    const RunResult r = serial.rank(l, Method::kMillerReif);
+    EXPECT_EQ(r.status.code, StatusCode::kUnsupported);
+  }
+}
+
+// -- batches ----------------------------------------------------------------
+
+TEST(Engine, RunBatchMixedSizesAndKinds) {
+  Rng rng(6);
+  std::vector<LinkedList> lists;
+  for (const std::size_t n : {0u, 1u, 2u, 17u, 500u, 4096u})
+    lists.push_back(random_list(n, rng, ValueInit::kSigned));
+
+  std::vector<Request> requests;
+  for (const LinkedList& l : lists) {
+    requests.push_back(RankRequest{&l});
+    requests.push_back(ScanRequest{&l, ScanOp::kPlus});
+    requests.push_back(ScanRequest{&l, ScanOp::kMax});
+  }
+
+  for (const BackendKind kind :
+       {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+    Engine engine(backend_options(kind));
+    const std::vector<RunResult> results = engine.run_batch(requests);
+    ASSERT_EQ(results.size(), requests.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Request& req = requests[i];
+      const RunResult& r = results[i];
+      ASSERT_TRUE(r.ok()) << backend_name(kind) << " request " << i << ": "
+                          << r.status.message;
+      if (req.rank) {
+        testutil::expect_scan_eq(r.scan, reference_rank(*req.list));
+      } else if (req.op == ScanOp::kPlus) {
+        testutil::expect_scan_eq(r.scan,
+                                 testutil::expected_scan(*req.list, OpPlus{}));
+      } else {
+        testutil::expect_scan_eq(r.scan,
+                                 testutil::expected_scan(*req.list, OpMax{}));
+      }
+    }
+  }
+}
+
+TEST(Engine, BatchFailuresAreIsolatedPerRequest) {
+  Rng rng(7);
+  const LinkedList good = random_list(50, rng);
+  const Request requests[] = {
+      RankRequest{&good},
+      Request{},  // null list: fails alone
+      RankRequest{&good},
+  };
+  Engine engine;
+  const auto results = engine.run_batch(requests);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_EQ(results[1].status.code, StatusCode::kInvalidInput);
+  EXPECT_TRUE(results[2].ok());
+}
+
+// -- workspace reuse --------------------------------------------------------
+
+TEST(Engine, WorkspaceStopsAllocatingAfterWarmup) {
+  // The acceptance bar: a 100-request batch on the host backend performs
+  // no more than one workspace allocation after warm-up.
+  constexpr std::size_t kRequests = 100;
+  constexpr std::size_t kVertices = 20000;
+  Rng rng(8);
+  std::vector<LinkedList> lists;
+  lists.reserve(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i)
+    lists.push_back(random_list(kVertices, rng));
+
+  Engine engine(backend_options(BackendKind::kHost));
+  // Warm-up: the first run grows every buffer to the working size.
+  const RunResult warm = engine.rank(lists[0]);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm.method_used, Method::kReidMiller)
+      << "list too small to exercise the parallel path";
+  const std::uint64_t after_warmup = engine.workspace().allocations();
+  ASSERT_GT(after_warmup, 0u);
+
+  std::vector<Request> requests;
+  requests.reserve(kRequests);
+  for (const LinkedList& l : lists) requests.push_back(RankRequest{&l});
+  const auto results = engine.run_batch(requests);
+  for (const RunResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.method_used, Method::kReidMiller);
+  }
+
+  EXPECT_LE(engine.workspace().allocations(), after_warmup + 1);
+  EXPECT_GT(engine.workspace().reuse_hits(), 0u);
+  // Spot-check the last answer; the batch above already verified sizes.
+  testutil::expect_scan_eq(results.back().scan,
+                           reference_rank(lists.back()));
+}
+
+TEST(Engine, SimWorkspaceReusesScratchListAcrossCalls) {
+  Rng rng(9);
+  const LinkedList l = random_list(4096, rng);
+  Engine engine(backend_options(BackendKind::kSim));
+  ASSERT_TRUE(engine.rank(l, Method::kReidMiller).ok());
+  const std::uint64_t after_warmup = engine.workspace().allocations();
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(engine.rank(l, Method::kReidMiller).ok());
+  EXPECT_EQ(engine.workspace().allocations(), after_warmup);
+}
+
+TEST(Engine, RepeatedRunsAreDeterministic) {
+  Rng rng(10);
+  const LinkedList l = random_list(10000, rng);
+  Engine engine(backend_options(BackendKind::kSim));
+  const RunResult a = engine.rank(l, Method::kReidMiller);
+  const RunResult b = engine.rank(l, Method::kReidMiller);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.scan, b.scan);
+  EXPECT_DOUBLE_EQ(a.stats.sim_cycles, b.stats.sim_cycles);
+}
+
+// -- planner ----------------------------------------------------------------
+
+TEST(Planner, SimCrossoversAtLegacyBoundaries) {
+  const Planner planner(backend_options(BackendKind::kSim));
+  for (const bool rank : {false, true}) {
+    // At the legacy serial/Wyllie boundary the model still prefers serial
+    // (the fixed threshold under-used it; see Fig. 1's measured curves).
+    EXPECT_EQ(planner.decide(kAutoSerialMax, Method::kAuto, rank).method,
+              Method::kSerial);
+    EXPECT_EQ(planner.decide(kAutoSerialMax + 1, Method::kAuto, rank).method,
+              Method::kSerial);
+    // At the legacy Wyllie/Reid-Miller boundary the model and the fixed
+    // threshold agree: Reid-Miller from ~1k vertices on.
+    const auto at_boundary =
+        planner.decide(kAutoWyllieMax, Method::kAuto, rank);
+    EXPECT_EQ(at_boundary.method, Method::kReidMiller);
+    const auto past_boundary =
+        planner.decide(kAutoWyllieMax + 1, Method::kAuto, rank);
+    EXPECT_EQ(past_boundary.method, Method::kReidMiller);
+    EXPECT_GT(past_boundary.sublists, 0.0);
+    EXPECT_GT(past_boundary.s1, 0.0);
+    EXPECT_GT(past_boundary.predicted_cycles, 0.0);
+  }
+  // The model's own serial/Wyllie crossover sits between the legacy
+  // thresholds.
+  EXPECT_EQ(planner.decide(512, Method::kAuto, false).method,
+            Method::kWyllie);
+}
+
+TEST(Planner, SimAutoIsMonotoneInN) {
+  const Planner planner(backend_options(BackendKind::kSim));
+  auto phase = [](Method m) {
+    return m == Method::kSerial ? 0 : m == Method::kWyllie ? 1 : 2;
+  };
+  int prev = 0;
+  for (std::size_t n = 2; n <= (1u << 20); n = n * 5 / 4 + 1) {
+    const Method m = planner.decide(n, Method::kAuto, false).method;
+    EXPECT_GE(phase(m), prev) << "regressed at n=" << n;
+    prev = phase(m);
+  }
+  EXPECT_EQ(prev, 2) << "never reached reid-miller";
+}
+
+TEST(Planner, EstimatesBackTheDecision) {
+  const Planner planner(backend_options(BackendKind::kSim));
+  for (const std::size_t n : {64u, 512u, 4096u, 65536u}) {
+    const auto d = planner.decide(n, Method::kAuto, false);
+    const double chosen = d.predicted_cycles;
+    EXPECT_LE(chosen, planner.serial_cycles(n, false));
+    EXPECT_LE(chosen, planner.wyllie_cycles(n, false));
+    EXPECT_LE(chosen, planner.reid_miller_cycles(n, false));
+  }
+}
+
+TEST(Planner, ExplicitMethodIsHonoured) {
+  const Planner planner(backend_options(BackendKind::kSim));
+  EXPECT_EQ(planner.decide(10, Method::kReidMiller, false).method,
+            Method::kReidMiller);
+  EXPECT_EQ(planner.decide(1u << 20, Method::kSerial, true).method,
+            Method::kSerial);
+}
+
+TEST(Planner, HostShedsThreadsBeforeGoingSerial) {
+  EngineOptions eo = backend_options(BackendKind::kHost);
+  eo.threads = 8;
+  const Planner planner(eo);
+
+  const auto big = planner.decide(1u << 20, Method::kAuto, true);
+  EXPECT_EQ(big.method, Method::kReidMiller);
+  EXPECT_EQ(big.threads, 8u);
+  EXPECT_EQ(big.sublists, 8.0 * eo.sublists_per_thread);
+
+  // Medium lists keep some parallelism with fewer threads.
+  const auto medium = planner.decide(8192, Method::kAuto, true);
+  EXPECT_EQ(medium.method, Method::kReidMiller);
+  EXPECT_EQ(medium.threads, 4u);
+
+  // Tiny lists fall back to the serial walk.
+  EXPECT_EQ(planner.decide(100, Method::kAuto, true).method,
+            Method::kSerial);
+  EXPECT_EQ(planner.decide(3, Method::kAuto, true).method, Method::kSerial);
+}
+
+TEST(Planner, SerialBackendAlwaysWalksSerially) {
+  const Planner planner(backend_options(BackendKind::kSerial));
+  EXPECT_EQ(planner.decide(1u << 20, Method::kAuto, true).method,
+            Method::kSerial);
+}
+
+TEST(Engine, PinnedS1SurvivesAutoM) {
+  // Regression: a caller-pinned first balance interval must not be
+  // overwritten by the planner's tuned value when m is left on auto.
+  Rng rng(12);
+  const LinkedList l = random_list(100000, rng);
+
+  EngineOptions auto_opts;
+  auto_opts.backend = BackendKind::kSim;
+  Engine tuned_engine(std::move(auto_opts));
+  const RunResult tuned = tuned_engine.rank(l, Method::kReidMiller);
+
+  EngineOptions pinned_opts;
+  pinned_opts.backend = BackendKind::kSim;
+  pinned_opts.reid_miller.s1 = 5;  // far from any tuned value
+  Engine pinned_engine(std::move(pinned_opts));
+  const RunResult pinned = pinned_engine.rank(l, Method::kReidMiller);
+
+  ASSERT_TRUE(tuned.ok());
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(tuned.scan, pinned.scan);
+  // A 5-link first interval forces a very different balance schedule; the
+  // knob being live must show up in the simulated cost.
+  EXPECT_NE(tuned.stats.sim_cycles, pinned.stats.sim_cycles);
+}
+
+// -- shims ------------------------------------------------------------------
+
+TEST(Engine, SimShimMatchesEngine) {
+  Rng rng(11);
+  const LinkedList l = random_list(3000, rng);
+
+  SimOptions so;
+  so.method = Method::kReidMiller;
+  so.seed = 99;
+  const SimResult shim = sim_list_rank(l, so);
+
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  eo.seed = 99;
+  Engine engine(std::move(eo));
+  const RunResult direct = engine.rank(l, Method::kReidMiller);
+  ASSERT_TRUE(direct.ok());
+
+  EXPECT_EQ(shim.scan, direct.scan);
+  EXPECT_DOUBLE_EQ(shim.cycles, direct.stats.sim_cycles);
+  EXPECT_EQ(shim.method_used, direct.method_used);
+}
+
+}  // namespace
+}  // namespace lr90

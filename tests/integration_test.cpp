@@ -12,12 +12,21 @@
 namespace lr90 {
 namespace {
 
+/// run_sim no longer aborts on a wrong answer; every call here must check
+/// the typed status or a buggy algorithm would sail through green.
+SimRun checked(Method method, std::size_t n, unsigned p, bool rank) {
+  SimRun run = run_sim(method, n, p, rank);
+  EXPECT_TRUE(run.ok()) << method_name(method) << " n=" << n << " p=" << p
+                        << ": " << run.status.message;
+  return run;
+}
+
 TEST(Integration, RunSimVerifiesAllMethods) {
   for (const Method method :
        {Method::kSerial, Method::kWyllie, Method::kMillerReif,
         Method::kAndersonMiller, Method::kReidMiller,
         Method::kReidMillerEncoded}) {
-    const SimRun run = run_sim(method, 5000, 1, /*rank=*/true);
+    const SimRun run = checked(method, 5000, 1, /*rank=*/true);
     EXPECT_GT(run.cycles, 0.0) << method_name(method);
     EXPECT_GT(run.ns_per_vertex, 0.0) << method_name(method);
   }
@@ -25,17 +34,17 @@ TEST(Integration, RunSimVerifiesAllMethods) {
 
 TEST(Integration, ReidMillerOnAllProcessorCounts) {
   for (const unsigned p : {1u, 2u, 3u, 4u, 8u, 16u}) {
-    const SimRun run = run_sim(Method::kReidMiller, 50000, p, /*rank=*/false);
+    const SimRun run = checked(Method::kReidMiller, 50000, p, /*rank=*/false);
     EXPECT_GT(run.cycles, 0.0) << "p=" << p;
   }
 }
 
 TEST(Integration, SpeedupWithinLinearBound) {
   const double t1 =
-      run_sim(Method::kReidMiller, 500000, 1, true).cycles;
+      checked(Method::kReidMiller, 500000, 1, true).cycles;
   for (const unsigned p : {2u, 4u, 8u}) {
     const double tp =
-        run_sim(Method::kReidMiller, 500000, p, true).cycles;
+        checked(Method::kReidMiller, 500000, p, true).cycles;
     const double speedup = t1 / tp;
     EXPECT_GT(speedup, 0.6 * p) << "p=" << p;
     EXPECT_LE(speedup, static_cast<double>(p) * 1.01) << "p=" << p;
@@ -47,11 +56,11 @@ TEST(Integration, PaperOrderingOnLongLists) {
   //   ours < serial < anderson-miller < miller-reif
   // and Wyllie is worse than serial.
   const std::size_t n = 300000;
-  const double ours = run_sim(Method::kReidMiller, n, 1, true).cycles;
-  const double serial = run_sim(Method::kSerial, n, 1, true).cycles;
-  const double am = run_sim(Method::kAndersonMiller, n, 1, true).cycles;
-  const double mr = run_sim(Method::kMillerReif, n, 1, true).cycles;
-  const double wyllie = run_sim(Method::kWyllie, n, 1, true).cycles;
+  const double ours = checked(Method::kReidMiller, n, 1, true).cycles;
+  const double serial = checked(Method::kSerial, n, 1, true).cycles;
+  const double am = checked(Method::kAndersonMiller, n, 1, true).cycles;
+  const double mr = checked(Method::kMillerReif, n, 1, true).cycles;
+  const double wyllie = checked(Method::kWyllie, n, 1, true).cycles;
   EXPECT_LT(ours, serial);
   EXPECT_LT(serial, am);
   EXPECT_LT(am, mr);
@@ -63,8 +72,8 @@ TEST(Integration, RandomMatesScaleWithProcessors) {
   // with the number of processors".
   const std::size_t n = 200000;
   for (const Method method : {Method::kMillerReif, Method::kAndersonMiller}) {
-    const double t1 = run_sim(method, n, 1, true).cycles;
-    const double t8 = run_sim(method, n, 8, true).cycles;
+    const double t1 = checked(method, n, 1, true).cycles;
+    const double t8 = checked(method, n, 8, true).cycles;
     const double speedup = t1 / t8;
     EXPECT_GT(speedup, 4.0) << method_name(method);
     EXPECT_LE(speedup, 8.01) << method_name(method);
@@ -78,21 +87,21 @@ TEST(Integration, AndersonMillerBeatsSerialOnMultipleProcessors) {
   // growth to bite, far deeper in the asymptote than a fast test can go;
   // we assert the serial claim, by a wide margin.)
   const std::size_t n = 500000;
-  const double serial = run_sim(Method::kSerial, n, 1, true).cycles;
-  const double am8 = run_sim(Method::kAndersonMiller, n, 8, true).cycles;
+  const double serial = checked(Method::kSerial, n, 1, true).cycles;
+  const double am8 = checked(Method::kAndersonMiller, n, 8, true).cycles;
   EXPECT_LT(am8, 0.5 * serial);
 }
 
 TEST(Integration, WyllieBeatsOursOnShortLists) {
   // Fig. 1: the crossover sits near n ~ 1000.
-  const double wyllie = run_sim(Method::kWyllie, 256, 1, false).cycles;
-  const double ours = run_sim(Method::kReidMiller, 256, 1, false).cycles;
+  const double wyllie = checked(Method::kWyllie, 256, 1, false).cycles;
+  const double ours = checked(Method::kReidMiller, 256, 1, false).cycles;
   EXPECT_LT(wyllie, ours);
 }
 
 TEST(Integration, OursBeatsWyllieOnLongLists) {
-  const double wyllie = run_sim(Method::kWyllie, 100000, 1, false).cycles;
-  const double ours = run_sim(Method::kReidMiller, 100000, 1, false).cycles;
+  const double wyllie = checked(Method::kWyllie, 100000, 1, false).cycles;
+  const double ours = checked(Method::kReidMiller, 100000, 1, false).cycles;
   EXPECT_LT(ours, wyllie);
 }
 
@@ -100,9 +109,9 @@ TEST(Integration, VectorizedBeatsSerialByFactorEight) {
   // Table I: one vectorized processor is over 8x the Cray serial code for
   // ranking (42.1 vs ~5.1 cycles/vertex).
   const std::size_t n = 2000000;
-  const double serial = run_sim(Method::kSerial, n, 1, true).cycles;
+  const double serial = checked(Method::kSerial, n, 1, true).cycles;
   const double ours =
-      run_sim(Method::kReidMillerEncoded, n, 1, true).cycles;
+      checked(Method::kReidMillerEncoded, n, 1, true).cycles;
   EXPECT_GT(serial / ours, 6.5);
   EXPECT_LT(serial / ours, 10.0);
 }
@@ -110,13 +119,13 @@ TEST(Integration, VectorizedBeatsSerialByFactorEight) {
 TEST(Integration, RankCheaperThanScan) {
   const std::size_t n = 500000;
   const double rank =
-      run_sim(Method::kReidMillerEncoded, n, 1, true).cycles;
-  const double scan = run_sim(Method::kReidMiller, n, 1, false).cycles;
+      checked(Method::kReidMillerEncoded, n, 1, true).cycles;
+  const double scan = checked(Method::kReidMiller, n, 1, false).cycles;
   EXPECT_LT(rank, scan);
 }
 
 TEST(Integration, StatsSurviveTheApiBoundary) {
-  const SimRun run = run_sim(Method::kMillerReif, 4000, 1, true);
+  const SimRun run = checked(Method::kMillerReif, 4000, 1, true);
   EXPECT_EQ(run.stats.splices, 4000u - 2u);
   EXPECT_GT(run.stats.rounds, 0u);
 }
