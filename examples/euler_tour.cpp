@@ -27,7 +27,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const TreeLabels labels = tree_labels(tree);
+  // One host engine serves all three label computations, so the scans
+  // share a warmed-up workspace (apps/euler_tour runs through the Engine
+  // facade; any backend would do).
+  Engine engine({.backend = BackendKind::kHost});
+  const TreeLabels labels = tree_labels(tree, engine);
 
   // Verify the parallel labels against local tree identities.
   for (std::size_t v = 0; v < nodes; ++v) {

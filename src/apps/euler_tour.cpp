@@ -121,21 +121,51 @@ EulerTour build_euler_tour(const RootedTree& tree) {
   return tour;
 }
 
-std::vector<value_t> tree_depths(const RootedTree& tree,
-                                 const HostOptions& opt) {
+namespace {
+
+/// Default engine of the engine-less overloads: one-shot, host backend.
+Engine throwaway_engine() { return Engine({.backend = BackendKind::kHost}); }
+
+/// Exclusive plus-scan of the tour through the engine facade. The tour is
+/// structurally valid by construction, so a failure here can only be a
+/// caller configuration issue (asserted in debug builds); release builds
+/// degrade to all-zero labels of the right size, never out-of-bounds.
+std::vector<value_t> scan_tour(Engine& engine, const LinkedList& arcs) {
+  RunResult r = engine.scan(arcs, ScanOp::kPlus);
+  assert(r.ok());
+  if (!r.ok()) r.scan.assign(arcs.size(), 0);
+  return std::move(r.scan);
+}
+
+/// Exclusive rank of the tour through the engine facade (see scan_tour).
+std::vector<value_t> rank_tour(Engine& engine, const LinkedList& arcs) {
+  RunResult r = engine.rank(arcs);
+  assert(r.ok());
+  if (!r.ok()) r.scan.assign(arcs.size(), 0);
+  return std::move(r.scan);
+}
+
+}  // namespace
+
+std::vector<value_t> tree_depths(const RootedTree& tree, Engine& engine) {
   const std::size_t n = tree.size();
   std::vector<value_t> depth(n, 0);
   if (n <= 1) return depth;
   const EulerTour tour = build_euler_tour(tree);
-  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  const std::vector<value_t> scan = scan_tour(engine, tour.arcs);
   for (std::size_t v = 0; v < n; ++v) {
     if (tour.down[v] != kNoVertex) depth[v] = scan[tour.down[v]] + 1;
   }
   return depth;
 }
 
+std::vector<value_t> tree_depths(const RootedTree& tree) {
+  Engine engine = throwaway_engine();
+  return tree_depths(tree, engine);
+}
+
 std::vector<value_t> preorder_numbers(const RootedTree& tree,
-                                      const HostOptions& opt) {
+                                      Engine& engine) {
   const std::size_t n = tree.size();
   std::vector<value_t> pre(n, 0);
   if (n <= 1) return pre;
@@ -144,20 +174,24 @@ std::vector<value_t> preorder_numbers(const RootedTree& tree,
   for (std::size_t v = 0; v < n; ++v) {
     if (tour.up[v] != kNoVertex) tour.arcs.value[tour.up[v]] = 0;
   }
-  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  const std::vector<value_t> scan = scan_tour(engine, tour.arcs);
   for (std::size_t v = 0; v < n; ++v) {
     if (tour.down[v] != kNoVertex) pre[v] = scan[tour.down[v]] + 1;
   }
   return pre;
 }
 
-std::vector<value_t> subtree_sizes(const RootedTree& tree,
-                                   const HostOptions& opt) {
+std::vector<value_t> preorder_numbers(const RootedTree& tree) {
+  Engine engine = throwaway_engine();
+  return preorder_numbers(tree, engine);
+}
+
+std::vector<value_t> subtree_sizes(const RootedTree& tree, Engine& engine) {
   const std::size_t n = tree.size();
   std::vector<value_t> size(n, static_cast<value_t>(n));
   if (n <= 1) return size;
   const EulerTour tour = build_euler_tour(tree);
-  const std::vector<value_t> rank = host_list_rank(tour.arcs, opt);
+  const std::vector<value_t> rank = rank_tour(engine, tour.arcs);
   for (std::size_t v = 0; v < n; ++v) {
     if (tour.down[v] == kNoVertex) continue;  // root keeps n
     size[v] = (rank[tour.up[v]] - rank[tour.down[v]] + 1) / 2;
@@ -165,9 +199,14 @@ std::vector<value_t> subtree_sizes(const RootedTree& tree,
   return size;
 }
 
+std::vector<value_t> subtree_sizes(const RootedTree& tree) {
+  Engine engine = throwaway_engine();
+  return subtree_sizes(tree, engine);
+}
+
 std::vector<value_t> path_sums(const RootedTree& tree,
                                std::span<const value_t> weights,
-                               const HostOptions& opt) {
+                               Engine& engine) {
   const std::size_t n = tree.size();
   assert(weights.size() == n);
   std::vector<value_t> out(n, 0);
@@ -181,7 +220,7 @@ std::vector<value_t> path_sums(const RootedTree& tree,
     tour.arcs.value[tour.down[v]] = weights[v];
     tour.arcs.value[tour.up[v]] = -weights[v];
   }
-  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  const std::vector<value_t> scan = scan_tour(engine, tour.arcs);
   for (std::size_t v = 0; v < n; ++v) {
     if (tour.down[v] == kNoVertex) continue;  // root keeps 0
     out[v] = scan[tour.down[v]] + weights[tree.root];
@@ -189,9 +228,15 @@ std::vector<value_t> path_sums(const RootedTree& tree,
   return out;
 }
 
+std::vector<value_t> path_sums(const RootedTree& tree,
+                               std::span<const value_t> weights) {
+  Engine engine = throwaway_engine();
+  return path_sums(tree, weights, engine);
+}
+
 std::vector<value_t> subtree_sums(const RootedTree& tree,
                                   std::span<const value_t> weights,
-                                  const HostOptions& opt) {
+                                  Engine& engine) {
   const std::size_t n = tree.size();
   assert(weights.size() == n);
   std::vector<value_t> out(n, 0);
@@ -208,7 +253,7 @@ std::vector<value_t> subtree_sums(const RootedTree& tree,
     tour.arcs.value[tour.down[v]] = weights[v];
     tour.arcs.value[tour.up[v]] = 0;
   }
-  const std::vector<value_t> scan = host_list_scan(tour.arcs, OpPlus{}, opt);
+  const std::vector<value_t> scan = scan_tour(engine, tour.arcs);
   for (std::size_t v = 0; v < n; ++v) {
     if (tour.down[v] == kNoVertex) continue;
     out[v] = scan[tour.up[v]] - scan[tour.down[v]];
@@ -216,12 +261,23 @@ std::vector<value_t> subtree_sums(const RootedTree& tree,
   return out;
 }
 
-TreeLabels tree_labels(const RootedTree& tree, const HostOptions& opt) {
+std::vector<value_t> subtree_sums(const RootedTree& tree,
+                                  std::span<const value_t> weights) {
+  Engine engine = throwaway_engine();
+  return subtree_sums(tree, weights, engine);
+}
+
+TreeLabels tree_labels(const RootedTree& tree, Engine& engine) {
   TreeLabels labels;
-  labels.depth = tree_depths(tree, opt);
-  labels.preorder = preorder_numbers(tree, opt);
-  labels.subtree_size = subtree_sizes(tree, opt);
+  labels.depth = tree_depths(tree, engine);
+  labels.preorder = preorder_numbers(tree, engine);
+  labels.subtree_size = subtree_sizes(tree, engine);
   return labels;
+}
+
+TreeLabels tree_labels(const RootedTree& tree) {
+  Engine engine = throwaway_engine();
+  return tree_labels(tree, engine);
 }
 
 }  // namespace lr90

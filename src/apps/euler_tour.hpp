@@ -12,15 +12,19 @@
 //   subtree_size(v) from the ranks of v's descend and ascend arcs
 //                   (the tour segment between them has 2*size(v) arcs).
 //
-// The tour is an ordinary lr90::LinkedList, so any backend works: the
-// portable host path (used by default here) or the simulated Cray C90.
+// The tour is an ordinary lr90::LinkedList, so any backend works: every
+// helper takes an lr90::Engine and runs through its rank/scan facade --
+// the OpenMP host path, the simulated Cray C90, or the serial reference
+// all serve tree workloads (and a serving layer can submit the tour's
+// Rank/ScanRequests through an EngineServer). The engine-less overloads
+// build a throwaway host engine, matching the legacy one-shot behaviour.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "core/parallel_host.hpp"
+#include "core/engine.hpp"
 #include "lists/linked_list.hpp"
 
 namespace lr90 {
@@ -58,24 +62,31 @@ struct EulerTour {
 EulerTour build_euler_tour(const RootedTree& tree);
 
 /// Depth of every node (root = 0) via one list scan over the tour.
-std::vector<value_t> tree_depths(const RootedTree& tree,
-                                 const HostOptions& opt = {});
+std::vector<value_t> tree_depths(const RootedTree& tree, Engine& engine);
+/// Depth via a throwaway host engine.
+std::vector<value_t> tree_depths(const RootedTree& tree);
 
 /// Preorder number of every node (root = 0) via one list scan.
-std::vector<value_t> preorder_numbers(const RootedTree& tree,
-                                      const HostOptions& opt = {});
+std::vector<value_t> preorder_numbers(const RootedTree& tree, Engine& engine);
+/// Preorder via a throwaway host engine.
+std::vector<value_t> preorder_numbers(const RootedTree& tree);
 
 /// Subtree size of every node (root = n) via one list rank.
-std::vector<value_t> subtree_sizes(const RootedTree& tree,
-                                   const HostOptions& opt = {});
+std::vector<value_t> subtree_sizes(const RootedTree& tree, Engine& engine);
+/// Subtree sizes via a throwaway host engine.
+std::vector<value_t> subtree_sizes(const RootedTree& tree);
 
-/// All three at the price of one tour + one rank + two scans.
+/// All three labels of one tree (one tour + one rank + two scans).
 struct TreeLabels {
-  std::vector<value_t> depth;
-  std::vector<value_t> preorder;
-  std::vector<value_t> subtree_size;
+  std::vector<value_t> depth;         ///< root = 0
+  std::vector<value_t> preorder;      ///< root = 0, DFS order
+  std::vector<value_t> subtree_size;  ///< root = n
 };
-TreeLabels tree_labels(const RootedTree& tree, const HostOptions& opt = {});
+/// All three at the price of one tour + one rank + two scans, reusing the
+/// engine's workspace across them.
+TreeLabels tree_labels(const RootedTree& tree, Engine& engine);
+/// All three labels via a throwaway host engine.
+TreeLabels tree_labels(const RootedTree& tree);
 
 /// Rootfix sums (Blelloch's "tree scan" toward the leaves): for per-vertex
 /// weights w, out[v] = sum of w(u) over all ancestors u of v, *excluding*
@@ -83,13 +94,19 @@ TreeLabels tree_labels(const RootedTree& tree, const HostOptions& opt = {});
 /// One +w/-w list scan over the tour.
 std::vector<value_t> path_sums(const RootedTree& tree,
                                std::span<const value_t> weights,
-                               const HostOptions& opt = {});
+                               Engine& engine);
+/// Rootfix sums via a throwaway host engine.
+std::vector<value_t> path_sums(const RootedTree& tree,
+                               std::span<const value_t> weights);
 
 /// Leaffix sums (tree scan toward the root): out[v] = sum of w(u) over the
 /// subtree rooted at v, including v. Subtree size is the special case
 /// w == 1. One weighted list scan over the tour.
 std::vector<value_t> subtree_sums(const RootedTree& tree,
                                   std::span<const value_t> weights,
-                                  const HostOptions& opt = {});
+                                  Engine& engine);
+/// Leaffix sums via a throwaway host engine.
+std::vector<value_t> subtree_sums(const RootedTree& tree,
+                                  std::span<const value_t> weights);
 
 }  // namespace lr90

@@ -51,6 +51,7 @@ const char* status_code_name(StatusCode c) {
     case StatusCode::kInvalidInput: return "invalid-input";
     case StatusCode::kUnsupported: return "unsupported";
     case StatusCode::kWrongAnswer: return "wrong-answer";
+    case StatusCode::kUnavailable: return "unavailable";
   }
   return "?";
 }
@@ -73,6 +74,9 @@ Status Status::unsupported(std::string msg) {
 }
 Status Status::wrong_answer(std::string msg) {
   return Status{StatusCode::kWrongAnswer, std::move(msg)};
+}
+Status Status::unavailable(std::string msg) {
+  return Status{StatusCode::kUnavailable, std::move(msg)};
 }
 
 namespace {
@@ -108,7 +112,8 @@ Planner::Planner(const EngineOptions& opt)
       pinned_m_(opt.reid_miller.m),
       pinned_s1_(opt.reid_miller.s1),
       sync_cycles_(opt.machine.sync_cycles),
-      table_(vm::CostTable::cray_c90()) {
+      table_(vm::CostTable::cray_c90()),
+      memo_(std::make_unique<TuneMemo>()) {
   vm::MachineConfig cfg = opt.machine;
   cfg.processors = processors_;
   contention_ = cfg.contention_factor();
@@ -116,11 +121,17 @@ Planner::Planner(const EngineOptions& opt)
 
 TuneResult Planner::tuned(double n, bool rank_kernels) const {
   const auto key = std::make_pair(n, rank_kernels);
-  auto it = tune_cache_.find(key);
-  if (it != tune_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(memo_->mu);
+    auto it = memo_->cache.find(key);
+    if (it != memo_->cache.end()) return it->second;
+  }
+  // Tune outside the lock: tune() is pure and can take milliseconds, so
+  // concurrent first-misses may duplicate work but never serialize on it.
   const CostConstants k = CostConstants::from(table_, rank_kernels);
   const TuneResult r = tune(n, k, processors_, contention_);
-  tune_cache_.emplace(key, r);
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  memo_->cache.emplace(key, r);
   return r;
 }
 

@@ -26,11 +26,19 @@
 //
 // The legacy families remain as thin shims over the Engine (see
 // core/api.hpp and core/parallel_host.hpp).
+//
+// Thread-safety contract: an Engine (its Workspace and backend scratch
+// state) is confined to one thread at a time -- engines are cheap, use one
+// per thread. The Planner is safe to share: decide() may be called
+// concurrently (its tune memo is internally synchronized). For serving
+// concurrent traffic through pooled engines, see serve/server.hpp
+// (lr90::EngineServer).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -44,90 +52,118 @@
 #include "support/rng.hpp"
 #include "vm/machine.hpp"
 
+/// The listrank90 library: list ranking and list scan after Reid-Miller
+/// (SPAA '94), on a simulated Cray C90 or real OpenMP hardware.
 namespace lr90 {
 
 // -- methods (moved here from core/api.hpp; api.hpp re-exposes them) -------
 
+/// The list-ranking / list-scan algorithm families the backends can run.
 enum class Method {
-  kAuto,
-  kSerial,
-  kWyllie,
-  kMillerReif,
-  kAndersonMiller,
-  kReidMiller,
+  kAuto,               ///< let the Planner pick from the cost model
+  kSerial,             ///< single serial walk (the paper's baseline)
+  kWyllie,             ///< Wyllie pointer jumping
+  kMillerReif,         ///< Miller-Reif random mate
+  kAndersonMiller,     ///< Anderson-Miller random mate
+  kReidMiller,         ///< the paper's random-sublist algorithm
   kReidMillerEncoded,  ///< rank only: the single-gather packed fast path
 };
 
+/// Short stable name of `m` ("serial", "reid-miller", ...) for tables/CLIs.
 const char* method_name(Method m);
 
 /// Legacy fixed thresholds for Method::kAuto (empirical crossovers, Fig. 1)
 /// used by the sim_list_* shims. New code goes through the Planner, which
 /// derives the crossovers from the cost model instead.
-inline constexpr std::size_t kAutoSerialMax = 128;
-inline constexpr std::size_t kAutoWyllieMax = 1024;
+inline constexpr std::size_t kAutoSerialMax = 128;   ///< serial up to here
+inline constexpr std::size_t kAutoWyllieMax = 1024;  ///< then Wyllie to here
+/// Resolves `requested` == kAuto by the legacy fixed thresholds.
 Method resolve_auto(std::size_t n, Method requested);
 
 // -- backends ---------------------------------------------------------------
 
+/// Which execution substrate an Engine drives.
 enum class BackendKind {
   kSerial,  ///< single serial walk on the host (degenerate reference)
   kSim,     ///< simulated Cray C90 (vm::Machine); reports cycles and ns
   kHost,    ///< real execution, OpenMP-parallel when available
 };
 
+/// Short stable name of `k` ("serial", "sim", "host").
 const char* backend_name(BackendKind k);
 
 // -- status -----------------------------------------------------------------
 
+/// Error taxonomy of a run; every failure is reported, never aborted on.
 enum class StatusCode {
-  kOk,
+  kOk,            ///< the run succeeded
   kInvalidInput,  ///< malformed list / request
   kUnsupported,   ///< method or operator the backend cannot run
   kWrongAnswer,   ///< verify_output found a mismatch with the reference
+  kUnavailable,   ///< the serving layer rejected the request (shutdown/full)
 };
 
+/// Short stable name of `c` ("ok", "invalid-input", ...).
 const char* status_code_name(StatusCode c);
 
+/// A typed outcome: a code plus a human-readable detail message.
 struct Status {
-  StatusCode code = StatusCode::kOk;
-  std::string message;
+  StatusCode code = StatusCode::kOk;  ///< the outcome class
+  std::string message;                ///< details when code != kOk
 
+  /// True iff the operation succeeded.
   bool ok() const { return code == StatusCode::kOk; }
+  /// The all-ok status.
   static Status success() { return {}; }
+  /// A kInvalidInput status carrying `msg`.
   static Status invalid(std::string msg);
+  /// A kUnsupported status carrying `msg`.
   static Status unsupported(std::string msg);
+  /// A kWrongAnswer status carrying `msg`.
   static Status wrong_answer(std::string msg);
+  /// A kUnavailable status carrying `msg`.
+  static Status unavailable(std::string msg);
 };
 
 // -- requests ---------------------------------------------------------------
 
 /// Binary associative operator of a scan request, runtime-dispatchable.
 /// (The template entry points remain available for custom operators.)
-enum class ScanOp { kPlus, kMin, kMax, kXor };
-
-const char* scan_op_name(ScanOp op);
-
-struct RankRequest {
-  const LinkedList* list = nullptr;
-  Method method = Method::kAuto;
+enum class ScanOp {
+  kPlus,  ///< addition (identity 0)
+  kMin,   ///< minimum (identity +inf)
+  kMax,   ///< maximum (identity -inf)
+  kXor,   ///< bitwise xor (identity 0)
 };
 
+/// Short stable name of `op` ("plus", "min", "max", "xor").
+const char* scan_op_name(ScanOp op);
+
+/// An exclusive list-rank request (number of predecessors per vertex).
+struct RankRequest {
+  const LinkedList* list = nullptr;  ///< the input; must outlive the run
+  Method method = Method::kAuto;     ///< algorithm; kAuto = Planner's pick
+};
+
+/// An exclusive list-scan request under a runtime operator.
 struct ScanRequest {
-  const LinkedList* list = nullptr;
-  ScanOp op = ScanOp::kPlus;
-  Method method = Method::kAuto;
+  const LinkedList* list = nullptr;  ///< the input; must outlive the run
+  ScanOp op = ScanOp::kPlus;         ///< the scan's combining operator
+  Method method = Method::kAuto;     ///< algorithm; kAuto = Planner's pick
 };
 
 /// The unified request run_batch consumes; converts from either family.
 struct Request {
-  const LinkedList* list = nullptr;
-  bool rank = true;
-  ScanOp op = ScanOp::kPlus;  ///< ignored when rank
-  Method method = Method::kAuto;
+  const LinkedList* list = nullptr;  ///< the input; must outlive the run
+  bool rank = true;                  ///< rank (true) or scan (false)
+  ScanOp op = ScanOp::kPlus;         ///< ignored when rank
+  Method method = Method::kAuto;     ///< algorithm; kAuto = Planner's pick
 
-  Request() = default;
+  Request() = default;  ///< an empty (listless) request; run() rejects it
+  /// Converts a rank request.
   Request(const RankRequest& r)  // NOLINT(google-explicit-constructor)
       : list(r.list), rank(true), method(r.method) {}
+  /// Converts a scan request.
   Request(const ScanRequest& s)  // NOLINT(google-explicit-constructor)
       : list(s.list), rank(false), op(s.op), method(s.method) {}
 };
@@ -137,29 +173,34 @@ struct Request {
 /// Merged statistics: wall-clock and AlgoStats always; simulated figures
 /// when the backend simulates (has_sim).
 struct RunStats {
-  AlgoStats algo;
+  AlgoStats algo;        ///< rounds / link steps / extra space
   double wall_ns = 0.0;  ///< host wall-clock of the execution
 
-  bool has_sim = false;
+  bool has_sim = false;           ///< the sim_* fields below are meaningful
   double sim_cycles = 0.0;        ///< simulated machine cycles
   double sim_ns = 0.0;            ///< simulated wall time
-  double sim_ns_per_vertex = 0.0;
+  double sim_ns_per_vertex = 0.0; ///< sim_ns / n (0 for an empty list)
   vm::OpCounters ops;             ///< simulated data-movement counters
 };
 
+/// The outcome of one run: typed status, the answer, and statistics.
 struct RunResult {
-  Status status;
+  Status status;              ///< kOk, or why the run failed
   std::vector<value_t> scan;  ///< exclusive scan/rank per vertex index
-  Method method_used = Method::kAuto;
-  BackendKind backend = BackendKind::kSerial;
-  RunStats stats;
+  Method method_used = Method::kAuto;          ///< what actually ran
+  BackendKind backend = BackendKind::kSerial;  ///< where it ran
+  RunStats stats;             ///< merged wall-clock / simulated figures
 
+  /// True iff the run succeeded (shorthand for status.ok()).
   bool ok() const { return status.ok(); }
 };
 
 // -- options ----------------------------------------------------------------
 
+/// Everything an Engine is configured with; value-semantic and copyable
+/// (an EngineServer stamps one per pooled worker engine).
 struct EngineOptions {
+  /// Which execution substrate to drive.
   BackendKind backend = BackendKind::kHost;
   /// Simulated processors (sim backend; overrides machine.processors).
   unsigned processors = 1;
@@ -168,10 +209,11 @@ struct EngineOptions {
   /// Sublists per thread the host planner targets (more = better balance,
   /// more overhead).
   unsigned sublists_per_thread = 64;
+  /// Seed of the per-run RNG reseeding (results are deterministic in it).
   std::uint64_t seed = kDefaultSeed;
   vm::MachineConfig machine;           ///< sim backend configuration
   ReidMillerOptions reid_miller;       ///< sim backend algorithm knobs
-  AndersonMillerOptions anderson_miller;
+  AndersonMillerOptions anderson_miller;  ///< sim backend baseline knobs
   /// Run the O(n) structural validator on every input first; malformed
   /// lists yield StatusCode::kInvalidInput instead of undefined behaviour.
   bool validate_input = false;
@@ -197,10 +239,12 @@ struct EngineOptions {
 /// do not exist on the host).
 class Planner {
  public:
+  /// Builds a planner for the given engine configuration.
   explicit Planner(const EngineOptions& opt);
 
+  /// The planner's answer: resolved method plus tuned execution shape.
   struct Decision {
-    Method method = Method::kSerial;
+    Method method = Method::kSerial;  ///< resolved algorithm (never kAuto)
     double sublists = 0.0;  ///< m (sim Reid-Miller) / total target (host)
     double s1 = 0.0;        ///< first balance interval (sim Reid-Miller)
     unsigned threads = 1;   ///< host worker threads (host backend only)
@@ -211,10 +255,12 @@ class Planner {
   /// (the backend may still reject it as unsupported).
   Decision decide(std::size_t n, Method requested, bool rank) const;
 
-  // Cost-model estimates behind the sim decision, exposed for tests and
-  // benches (cycles on the configured processor count).
+  /// Cost-model estimate behind the sim decision: cycles of the serial
+  /// walk on the configured processor count (exposed for tests/benches).
   double serial_cycles(std::size_t n, bool rank) const;
+  /// Cost-model estimate of Wyllie pointer jumping (see serial_cycles).
   double wyllie_cycles(std::size_t n, bool rank) const;
+  /// Cost-model estimate of the Reid-Miller algorithm (see serial_cycles).
   double reid_miller_cycles(std::size_t n, bool rank) const;
 
  private:
@@ -229,16 +275,25 @@ class Planner {
   double contention_;
   double sync_cycles_;
   vm::CostTable table_;
-  /// tune() results memoized per (n, kernel family). Planner (like Engine)
-  /// is not thread-safe; engines are cheap, use one per thread.
-  mutable std::map<std::pair<double, bool>, TuneResult> tune_cache_;
+  /// tune() results memoized per (n, kernel family). The memo is guarded
+  /// by its own mutex so decide() is safe to call concurrently (the rest
+  /// of the Planner is immutable after construction); it lives behind a
+  /// unique_ptr to keep the Planner -- and the Engine holding it -- movable.
+  struct TuneMemo {
+    std::mutex mu;                                       ///< guards cache
+    std::map<std::pair<double, bool>, TuneResult> cache; ///< per (n, family)
+  };
+  std::unique_ptr<TuneMemo> memo_;
 };
 
 // -- backend interface ------------------------------------------------------
 
+/// What an Engine drives: one execution substrate behind a uniform
+/// interface (SerialBackend / SimBackend / HostBackend in engine.cpp).
 class ExecutionBackend {
  public:
-  virtual ~ExecutionBackend() = default;
+  virtual ~ExecutionBackend() = default;  ///< backends own their machines
+  /// Which substrate this is.
   virtual BackendKind kind() const = 0;
   /// Executes the planned request into `result` (scan already sized).
   virtual Status execute(const Request& req, const Planner::Decision& plan,
@@ -250,12 +305,17 @@ class ExecutionBackend {
 
 // -- engine -----------------------------------------------------------------
 
+/// The unified entry point: one facade over the serial / simulated-C90 /
+/// OpenMP-host execution paths. Confined to one thread at a time (the
+/// Workspace and backend scratch are unsynchronized); for concurrent
+/// traffic, pool engines behind an EngineServer (serve/server.hpp).
 class Engine {
  public:
+  /// Builds the backend, planner, and workspace for `opt`.
   explicit Engine(EngineOptions opt = {});
-  ~Engine();
-  Engine(Engine&&) noexcept;
-  Engine& operator=(Engine&&) noexcept;
+  ~Engine();  ///< releases the backend and all workspace memory
+  Engine(Engine&&) noexcept;             ///< engines are movable...
+  Engine& operator=(Engine&&) noexcept;  ///< ...but not copyable
 
   /// Exclusive list rank (number of predecessors per vertex).
   RunResult rank(const LinkedList& list, Method method = Method::kAuto);
@@ -267,10 +327,22 @@ class Engine {
   /// Runs a batch front to back on this engine's workspace; one result per
   /// request (failures are per-request, the batch never aborts).
   std::vector<RunResult> run_batch(std::span<const Request> requests);
+  /// The coalescing hook behind run_batch: runs the batch front to back
+  /// and hands each result to `sink(index, RunResult&&)` as it completes,
+  /// so a serving layer can fulfil per-request futures without waiting for
+  /// (or storing) the whole batch.
+  template <class Sink>
+  void run_batch_each(std::span<const Request> requests, Sink&& sink) {
+    for (std::size_t i = 0; i < requests.size(); ++i) sink(i, run(requests[i]));
+  }
 
+  /// The options this engine was built with.
   const EngineOptions& options() const { return opt_; }
+  /// The planner resolving Method::kAuto for this engine.
   const Planner& planner() const { return planner_; }
+  /// This engine's reusable scratch memory.
   Workspace& workspace() { return ws_; }
+  /// Read-only view of the scratch memory (for allocation counters).
   const Workspace& workspace() const { return ws_; }
   /// Simulated machine of the last run (sim backend only; null otherwise).
   /// For post-run introspection, e.g. per-kernel cycle breakdowns.

@@ -13,6 +13,7 @@
 // allocating after the first one.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -21,6 +22,9 @@
 
 namespace lr90 {
 
+/// Reusable per-engine scratch memory: capacity only grows, so a warmed-up
+/// workspace serves steady-state traffic with zero allocations. Not
+/// thread-safe -- each Engine (and each EngineServer worker) owns one.
 class Workspace {
  public:
   // -- scratch buffers (backends wire these directly) --------------------
@@ -38,10 +42,48 @@ class Workspace {
   /// so results do not depend on what ran before.
   Rng rng{kDefaultSeed};
 
-  /// Buffer-growth events: a fit() that had to (re)allocate.
-  std::uint64_t allocations() const { return allocations_; }
+  Workspace() = default;
+  /// Workspaces move with their Engine (buffers transfer, counters copy).
+  Workspace(Workspace&& other) noexcept
+      : is_tail(std::move(other.is_tail)),
+        heads(std::move(other.heads)),
+        tails(std::move(other.tails)),
+        picks(std::move(other.picks)),
+        owner_of_head(std::move(other.owner_of_head)),
+        sums(std::move(other.sums)),
+        headscan(std::move(other.headscan)),
+        verify(std::move(other.verify)),
+        scratch_list(std::move(other.scratch_list)),
+        rng(other.rng),
+        allocations_(other.allocations()),
+        reuse_hits_(other.reuse_hits()) {}
+  /// Move-assignment counterpart of the move constructor.
+  Workspace& operator=(Workspace&& other) noexcept {
+    is_tail = std::move(other.is_tail);
+    heads = std::move(other.heads);
+    tails = std::move(other.tails);
+    picks = std::move(other.picks);
+    owner_of_head = std::move(other.owner_of_head);
+    sums = std::move(other.sums);
+    headscan = std::move(other.headscan);
+    verify = std::move(other.verify);
+    scratch_list = std::move(other.scratch_list);
+    rng = other.rng;
+    allocations_.store(other.allocations(), std::memory_order_relaxed);
+    reuse_hits_.store(other.reuse_hits(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Buffer-growth events: a fit() that had to (re)allocate. The counters
+  /// are atomic so a serving layer's telemetry can read them while the
+  /// owning worker runs (the buffers themselves remain single-threaded).
+  std::uint64_t allocations() const {
+    return allocations_.load(std::memory_order_relaxed);
+  }
   /// Fits served entirely from existing capacity.
-  std::uint64_t reuse_hits() const { return reuse_hits_; }
+  std::uint64_t reuse_hits() const {
+    return reuse_hits_.load(std::memory_order_relaxed);
+  }
 
   /// Sizes `v` to n elements, all set to `init`, reusing capacity.
   template <class T>
@@ -99,14 +141,14 @@ class Workspace {
  private:
   void note(bool fits) {
     if (fits) {
-      ++reuse_hits_;
+      reuse_hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ++allocations_;
+      allocations_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  std::uint64_t allocations_ = 0;
-  std::uint64_t reuse_hits_ = 0;
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> reuse_hits_{0};
 };
 
 }  // namespace lr90

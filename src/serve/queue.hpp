@@ -1,0 +1,147 @@
+// A bounded multi-producer multi-consumer queue with an adaptive batch pop.
+//
+// This is the hand-off point of the EngineServer: client threads push jobs,
+// worker threads pop them. Two properties are load-bearing for serving:
+//
+//   * Bounded capacity -- a full queue blocks producers (back-pressure)
+//     instead of growing without bound under overload.
+//   * Adaptive batch pop -- a consumer takes ONE item while the queue is
+//     shallow (lowest latency) but takes up to `max_batch` items in a
+//     single critical section once the depth exceeds `batch_threshold`
+//     (micro-batching: the depth is the congestion signal, and coalescing
+//     amortizes the per-item synchronization exactly when it matters).
+//
+// close() starts a graceful drain: producers are rejected from then on,
+// consumers keep popping until the queue is empty and only then observe
+// shutdown. A plain mutex + two condition variables implementation is
+// deliberately chosen over a lock-free ring: jobs are popped in batches
+// (the lock is taken once per batch, not per item) and the hand-off cost
+// is measured by bench/serve_throughput.cpp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <deque>
+#include <utility>
+#include <vector>
+
+/// The concurrent serving layer over lr90::Engine: bounded queueing,
+/// pooled workspaces, and the EngineServer worker pool.
+namespace lr90::serve {
+
+/// Bounded MPMC queue of move-only items with close/drain semantics.
+template <class T>
+class BoundedQueue {
+ public:
+  /// A queue holding at most `capacity` items (>= 1 enforced).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;             ///< not copyable
+  BoundedQueue& operator=(const BoundedQueue&) = delete;  ///< not copyable
+
+  /// Blocks while the queue is full; returns false iff the queue was
+  /// closed. The item is moved from only on success -- on rejection it
+  /// stays with the caller (so a serving layer can still answer its
+  /// promise with a typed Status).
+  bool push(T& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when the queue is full or closed.
+  bool try_push(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until at least one item is available (or the queue is closed
+  /// and drained, in which case 0 is returned). Appends to `out` either a
+  /// single item (depth <= `batch_threshold`) or up to `max_batch` items
+  /// (depth above the threshold) in one critical section.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t batch_threshold,
+                        std::size_t max_batch) {
+    std::size_t taken = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return 0;  // closed and fully drained
+      const std::size_t depth = items_.size();
+      taken = depth > batch_threshold
+                  ? std::min(depth, max_batch == 0 ? std::size_t{1} : max_batch)
+                  : 1;
+      for (std::size_t i = 0; i < taken; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    // A batch frees several slots at once; wake every blocked producer.
+    not_full_.notify_all();
+    return taken;
+  }
+
+  /// Rejects producers from now on; consumers drain the remaining items.
+  /// Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Removes and returns every queued item without waiting (used by a
+  /// non-graceful shutdown to fail pending jobs with a typed Status).
+  std::vector<T> drain_now() {
+    std::vector<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      out.reserve(items_.size());
+      while (!items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+    return out;
+  }
+
+  /// True once close() has been called.
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Instantaneous number of queued items (racy by nature; for telemetry).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// The fixed capacity bound.
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;          ///< maximum queued items
+  mutable std::mutex mu_;               ///< guards items_ and closed_
+  std::condition_variable not_empty_;   ///< consumers wait here
+  std::condition_variable not_full_;    ///< producers wait here
+  std::deque<T> items_;                 ///< FIFO payload
+  bool closed_ = false;                 ///< set once by close()
+};
+
+}  // namespace lr90::serve

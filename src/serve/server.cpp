@@ -1,0 +1,194 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+namespace lr90::serve {
+
+namespace {
+
+/// Number of workers actually started for a requested count.
+unsigned resolve_workers(unsigned requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// A result that never ran: the typed rejection the serving layer returns.
+RunResult rejected_result(const ServerOptions& opt, const char* why) {
+  RunResult r;
+  r.backend = opt.engine.backend;
+  r.status = Status::unavailable(why);
+  return r;
+}
+
+}  // namespace
+
+EngineServer::EngineServer(ServerOptions opt)
+    : opt_([&] {
+        opt.workers = resolve_workers(opt.workers);
+        if (opt.max_batch == 0) opt.max_batch = 1;
+        // Inter-request parallelism comes from the worker pool; an OpenMP
+        // all-cores default per pooled engine would oversubscribe the
+        // machine workers^2-fold (see ServerOptions::engine).
+        if (opt.engine.backend == BackendKind::kHost &&
+            opt.engine.threads == 0) {
+          opt.engine.threads = 1;
+        }
+        return opt;
+      }()),
+      queue_(opt_.queue_capacity),
+      pool_(opt_.engine, opt_.workers) {
+  threads_.reserve(opt_.workers);
+  for (unsigned i = 0; i < opt_.workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+EngineServer::~EngineServer() { shutdown(); }
+
+std::future<RunResult> EngineServer::submit(const RankRequest& req) {
+  return submit(Request(req));
+}
+
+std::future<RunResult> EngineServer::submit(const ScanRequest& req) {
+  return submit(Request(req));
+}
+
+std::future<RunResult> EngineServer::submit(Request req) {
+  Job job;
+  job.req = req;
+  std::future<RunResult> future = job.result.get_future();
+  const bool accepted =
+      opt_.reject_when_full ? queue_.try_push(job) : queue_.push(job);
+  if (!accepted) {
+    // The job was never enqueued, so the promise is still ours to answer.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    job.result.set_value(rejected_result(
+        opt_, queue_.closed() ? "server is shut down" : "request queue full"));
+    return future;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+namespace {
+
+/// Two requests are collapsible when one engine run answers both. Pointer
+/// identity on the list is deliberate: equal content behind different
+/// objects is not worth a compare, the hot-key case shares the object.
+bool same_work(const Request& a, const Request& b) {
+  return a.list == b.list && a.rank == b.rank && a.method == b.method &&
+         (a.rank || a.op == b.op);
+}
+
+}  // namespace
+
+void EngineServer::worker_loop() {
+  std::vector<Job> jobs;
+  std::vector<Request> reqs;          // unique work items of the batch
+  std::vector<std::size_t> run_of;    // job index -> index into reqs
+  std::vector<bool> answered;
+  jobs.reserve(opt_.max_batch);
+  reqs.reserve(opt_.max_batch);
+  while (true) {
+    jobs.clear();
+    reqs.clear();
+    if (queue_.pop_batch(jobs, opt_.batch_threshold, opt_.max_batch) == 0)
+      break;  // closed and drained
+
+    // Request collapsing: map every job onto a unique work item. The scan
+    // is quadratic in the batch size, which is bounded by max_batch and
+    // in the common case terminates on the first element (hot key).
+    run_of.assign(jobs.size(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      std::size_t slot = reqs.size();
+      if (opt_.collapse_duplicates) {
+        for (std::size_t u = 0; u < reqs.size(); ++u) {
+          if (same_work(reqs[u], jobs[i].req)) {
+            slot = u;
+            break;
+          }
+        }
+      }
+      if (slot == reqs.size()) reqs.push_back(jobs[i].req);
+      run_of[i] = slot;
+    }
+
+    WorkspacePool::Lease lease = pool_.acquire();
+    answered.assign(jobs.size(), false);
+    try {
+      lease->run_batch_each(
+          std::span<const Request>(reqs), [&](std::size_t u, RunResult&& r) {
+            // Fan the result out to every job this run answers: copies for
+            // the duplicates, the original for the last one.
+            std::size_t last = jobs.size();
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+              if (run_of[i] == u) last = i;
+            }
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+              if (run_of[i] != u) continue;
+              answered[i] = true;
+              if (i == last) {
+                jobs[i].result.set_value(std::move(r));
+              } else {
+                jobs[i].result.set_value(r);
+              }
+            }
+          });
+    } catch (...) {
+      // run() only throws on resource exhaustion (e.g. bad_alloc); every
+      // job whose run never fulfilled it is still unanswered.
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (!answered[i])
+          jobs[i].result.set_exception(std::current_exception());
+      }
+    }
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(jobs.size(), std::memory_order_relaxed);
+    if (jobs.size() > 1)
+      coalesced_.fetch_add(jobs.size(), std::memory_order_relaxed);
+    if (jobs.size() > reqs.size())
+      collapsed_.fetch_add(jobs.size() - reqs.size(),
+                           std::memory_order_relaxed);
+    std::uint64_t peak = peak_batch_.load(std::memory_order_relaxed);
+    while (jobs.size() > peak &&
+           !peak_batch_.compare_exchange_weak(peak, jobs.size(),
+                                              std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void EngineServer::join_workers(bool drain) {
+  queue_.close();
+  if (!drain) {
+    for (Job& job : queue_.drain_now()) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      job.result.set_value(rejected_result(opt_, "server is shutting down"));
+    }
+  }
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& t : threads_) t.join();
+}
+
+void EngineServer::shutdown() { join_workers(/*drain=*/true); }
+
+void EngineServer::shutdown_now() { join_workers(/*drain=*/false); }
+
+ServerStats EngineServer::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.collapsed = collapsed_.load(std::memory_order_relaxed);
+  s.peak_batch = peak_batch_.load(std::memory_order_relaxed);
+  s.pool = pool_.stats();
+  return s;
+}
+
+}  // namespace lr90::serve

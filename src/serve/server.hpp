@@ -1,0 +1,165 @@
+// lr90::EngineServer -- a thread-safe, multi-client serving layer over the
+// Engine, turning the library's single-threaded facade into something that
+// takes concurrent traffic.
+//
+//   EngineServer server({.engine = {.backend = BackendKind::kHost}});
+//   std::future<RunResult> f = server.submit(RankRequest{&list});
+//   RunResult r = f.get();              // typed Status, never throws on
+//                                       // rejection -- kUnavailable instead
+//   server.shutdown();                  // graceful: drains, then joins
+//
+// Architecture (see docs/ARCHITECTURE.md):
+//
+//   clients --submit--> BoundedQueue --pop_batch--> workers --> WorkspacePool
+//      futures <-------- promises fulfilled per result <-- Engine::run_batch_each
+//
+//   * Each submit() enqueues a job (request + promise) onto a bounded MPMC
+//     queue; back-pressure blocks producers when full (or rejects with
+//     StatusCode::kUnavailable when reject_when_full is set).
+//   * A fixed pool of worker threads pops jobs. While the queue is shallow
+//     each worker takes one job (lowest latency); once the depth exceeds
+//     batch_threshold it coalesces up to max_batch jobs and runs them as
+//     one Engine::run_batch_each call -- adaptive micro-batching, paying
+//     one queue critical section and one engine lease per batch. Identical
+//     requests inside a batch collapse into a single engine run (hot-key
+//     traffic runs the work once per batch, not once per client).
+//   * Engines (and their warmed-up Workspaces) come from a WorkspacePool:
+//     zero scratch allocations in steady state, observable via stats().
+//   * shutdown() closes the queue, lets workers drain every queued job,
+//     and joins; shutdown_now() fails queued-but-unstarted jobs with
+//     kUnavailable instead. Submissions racing with either resolve to a
+//     kUnavailable future -- typed propagation, no exceptions, no deadlock.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "serve/queue.hpp"
+#include "serve/workspace_pool.hpp"
+
+namespace lr90::serve {
+
+/// Configuration of an EngineServer.
+struct ServerOptions {
+  /// Per-worker engine configuration (backend, threads, verification...).
+  /// A host-backend engine left at threads = 0 is resolved to threads = 1:
+  /// a server gets its parallelism from the worker pool (one engine per
+  /// worker), and the OpenMP default of all-cores-per-engine would
+  /// oversubscribe the machine workers^2-fold under load. Set threads
+  /// explicitly for intra-request parallelism on top.
+  EngineOptions engine;
+  /// Worker threads (each with its own pooled engine); 0 = one per
+  /// hardware thread.
+  unsigned workers = 0;
+  /// Bounded request-queue capacity; a full queue back-pressures clients.
+  std::size_t queue_capacity = 1024;
+  /// Micro-batching trigger: coalesce once the queue depth exceeds this.
+  std::size_t batch_threshold = 1;
+  /// Largest number of requests coalesced into one run_batch call.
+  std::size_t max_batch = 64;
+  /// When true, submit() on a full queue resolves immediately to
+  /// StatusCode::kUnavailable instead of blocking for a slot.
+  bool reject_when_full = false;
+  /// Request collapsing: identical requests inside one micro-batch (same
+  /// LinkedList object, same rank/op/method) share a single engine run and
+  /// each receive a copy of its result. Semantically invisible -- Engine
+  /// runs are deterministic (the workspace RNG is reseeded from the
+  /// options' seed every run), so N identical requests produce bit-
+  /// identical answers either way -- but under hot-key traffic (many
+  /// clients asking about the same list) it multiplies aggregate
+  /// throughput: the work runs once per batch instead of once per client.
+  bool collapse_duplicates = true;
+};
+
+/// Serving counters, all monotonic since construction.
+struct ServerStats {
+  std::uint64_t submitted = 0;   ///< jobs accepted into the queue
+  std::uint64_t rejected = 0;    ///< submits resolved kUnavailable
+  std::uint64_t completed = 0;   ///< jobs whose promise was fulfilled
+  std::uint64_t batches = 0;     ///< run_batch_each calls issued
+  std::uint64_t coalesced = 0;   ///< jobs that shared a batch (size > 1)
+  std::uint64_t collapsed = 0;   ///< jobs served by another job's run
+  std::uint64_t peak_batch = 0;  ///< largest batch observed
+  PoolStats pool;                ///< aggregated workspace counters
+};
+
+/// Thread-safe multi-client server over pooled Engines. All public methods
+/// may be called concurrently from any thread.
+class EngineServer {
+ public:
+  /// Starts the worker pool immediately.
+  explicit EngineServer(ServerOptions opt = {});
+  /// Graceful: equivalent to shutdown().
+  ~EngineServer();
+
+  EngineServer(const EngineServer&) = delete;             ///< not copyable
+  EngineServer& operator=(const EngineServer&) = delete;  ///< not copyable
+
+  /// Submits a rank request; the future resolves when a worker ran it (or
+  /// immediately, with StatusCode::kUnavailable, if rejected).
+  std::future<RunResult> submit(const RankRequest& req);
+  /// Submits a scan request (same contract as the rank overload).
+  std::future<RunResult> submit(const ScanRequest& req);
+  /// Submits a unified request (same contract as the rank overload).
+  std::future<RunResult> submit(Request req);
+
+  /// Stops accepting work, drains every queued job, joins the workers.
+  /// Idempotent; concurrent callers all block until the drain finishes.
+  void shutdown();
+  /// Stops accepting work, fails queued-but-unstarted jobs with
+  /// StatusCode::kUnavailable, joins the workers. Idempotent.
+  void shutdown_now();
+
+  /// True while the server accepts work; false once shutdown has begun
+  /// (new submissions resolve to StatusCode::kUnavailable from then on).
+  bool accepting() const { return !queue_.closed(); }
+  /// Instantaneous queued-job count (telemetry; racy by nature).
+  std::size_t queue_depth() const { return queue_.size(); }
+  /// Number of worker threads serving this instance.
+  std::size_t workers() const { return threads_.size(); }
+  /// Snapshot of the serving counters.
+  ServerStats stats() const;
+  /// The options the server was built with (workers resolved to >= 1).
+  const ServerOptions& options() const { return opt_; }
+
+ private:
+  /// One queued unit of work: the request plus the promise feeding the
+  /// future handed to the client.
+  struct Job {
+    Request req;                     ///< what to run
+    std::promise<RunResult> result;  ///< how to answer
+  };
+
+  void worker_loop();
+  void join_workers(bool drain);
+
+  ServerOptions opt_;            ///< resolved configuration
+  BoundedQueue<Job> queue_;      ///< clients push, workers pop
+  WorkspacePool pool_;           ///< one warmed engine per running batch
+  std::vector<std::thread> threads_;  ///< the worker pool
+
+  std::atomic<std::uint64_t> submitted_{0};   ///< accepted jobs
+  std::atomic<std::uint64_t> rejected_{0};    ///< kUnavailable resolutions
+  std::atomic<std::uint64_t> completed_{0};   ///< fulfilled promises
+  std::atomic<std::uint64_t> batches_{0};     ///< engine batch calls
+  std::atomic<std::uint64_t> coalesced_{0};   ///< jobs in shared batches
+  std::atomic<std::uint64_t> collapsed_{0};   ///< duplicate jobs collapsed
+  std::atomic<std::uint64_t> peak_batch_{0};  ///< largest batch seen
+
+  std::mutex shutdown_mu_;        ///< serializes shutdown paths
+  bool joined_ = false;           ///< workers already joined
+};
+
+}  // namespace lr90::serve
+
+namespace lr90 {
+/// The serving layer's primary types, re-exported at the library root.
+using serve::EngineServer;
+using serve::ServerOptions;
+using serve::ServerStats;
+}  // namespace lr90

@@ -1,0 +1,45 @@
+#include "serve/workspace_pool.hpp"
+
+namespace lr90::serve {
+
+WorkspacePool::WorkspacePool(const EngineOptions& opt, std::size_t size) {
+  const std::size_t count = size == 0 ? 1 : size;
+  engines_.reserve(count);
+  free_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    engines_.push_back(std::make_unique<Engine>(opt));
+    free_.push_back(engines_.back().get());
+  }
+}
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  available_.wait(lock, [&] { return !free_.empty(); });
+  Engine* engine = free_.back();
+  free_.pop_back();
+  ++leases_;
+  return Lease(this, engine);
+}
+
+void WorkspacePool::release(Engine* engine) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(engine);
+  }
+  available_.notify_one();
+}
+
+PoolStats WorkspacePool::stats() const {
+  PoolStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.leases = leases_;
+  }
+  for (const auto& engine : engines_) {
+    s.allocations += engine->workspace().allocations();
+    s.reuse_hits += engine->workspace().reuse_hits();
+  }
+  return s;
+}
+
+}  // namespace lr90::serve

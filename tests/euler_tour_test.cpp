@@ -220,11 +220,24 @@ TEST(EulerTour, TreeScansSingleNode) {
 TEST(EulerTour, WorksWithMultipleHostThreads) {
   Rng rng(5);
   const RootedTree t = random_tree(3000, rng);
-  HostOptions opt;
-  opt.threads = 4;
+  Engine four({.backend = BackendKind::kHost, .threads = 4});
   const auto d1 = tree_depths(t);
-  const auto d4 = tree_depths(t, opt);
+  const auto d4 = tree_depths(t, four);
   EXPECT_EQ(d1, d4);
+}
+
+TEST(EulerTour, WorksOnEveryBackend) {
+  Rng rng(10);
+  const RootedTree t = random_tree(400, rng);
+  const TreeLabels want = tree_labels(t);  // throwaway host engine
+  for (const BackendKind kind :
+       {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+    Engine engine({.backend = kind});
+    const TreeLabels got = tree_labels(t, engine);
+    EXPECT_EQ(got.depth, want.depth) << backend_name(kind);
+    EXPECT_EQ(got.preorder, want.preorder) << backend_name(kind);
+    EXPECT_EQ(got.subtree_size, want.subtree_size) << backend_name(kind);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links and link targets exist.
+
+Scans every tracked *.md file for inline links/images ``[text](target)``
+and reference definitions ``[ref]: target``, resolves relative targets
+against the file's directory, and fails (exit 1) listing each target that
+does not exist. External links (http/https/mailto) and pure in-page
+anchors are skipped; an anchor suffix on a relative link is checked
+against the target file's headings.
+
+Stdlib only, so the CI docs job needs nothing beyond python3:
+
+    python3 tools/check_md_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+INLINE = re.compile(r"!?\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", "build-docs", "node_modules"}
+
+
+def heading_anchors(path):
+    """GitHub-style anchors of every heading in a markdown file."""
+    anchors = set()
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for line in f:
+            m = re.match(r"\s{0,3}#{1,6}\s+(.*)", line)
+            if not m:
+                continue
+            text = re.sub(r"[`*_\[\]()!]", "", m.group(1)).strip().lower()
+            anchors.add(re.sub(r"\s+", "-", text))
+    return anchors
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check(root):
+    errors = []
+    for md in md_files(root):
+        text = open(md, encoding="utf-8", errors="replace").read()
+        targets = INLINE.findall(text) + REFDEF.findall(text)
+        for target in targets:
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            path, _, anchor = target.partition("#")
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(resolved):
+                errors.append(f"{md}: broken link -> {target}")
+            elif anchor and resolved.endswith(".md"):
+                if anchor.lower() not in heading_anchors(resolved):
+                    errors.append(f"{md}: missing anchor -> {target}")
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    errors = check(root)
+    for err in errors:
+        print(err, file=sys.stderr)
+    count = sum(1 for _ in md_files(root))
+    print(f"checked {count} markdown files: "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
