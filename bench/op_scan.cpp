@@ -1,0 +1,151 @@
+// Operator-layer overhead gate: the generic associative-operator path
+// must cost no more than 5% over the hard-coded sum scan.
+//
+// Three tiers of the same sum scan over one random list:
+//
+//   hard-coded   host_exec::scan_into(list, OpPlus{}, ...) -- the operator
+//                inlined at compile time, the fastest the kernel gets;
+//   dispatched   with_scan_op(ScanOp::kPlus, ...) around the same kernel
+//                call -- adds the one runtime switch per run that every
+//                OpRequest pays;
+//   engine       Engine::run(OpRequest{...}) -- the full facade: planner
+//                decision, result allocation, stats.
+//
+// The gate: the dispatched and engine medians must stay within 5% of the
+// hard-coded median (OP_SCAN_LENIENT=1 downgrades a miss to a warning for
+// noisy shared runners). Also prints the ns/vertex of every registered
+// operator through the engine -- the new workloads the layer opens.
+//
+//   $ ./op_scan [n] [reps]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/host_exec.hpp"
+#include "lists/generators.hpp"
+#include "lists/ops.hpp"
+
+namespace {
+
+using namespace lr90;
+using Clock = std::chrono::steady_clock;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+template <class F>
+double time_once(F&& f) {
+  const auto t0 = Clock::now();
+  f();
+  const auto t1 = Clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000000;
+  const std::size_t reps = std::max<std::size_t>(
+      1, argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9);
+  const bool lenient = std::getenv("OP_SCAN_LENIENT") != nullptr;
+
+  Rng rng(41);
+  const LinkedList list = random_list(n, rng, ValueInit::kSigned);
+
+  // The hard-coded reference runs the kernel exactly as the engine's host
+  // backend does: same plan, same workspace discipline.
+  Workspace ws;
+  host_exec::HostPlan plan;
+  plan.threads = host_exec::effective_threads(0);
+  plan.sublists = static_cast<std::size_t>(plan.threads) * 64;
+  std::vector<value_t> out(n);
+
+  Engine engine({.backend = BackendKind::kHost});
+
+  auto run_hard = [&] {
+    host_exec::scan_into(list, OpPlus{}, plan, ws, std::span<value_t>(out));
+  };
+  auto run_dispatched = [&] {
+    with_scan_op(ScanOp::kPlus, [&](auto op) {
+      host_exec::scan_into(list, op, plan, ws, std::span<value_t>(out));
+    });
+  };
+  auto run_engine = [&] {
+    const RunResult r = engine.run(OpRequest{&list, ScanOp::kPlus});
+    if (!r.ok()) {
+      std::fprintf(stderr, "engine run failed: %s\n",
+                   r.status.message.c_str());
+      std::exit(1);
+    }
+  };
+
+  // Warm every path (page-in, workspace growth), then interleave the reps
+  // so drift hits all tiers equally.
+  run_hard();
+  run_dispatched();
+  run_engine();
+  std::vector<double> hard, dispatched, eng;
+  for (std::size_t i = 0; i < reps; ++i) {
+    hard.push_back(time_once(run_hard));
+    dispatched.push_back(time_once(run_dispatched));
+    eng.push_back(time_once(run_engine));
+  }
+  const double h = median(hard), d = median(dispatched), e = median(eng);
+
+  std::printf("sum scan over %zu vertices, %zu reps (median ms):\n", n,
+              reps);
+  std::printf("  %-22s %8.2f ms  %6.2f ns/vertex\n", "hard-coded kernel", h,
+              h * 1e6 / static_cast<double>(n));
+  std::printf("  %-22s %8.2f ms  %+6.2f%% vs hard-coded\n",
+              "with_scan_op dispatch", d, (d / h - 1.0) * 100.0);
+  std::printf("  %-22s %8.2f ms  %+6.2f%% vs hard-coded\n",
+              "Engine OpRequest", e, (e / h - 1.0) * 100.0);
+
+  // The new workloads: every registered operator through the same engine.
+  std::printf("\nevery operator via OpRequest (median ms):\n");
+  for (const ScanOp op : kAllScanOps) {
+    std::vector<double> ms;
+    for (std::size_t i = 0; i < std::max<std::size_t>(3, reps / 3); ++i) {
+      ms.push_back(time_once([&] {
+        const RunResult r = engine.run(OpRequest{&list, op});
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s failed: %s\n", scan_op_name(op),
+                       r.status.message.c_str());
+          std::exit(1);
+        }
+      }));
+    }
+    std::printf("  %-10s %8.2f ms\n", scan_op_name(op), median(ms));
+  }
+
+  bool ok = true;
+  const double limit = 1.05;
+  if (d > h * limit) {
+    std::printf("\nGATE MISS: dispatch path %.2f%% over hard-coded "
+                "(limit 5%%)\n",
+                (d / h - 1.0) * 100.0);
+    ok = false;
+  }
+  if (e > h * limit) {
+    std::printf("\nGATE MISS: engine path %.2f%% over hard-coded "
+                "(limit 5%%)\n",
+                (e / h - 1.0) * 100.0);
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\ngate ok: generic paths within 5%% of the hard-coded "
+                "sum scan\n");
+    return 0;
+  }
+  if (lenient) {
+    std::printf("OP_SCAN_LENIENT set: reporting only, not failing\n");
+    return 0;
+  }
+  return 1;
+}

@@ -39,6 +39,18 @@ struct CostConstants {
   /// Extracts the constants from a machine cost table. `rank` selects the
   /// single-gather ranking kernels.
   static CostConstants from(const vm::CostTable& t, bool rank = false);
+
+  /// Returns a copy with the per-element traversal terms (`a`, the combine
+  /// inside every link step, and the serial walk) scaled by an operator's
+  /// combine cost (lists/ops.hpp op_cost_factor). Startups, packing, and
+  /// the fixed per-sublist phases move links, not values, and are
+  /// unaffected. Identity when factor == 1.
+  CostConstants with_combine_factor(double factor) const {
+    CostConstants k = *this;
+    k.a *= factor;
+    k.serial_per_vertex *= factor;
+    return k;
+  }
 };
 
 /// Eq. 3: expected Phase 1+3 cycles (plus fixed per-sublist work) on one

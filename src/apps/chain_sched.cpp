@@ -1,0 +1,114 @@
+#include "apps/chain_sched.hpp"
+
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "lists/ops.hpp"
+
+namespace lr90 {
+
+namespace {
+
+/// Validates sizes and the 32-bit scheduling horizon; nullopt when fine.
+std::optional<std::string> check_inputs(
+    const LinkedList& chain, std::span<const std::int32_t> duration,
+    std::span<const std::int32_t> release) {
+  const std::size_t n = chain.size();
+  if (duration.size() != n || release.size() != n) {
+    std::ostringstream os;
+    os << "duration/release sized " << duration.size() << "/"
+       << release.size() << " for a chain of " << n << " tasks";
+    return os.str();
+  }
+  std::int64_t total = 0;
+  std::int64_t max_release = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (duration[v] < 0) return "negative task duration";
+    if (release[v] < 0) return "negative release time";
+    total += duration[v];
+    max_release = std::max<std::int64_t>(max_release, release[v]);
+  }
+  // Every intermediate floor is at most max release + total duration; keep
+  // it inside the 32-bit lane so the max-plus combine stays exact.
+  if (max_release + total > std::numeric_limits<std::int32_t>::max()) {
+    return "scheduling horizon (max release + total duration) overflows "
+           "the 32-bit max-plus lane";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+LinkedList make_chain_list(const LinkedList& chain,
+                           std::span<const std::int32_t> duration,
+                           std::span<const std::int32_t> release) {
+  LinkedList list;
+  list.next = chain.next;
+  list.head = chain.head;
+  list.value.resize(chain.size());
+  for (std::size_t v = 0; v < chain.size(); ++v) {
+    list.value[v] = maxplus_pack(duration[v], release[v] + duration[v]);
+  }
+  return list;
+}
+
+ChainSchedule schedule_chain(const LinkedList& chain,
+                             std::span<const std::int32_t> duration,
+                             std::span<const std::int32_t> release,
+                             Engine& engine, Method method) {
+  ChainSchedule sched;
+  if (auto err = check_inputs(chain, duration, release)) {
+    sched.status = Status::invalid(*err);
+    return sched;
+  }
+  if (chain.empty()) return sched;
+
+  const LinkedList list = make_chain_list(chain, duration, release);
+  const RunResult r = engine.scan(list, ScanOp::kMaxPlus, method);
+  sched.status = r.status;
+  sched.method_used = r.method_used;
+  if (!r.ok()) return sched;
+
+  // r.scan[v] is the composed max-plus map of every predecessor of v;
+  // applied to time 0 it is the finish time of the prefix chain.
+  sched.start.resize(chain.size());
+  sched.finish.resize(chain.size());
+  for (std::size_t v = 0; v < chain.size(); ++v) {
+    const std::int64_t chain_ready = maxplus_apply(r.scan[v], 0);
+    sched.start[v] =
+        std::max<std::int64_t>(chain_ready, release[v]);
+    sched.finish[v] = sched.start[v] + duration[v];
+    sched.makespan = std::max(sched.makespan, sched.finish[v]);
+  }
+  return sched;
+}
+
+ChainSchedule schedule_chain(const LinkedList& chain,
+                             std::span<const std::int32_t> duration,
+                             std::span<const std::int32_t> release) {
+  Engine engine({.backend = BackendKind::kHost});
+  return schedule_chain(chain, duration, release, engine);
+}
+
+ChainSchedule schedule_chain_serial(const LinkedList& chain,
+                                    std::span<const std::int32_t> duration,
+                                    std::span<const std::int32_t> release) {
+  ChainSchedule sched;
+  if (auto err = check_inputs(chain, duration, release)) {
+    sched.status = Status::invalid(*err);
+    return sched;
+  }
+  sched.start.resize(chain.size());
+  sched.finish.resize(chain.size());
+  std::int64_t prev_finish = 0;
+  for_each_in_order(chain, [&](index_t v, std::size_t) {
+    sched.start[v] = std::max<std::int64_t>(prev_finish, release[v]);
+    sched.finish[v] = sched.start[v] + duration[v];
+    prev_finish = sched.finish[v];
+    sched.makespan = std::max(sched.makespan, sched.finish[v]);
+  });
+  return sched;
+}
+
+}  // namespace lr90

@@ -1,0 +1,77 @@
+// Dependency-chain (critical-path) scheduling on top of the generic
+// operator scan.
+//
+// A chain of tasks -- each with a duration and an earliest release time,
+// linked in dependency order -- schedules by the classic recurrence
+//
+//   finish(v) = max(finish(prev(v)) + duration(v), release(v) + duration(v))
+//
+// which is the max-plus affine map x -> max(x + shift, floor) with
+// shift = duration(v) and floor = release(v) + duration(v). Max-plus maps
+// compose associatively (lists/ops.hpp OpMaxPlus), so the exclusive list
+// scan under ScanOp::kMaxPlus hands every task the composed map of ALL its
+// predecessors in one parallel pass: applying it to time 0 is the finish
+// time of the prefix chain, from which the task's own earliest start and
+// finish follow locally. Any Method on any backend computes the schedule
+// -- the chain is an ordinary lr90::LinkedList with packed values -- and
+// an EngineServer can serve scheduling requests like any other OpRequest.
+//
+// This is the paper's "list scan as a primitive" argument (Section 1)
+// pointed at a scheduling workload rather than a tree workload
+// (apps/euler_tour.hpp): same engine, new operator, new application.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "lists/linked_list.hpp"
+
+namespace lr90 {
+
+/// The earliest-start schedule of a dependency chain.
+struct ChainSchedule {
+  Status status;                ///< kOk, or why the schedule failed
+  std::vector<value_t> start;   ///< earliest start per task (by vertex)
+  std::vector<value_t> finish;  ///< earliest finish per task (by vertex)
+  value_t makespan = 0;         ///< finish time of the whole chain
+  Method method_used = Method::kAuto;  ///< what the engine actually ran
+
+  /// True iff scheduling succeeded (shorthand for status.ok()).
+  bool ok() const { return status.ok(); }
+};
+
+/// Builds the max-plus scan input for a dependency chain: the returned
+/// list shares `chain`'s next/head (its values are ignored) and carries
+/// value[v] = maxplus_pack(duration[v], release[v] + duration[v]).
+/// Preconditions: spans sized chain.size(); durations/releases validated
+/// by schedule_chain.
+LinkedList make_chain_list(const LinkedList& chain,
+                           std::span<const std::int32_t> duration,
+                           std::span<const std::int32_t> release);
+
+/// Schedules the chain via one ScanOp::kMaxPlus scan on `engine` (any
+/// backend; `method` as for Engine::scan). `chain` gives the dependency
+/// order (its values are ignored); `duration[v]` >= 0 and `release[v]` >= 0
+/// are per-task, and their combined horizon (max release + total duration)
+/// must fit 32 bits -- violations yield StatusCode::kInvalidInput, keeping
+/// the max-plus combine exact and therefore associative.
+ChainSchedule schedule_chain(const LinkedList& chain,
+                             std::span<const std::int32_t> duration,
+                             std::span<const std::int32_t> release,
+                             Engine& engine, Method method = Method::kAuto);
+
+/// Schedules via a throwaway host engine (one-shot convenience).
+ChainSchedule schedule_chain(const LinkedList& chain,
+                             std::span<const std::int32_t> duration,
+                             std::span<const std::int32_t> release);
+
+/// The serial reference scheduler: one ordered walk applying the
+/// recurrence directly. The oracle the scan-based path must match
+/// bit-exactly (tests/chain_sched_test.cpp).
+ChainSchedule schedule_chain_serial(const LinkedList& chain,
+                                    std::span<const std::int32_t> duration,
+                                    std::span<const std::int32_t> release);
+
+}  // namespace lr90

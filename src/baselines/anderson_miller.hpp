@@ -57,7 +57,7 @@ struct AndersonMillerOptions {
   unsigned serial_switch = 16;
 };
 
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 AlgoStats anderson_miller_scan(vm::Machine& m, const LinkedList& list,
                                std::span<value_t> out, Rng& rng, Op op = {},
                                const AndersonMillerOptions& opt = {}) {

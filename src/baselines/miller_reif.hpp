@@ -44,7 +44,7 @@ struct SpliceRec {
 };
 }  // namespace detail
 
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 AlgoStats miller_reif_scan(vm::Machine& m, const LinkedList& list,
                            std::span<value_t> out, Rng& rng, Op op = {}) {
   AlgoStats stats;
@@ -140,9 +140,11 @@ AlgoStats miller_reif_scan(vm::Machine& m, const LinkedList& list,
     m.synchronize();          // per-round barrier
   }
 
-  // End state: head -> tail. Seed the two known prefixes.
+  // End state: head -> tail. Seed the two known prefixes; combine the
+  // head's value through the operator so the output is canonical even
+  // when the input carries bits the operator ignores (OpSegSum).
   out[list.head] = Op::identity();
-  out[tail] = val[list.head];
+  out[tail] = op(Op::identity(), val[list.head]);
 
   // Reconstruction: replay rounds in reverse; all splicer prefixes needed by
   // round r are final by the time round r is replayed.

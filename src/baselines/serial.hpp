@@ -17,7 +17,7 @@ namespace lr90 {
 
 /// Exclusive serial list scan into `out` (indexed by vertex).
 /// Host-only: no simulated machine, no cycle accounting.
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 void serial_scan_host(const LinkedList& list, std::span<value_t> out,
                       Op op = {}) {
   value_t acc = Op::identity();
@@ -29,7 +29,7 @@ void serial_scan_host(const LinkedList& list, std::span<value_t> out,
 
 /// Exclusive serial list scan on the simulated machine, charged to `proc`.
 /// `as_rank` selects the (slightly cheaper) list-ranking cycle cost.
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 AlgoStats serial_scan(vm::Machine& m, unsigned proc, const LinkedList& list,
                       std::span<value_t> out, Op op = {},
                       bool as_rank = false) {

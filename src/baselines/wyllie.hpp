@@ -8,12 +8,17 @@
 //
 // Formulation note. The textbook formulation jumps along successors and
 // yields suffix sums, which converts to prefix sums only for invertible
-// operators. To support any *commutative* operator (min, max, ...) without
-// inverses, we jump along the predecessor list: after building pred[] with
-// one scatter pass, initialize
+// operators. To support any associative operator (min, max, the packed
+// segmented-sum / affine / max-plus operators, ...) without inverses, we
+// jump along the predecessor list: after building pred[] with one scatter
+// pass, initialize
 //     acc[v] = value[pred(v)]   (identity at the head, whose pred is itself)
 //     ptr[v] = pred(v)
-// and iterate acc[v] = op(acc[v], acc[ptr[v]]); ptr[v] = ptr[ptr[v]].
+// and iterate acc[v] = op(acc[ptr[v]], acc[v]); ptr[v] = ptr[ptr[v]].
+// acc[v] always covers a contiguous run of vertices ending just before v
+// and acc[ptr[v]] the contiguous run just before *that*, so combining
+// earlier-run-first preserves list order -- which is what keeps the
+// non-commutative operators exact (lists/ops.hpp combine order contract).
 // The head acts as the self-loop "tail" of the predecessor list and carries
 // the identity, so no masking is needed (the paper's destructive-identity
 // trick). On convergence acc[v] = op over all vertices before v: exactly
@@ -50,7 +55,7 @@ inline unsigned wyllie_rounds(std::size_t n) {
 }  // namespace detail
 
 /// Exclusive list scan by pointer jumping on the simulated machine.
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 AlgoStats wyllie_scan(vm::Machine& m, const LinkedList& list,
                       std::span<value_t> out, Op op = {}) {
   AlgoStats stats;
@@ -79,14 +84,17 @@ AlgoStats wyllie_scan(vm::Machine& m, const LinkedList& list,
   pred[list.head] = list.head;
   m.synchronize();
 
-  // acc[v] = value[pred(v)] (identity at head), ptr[v] = pred(v).
+  // acc[v] = value[pred(v)] (identity at head), ptr[v] = pred(v). The
+  // identity-combine canonicalizes values whose ignored bits the operator
+  // drops (OpSegSum), so even the zero-round n == 2 case is bit-exact.
   std::vector<value_t> acc(n), acc2(n);
   std::vector<index_t> ptr(pred), ptr2(n);
   for (unsigned proc = 0; proc < p; ++proc) {
     const std::size_t lo = n * proc / p, hi = n * (proc + 1) / p;
     for (std::size_t v = lo; v < hi; ++v) {
-      acc[v] = (pred[v] == static_cast<index_t>(v)) ? Op::identity()
-                                                    : list.value[pred[v]];
+      acc[v] = (pred[v] == static_cast<index_t>(v))
+                   ? Op::identity()
+                   : op(Op::identity(), list.value[pred[v]]);
     }
     m.charge(proc, m.costs().gather, hi - lo);
   }
@@ -96,9 +104,10 @@ AlgoStats wyllie_scan(vm::Machine& m, const LinkedList& list,
   for (unsigned r = 0; r < rounds; ++r) {
     for (unsigned proc = 0; proc < p; ++proc) {
       const std::size_t lo = n * proc / p, hi = n * (proc + 1) / p;
-      // acc2[v] = op(acc[v], acc[ptr[v]]); ptr2[v] = ptr[ptr[v]].
+      // acc2[v] = op(acc[ptr[v]], acc[v]) -- the earlier run first, so
+      // non-commutative operators stay exact; ptr2[v] = ptr[ptr[v]].
       for (std::size_t v = lo; v < hi; ++v) {
-        acc2[v] = op(acc[v], acc[ptr[v]]);
+        acc2[v] = op(acc[ptr[v]], acc[v]);
         ptr2[v] = ptr[ptr[v]];
       }
       m.charge(proc, m.costs().gather, hi - lo);  // gather acc[ptr]

@@ -56,16 +56,6 @@ const char* status_code_name(StatusCode c) {
   return "?";
 }
 
-const char* scan_op_name(ScanOp op) {
-  switch (op) {
-    case ScanOp::kPlus: return "plus";
-    case ScanOp::kMin: return "min";
-    case ScanOp::kMax: return "max";
-    case ScanOp::kXor: return "xor";
-  }
-  return "?";
-}
-
 Status Status::invalid(std::string msg) {
   return Status{StatusCode::kInvalidInput, std::move(msg)};
 }
@@ -80,18 +70,6 @@ Status Status::unavailable(std::string msg) {
 }
 
 namespace {
-
-/// Dispatches a runtime ScanOp to the templated operator types.
-template <class F>
-decltype(auto) with_op(ScanOp op, F&& f) {
-  switch (op) {
-    case ScanOp::kPlus: return f(OpPlus{});
-    case ScanOp::kMin: return f(OpMin{});
-    case ScanOp::kMax: return f(OpMax{});
-    case ScanOp::kXor: return f(OpXor{});
-  }
-  return f(OpPlus{});
-}
 
 /// Serial rank into `out`: position of each vertex in traversal order.
 void serial_rank_into(const LinkedList& list, std::span<value_t> out) {
@@ -119,8 +97,9 @@ Planner::Planner(const EngineOptions& opt)
   contention_ = cfg.contention_factor();
 }
 
-TuneResult Planner::tuned(double n, bool rank_kernels) const {
-  const auto key = std::make_pair(n, rank_kernels);
+TuneResult Planner::tuned(double n, bool rank_kernels,
+                          double op_factor) const {
+  const TuneMemo::Key key{n, rank_kernels, op_factor};
   {
     std::lock_guard<std::mutex> lock(memo_->mu);
     auto it = memo_->cache.find(key);
@@ -128,29 +107,32 @@ TuneResult Planner::tuned(double n, bool rank_kernels) const {
   }
   // Tune outside the lock: tune() is pure and can take milliseconds, so
   // concurrent first-misses may duplicate work but never serialize on it.
-  const CostConstants k = CostConstants::from(table_, rank_kernels);
+  const CostConstants k =
+      CostConstants::from(table_, rank_kernels).with_combine_factor(op_factor);
   const TuneResult r = tune(n, k, processors_, contention_);
   std::lock_guard<std::mutex> lock(memo_->mu);
   memo_->cache.emplace(key, r);
   return r;
 }
 
-double Planner::serial_cycles(std::size_t n, bool rank) const {
+double Planner::serial_cycles(std::size_t n, bool rank, ScanOp op) const {
   const double per_vertex =
-      rank ? table_.serial_rank_per_vertex : table_.serial_scan_per_vertex;
+      (rank ? table_.serial_rank_per_vertex : table_.serial_scan_per_vertex) *
+      op_cost_factor(op);
   return per_vertex * static_cast<double>(n) + table_.serial_startup;
 }
 
-double Planner::wyllie_cycles(std::size_t n, bool /*rank*/) const {
+double Planner::wyllie_cycles(std::size_t n, bool /*rank*/, ScanOp op) const {
   // Mirrors the charges of wyllie_scan: per round, every processor issues
   // two gathers and one combine over its n/p chunk, then a barrier; setup
   // is one scatter + one gather chunked over processors plus one full-array
-  // copy on processor 0.
+  // copy on processor 0. The operator's cost scales the combine only.
   const double nd = static_cast<double>(n);
   const double p = static_cast<double>(processors_);
   const double rounds = detail::wyllie_rounds(n);
   const double per_round =
-      (2.0 * table_.gather.per_elem * contention_ + table_.map2.per_elem) *
+      (2.0 * table_.gather.per_elem * contention_ +
+       table_.map2.per_elem * op_cost_factor(op)) *
           nd / p +
       2.0 * table_.gather.startup + table_.map2.startup + sync_cycles_;
   const double setup =
@@ -161,27 +143,34 @@ double Planner::wyllie_cycles(std::size_t n, bool /*rank*/) const {
   return rounds * per_round + setup;
 }
 
-double Planner::reid_miller_cycles(std::size_t n, bool /*rank*/) const {
+double Planner::reid_miller_cycles(std::size_t n, bool /*rank*/,
+                                   ScanOp op) const {
   // The unencoded rank path runs the scan kernels over all-ones values, so
   // both rank and scan plan with the scan-kernel constants. Roughly six
   // barriers frame the phases.
-  if (n < 2) return serial_cycles(n, false);
-  return tuned(static_cast<double>(n), /*rank_kernels=*/false).cycles +
+  if (n < 2) return serial_cycles(n, false, op);
+  return tuned(static_cast<double>(n), /*rank_kernels=*/false,
+               op_cost_factor(op))
+             .cycles +
          6.0 * sync_cycles_;
 }
 
-Planner::Decision Planner::decide(std::size_t n, Method requested,
-                                  bool rank) const {
+Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
+                                  ScanOp op) const {
   Decision d;
   d.method = requested;
+  if (rank) op = ScanOp::kPlus;  // ranking always combines by addition
 
   if (backend_ == BackendKind::kHost) {
     const unsigned eff = host_exec::effective_threads(threads_);
     // Parallelism must amortize thread fork/join (~tens of microseconds):
-    // give every thread at least ~2k vertices, shedding threads before
+    // give every thread at least ~2k vertices of combine-equivalent work
+    // (costlier operators amortize sooner), shedding threads before
     // falling back to the serial walk.
+    const auto breakeven = static_cast<std::size_t>(
+        std::max(1.0, 2048.0 / op_cost_factor(op)));
     const auto useful = static_cast<unsigned>(
-        std::min<std::size_t>(eff, std::max<std::size_t>(1, n / 2048)));
+        std::min<std::size_t>(eff, std::max<std::size_t>(1, n / breakeven)));
     d.threads = useful;
     d.sublists = static_cast<double>(useful) *
                  static_cast<double>(sublists_per_thread_);
@@ -209,12 +198,12 @@ Planner::Decision Planner::decide(std::size_t n, Method requested,
   if (requested == Method::kAuto) {
     if (n <= 8) {
       d.method = Method::kSerial;
-      d.predicted_cycles = serial_cycles(n, rank);
+      d.predicted_cycles = serial_cycles(n, rank, op);
       return d;
     }
-    const double serial = serial_cycles(n, rank);
-    const double wyllie = wyllie_cycles(n, rank);
-    const double rm = reid_miller_cycles(n, rank);
+    const double serial = serial_cycles(n, rank, op);
+    const double wyllie = wyllie_cycles(n, rank, op);
+    const double rm = reid_miller_cycles(n, rank, op);
     if (serial <= wyllie && serial <= rm) {
       d.method = Method::kSerial;
       d.predicted_cycles = serial;
@@ -236,7 +225,8 @@ Planner::Decision Planner::decide(std::size_t n, Method requested,
       d.s1 = pinned_s1_;
     } else {
       const TuneResult t = tuned(static_cast<double>(n),
-                                 d.method == Method::kReidMillerEncoded);
+                                 d.method == Method::kReidMillerEncoded,
+                                 op_cost_factor(op));
       d.sublists = pinned_m_ > 0 ? pinned_m_ : t.m;
       d.s1 = pinned_s1_ > 0 ? pinned_s1_ : t.s1;
       if (d.predicted_cycles == 0.0)
@@ -265,7 +255,7 @@ class SerialBackend final : public ExecutionBackend {
     if (req.rank) {
       serial_rank_into(list, out.scan);
     } else {
-      with_op(req.op, [&](auto op) {
+      with_scan_op(req.op, [&](auto op) {
         host_exec::serial_scan_into(list, std::span<value_t>(out.scan), op);
       });
     }
@@ -305,7 +295,7 @@ class HostBackend final : public ExecutionBackend {
                              std::span<value_t>(out.scan));
       }
     } else {
-      with_op(req.op, [&](auto op) {
+      with_scan_op(req.op, [&](auto op) {
         host_exec::scan_into(*list, op, hp, ws,
                              std::span<value_t>(out.scan));
       });
@@ -352,7 +342,7 @@ class SimBackend final : public ExecutionBackend {
         if (req.rank) {
           stats = serial_rank(machine_, 0, input, scan);
         } else {
-          with_op(req.op, [&](auto op) {
+          with_scan_op(req.op, [&](auto op) {
             stats = serial_scan(machine_, 0, input, scan, op);
           });
         }
@@ -361,7 +351,7 @@ class SimBackend final : public ExecutionBackend {
         if (req.rank) {
           stats = wyllie_rank(machine_, input, scan);
         } else {
-          with_op(req.op, [&](auto op) {
+          with_scan_op(req.op, [&](auto op) {
             stats = wyllie_scan(machine_, input, scan, op);
           });
         }
@@ -369,23 +359,21 @@ class SimBackend final : public ExecutionBackend {
       case Method::kMillerReif:
         if (req.rank) {
           stats = miller_reif_rank(machine_, input, scan, rng);
-        } else if (req.op == ScanOp::kPlus) {
-          stats = miller_reif_scan(machine_, input, scan, rng);
         } else {
-          return Status::unsupported(
-              "the simulated miller-reif scan supports 'plus' only");
+          with_scan_op(req.op, [&](auto op) {
+            stats = miller_reif_scan(machine_, input, scan, rng, op);
+          });
         }
         break;
       case Method::kAndersonMiller:
         if (req.rank) {
           stats = anderson_miller_rank(machine_, input, scan, rng,
                                        opt_.anderson_miller);
-        } else if (req.op == ScanOp::kPlus) {
-          stats = anderson_miller_scan(machine_, input, scan, rng,
-                                       OpPlus{}, opt_.anderson_miller);
         } else {
-          return Status::unsupported(
-              "the simulated anderson-miller scan supports 'plus' only");
+          with_scan_op(req.op, [&](auto op) {
+            stats = anderson_miller_scan(machine_, input, scan, rng, op,
+                                         opt_.anderson_miller);
+          });
         }
         break;
       case Method::kReidMiller: {
@@ -395,7 +383,7 @@ class SimBackend final : public ExecutionBackend {
         if (req.rank) {
           stats = reid_miller_rank(machine_, copy, scan, rng, rm);
         } else {
-          with_op(req.op, [&](auto op) {
+          with_scan_op(req.op, [&](auto op) {
             stats = reid_miller_scan(machine_, copy, scan, rng, op, rm);
           });
         }
@@ -458,7 +446,7 @@ Status verify_result(const Request& req, Workspace& ws,
   if (req.rank) {
     serial_rank_into(list, want);
   } else {
-    with_op(req.op, [&](auto op) {
+    with_scan_op(req.op, [&](auto op) {
       host_exec::serial_scan_into(list, want, op);
     });
   }
@@ -516,7 +504,7 @@ RunResult Engine::run(const Request& req) {
   }
 
   const Planner::Decision plan =
-      planner_.decide(req.list->size(), req.method, req.rank);
+      planner_.decide(req.list->size(), req.method, req.rank, req.op);
   result.method_used = plan.method;
   result.scan.assign(req.list->size(), 0);
   // Per-run determinism: results depend on the options' seed, never on

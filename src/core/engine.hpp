@@ -41,6 +41,7 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -49,6 +50,7 @@
 #include "core/reid_miller.hpp"
 #include "core/workspace.hpp"
 #include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
 #include "support/rng.hpp"
 #include "vm/machine.hpp"
 
@@ -127,17 +129,10 @@ struct Status {
 
 // -- requests ---------------------------------------------------------------
 
-/// Binary associative operator of a scan request, runtime-dispatchable.
-/// (The template entry points remain available for custom operators.)
-enum class ScanOp {
-  kPlus,  ///< addition (identity 0)
-  kMin,   ///< minimum (identity +inf)
-  kMax,   ///< maximum (identity -inf)
-  kXor,   ///< bitwise xor (identity 0)
-};
-
-/// Short stable name of `op` ("plus", "min", "max", "xor").
-const char* scan_op_name(ScanOp op);
+// The runtime operator taxonomy (ScanOp, with_scan_op, op_cost_factor)
+// lives with the operator layer in lists/ops.hpp; requests here carry a
+// ScanOp value and the backends dispatch it onto the ListOp types once
+// per run.
 
 /// An exclusive list-rank request (number of predecessors per vertex).
 struct RankRequest {
@@ -152,7 +147,14 @@ struct ScanRequest {
   Method method = Method::kAuto;     ///< algorithm; kAuto = Planner's pick
 };
 
-/// The unified request run_batch consumes; converts from either family.
+/// A generic associative-operator scan request: any registered ScanOp
+/// (including the packed segmented-sum / affine / max-plus operators),
+/// any method, any backend. The preferred spelling for operator
+/// workloads; one type with ScanRequest, so every Engine / EngineServer
+/// entry point accepts either name.
+using OpRequest = ScanRequest;
+
+/// The unified request run_batch consumes; converts from any family.
 struct Request {
   const LinkedList* list = nullptr;  ///< the input; must outlive the run
   bool rank = true;                  ///< rank (true) or scan (false)
@@ -163,7 +165,7 @@ struct Request {
   /// Converts a rank request.
   Request(const RankRequest& r)  // NOLINT(google-explicit-constructor)
       : list(r.list), rank(true), method(r.method) {}
-  /// Converts a scan request.
+  /// Converts a scan / operator-scan request.
   Request(const ScanRequest& s)  // NOLINT(google-explicit-constructor)
       : list(s.list), rank(false), op(s.op), method(s.method) {}
 };
@@ -252,19 +254,27 @@ class Planner {
   };
 
   /// Plans one run of length n. `requested` != kAuto is honoured verbatim
-  /// (the backend may still reject it as unsupported).
-  Decision decide(std::size_t n, Method requested, bool rank) const;
+  /// (the backend may still reject it as unsupported). `op` feeds the
+  /// operator's combine cost (op_cost_factor) into the model, so kAuto
+  /// crossovers shift for the more expensive packed operators; ranking
+  /// always plans as ScanOp::kPlus.
+  Decision decide(std::size_t n, Method requested, bool rank,
+                  ScanOp op = ScanOp::kPlus) const;
 
   /// Cost-model estimate behind the sim decision: cycles of the serial
   /// walk on the configured processor count (exposed for tests/benches).
-  double serial_cycles(std::size_t n, bool rank) const;
+  /// `op` scales the per-element terms by its combine cost.
+  double serial_cycles(std::size_t n, bool rank,
+                       ScanOp op = ScanOp::kPlus) const;
   /// Cost-model estimate of Wyllie pointer jumping (see serial_cycles).
-  double wyllie_cycles(std::size_t n, bool rank) const;
+  double wyllie_cycles(std::size_t n, bool rank,
+                       ScanOp op = ScanOp::kPlus) const;
   /// Cost-model estimate of the Reid-Miller algorithm (see serial_cycles).
-  double reid_miller_cycles(std::size_t n, bool rank) const;
+  double reid_miller_cycles(std::size_t n, bool rank,
+                            ScanOp op = ScanOp::kPlus) const;
 
  private:
-  TuneResult tuned(double n, bool rank_kernels) const;
+  TuneResult tuned(double n, bool rank_kernels, double op_factor) const;
 
   BackendKind backend_;
   unsigned processors_;
@@ -275,13 +285,16 @@ class Planner {
   double contention_;
   double sync_cycles_;
   vm::CostTable table_;
-  /// tune() results memoized per (n, kernel family). The memo is guarded
-  /// by its own mutex so decide() is safe to call concurrently (the rest
-  /// of the Planner is immutable after construction); it lives behind a
-  /// unique_ptr to keep the Planner -- and the Engine holding it -- movable.
+  /// tune() results memoized per (n, kernel family, operator cost factor).
+  /// The memo is guarded by its own mutex so decide() is safe to call
+  /// concurrently (the rest of the Planner is immutable after
+  /// construction); it lives behind a unique_ptr to keep the Planner --
+  /// and the Engine holding it -- movable.
   struct TuneMemo {
-    std::mutex mu;                                       ///< guards cache
-    std::map<std::pair<double, bool>, TuneResult> cache; ///< per (n, family)
+    /// One memo key: (n, rank-kernel family, op_cost_factor).
+    using Key = std::tuple<double, bool, double>;
+    std::mutex mu;                        ///< guards cache
+    std::map<Key, TuneResult> cache;      ///< per (n, family, op factor)
   };
   std::unique_ptr<TuneMemo> memo_;
 };

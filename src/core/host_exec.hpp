@@ -49,7 +49,7 @@ inline unsigned effective_threads(unsigned requested) {
 }
 
 /// Serial walk fallback, used when parallelism cannot pay off.
-template <class Op>
+template <ListOp Op>
 void serial_scan_into(const LinkedList& list, std::span<value_t> out,
                       Op op = {}) {
   value_t acc = Op::identity();
@@ -80,7 +80,7 @@ inline void choose_boundaries(const LinkedList& list, std::size_t count,
 
 /// Exclusive list scan into `out` (sized n) per the plan, reusing `ws`.
 /// Preconditions: `list` is a valid LinkedList, out.size() == list.size().
-template <class Op>
+template <ListOp Op>
 void scan_into(const LinkedList& list, Op op, const HostPlan& plan,
                Workspace& ws, std::span<value_t> out) {
   const std::size_t n = list.size();

@@ -8,7 +8,8 @@
 // callers should construct an Engine with BackendKind::kHost instead.
 //
 // The template entry point remains the way to scan under a custom operator
-// type (the Engine's runtime ScanOp covers plus/min/max/xor).
+// type (the Engine's runtime ScanOp covers every registered operator in
+// lists/ops.hpp: plus/min/max/xor and the packed seg-sum/affine/max-plus).
 #pragma once
 
 #include <vector>
@@ -31,7 +32,7 @@ struct HostOptions {
 };
 
 /// Exclusive list scan on the host. Generic over the operator.
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 std::vector<value_t> host_list_scan(const LinkedList& list, Op op = {},
                                     const HostOptions& opt = {}) {
   std::vector<value_t> out(list.size(), Op::identity());

@@ -104,7 +104,7 @@ struct Lanes {
 /// the run and restored before returning. `tail_hint` may pass the global
 /// tail if the caller knows it (kNoVertex = find it, uncharged, treating
 /// the tail as part of the list representation).
-template <class Op = OpPlus>
+template <ListOp Op = OpPlus>
 AlgoStats reid_miller_scan(vm::Machine& machine, LinkedList& list,
                            std::span<value_t> out, Rng& rng, Op op = {},
                            ReidMillerOptions opt = {},

@@ -85,6 +85,15 @@ class Workspace {
     return reuse_hits_.load(std::memory_order_relaxed);
   }
 
+  /// Zeroes both counters (buffers and their capacity are untouched), so a
+  /// serving layer's stats reset can restart the allocation bookkeeping
+  /// from a warmed state. Call at a quiescent point: concurrent fits on
+  /// the owning thread may be lost from the new tallies.
+  void reset_counters() {
+    allocations_.store(0, std::memory_order_relaxed);
+    reuse_hits_.store(0, std::memory_order_relaxed);
+  }
+
   /// Sizes `v` to n elements, all set to `init`, reusing capacity.
   template <class T>
   std::vector<T>& fit(std::vector<T>& v, std::size_t n, T init) {

@@ -178,6 +178,17 @@ void EngineServer::shutdown() { join_workers(/*drain=*/true); }
 
 void EngineServer::shutdown_now() { join_workers(/*drain=*/false); }
 
+void EngineServer::reset_stats() {
+  submitted_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  coalesced_.store(0, std::memory_order_relaxed);
+  collapsed_.store(0, std::memory_order_relaxed);
+  peak_batch_.store(0, std::memory_order_relaxed);
+  pool_.reset_stats();
+}
+
 ServerStats EngineServer::stats() const {
   ServerStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);

@@ -76,7 +76,8 @@ struct ServerOptions {
   bool collapse_duplicates = true;
 };
 
-/// Serving counters, all monotonic since construction.
+/// Serving counters, monotonic since construction (or since the last
+/// EngineServer::reset_stats()).
 struct ServerStats {
   std::uint64_t submitted = 0;   ///< jobs accepted into the queue
   std::uint64_t rejected = 0;    ///< submits resolved kUnavailable
@@ -103,7 +104,10 @@ class EngineServer {
   /// Submits a rank request; the future resolves when a worker ran it (or
   /// immediately, with StatusCode::kUnavailable, if rejected).
   std::future<RunResult> submit(const RankRequest& req);
-  /// Submits a scan request (same contract as the rank overload).
+  /// Submits a scan under any registered operator -- ScanRequest and
+  /// OpRequest are one type (same contract as the rank overload).
+  /// Collapsing keys on the operator identity: only jobs with the same
+  /// list, method, AND ScanOp share one engine run.
   std::future<RunResult> submit(const ScanRequest& req);
   /// Submits a unified request (same contract as the rank overload).
   std::future<RunResult> submit(Request req);
@@ -124,6 +128,12 @@ class EngineServer {
   std::size_t workers() const { return threads_.size(); }
   /// Snapshot of the serving counters.
   ServerStats stats() const;
+  /// Zeroes every serving counter, including the pooled workspace
+  /// allocation/reuse counters (which were monotonic-only before this
+  /// existed) -- warmed buffers keep their capacity, so a reset never
+  /// reintroduces allocations. Call at a quiescent point (no in-flight
+  /// jobs); counts racing the reset may be lost, never corrupted.
+  void reset_stats();
   /// The options the server was built with (workers resolved to >= 1).
   const ServerOptions& options() const { return opt_; }
 

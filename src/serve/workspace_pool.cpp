@@ -29,6 +29,14 @@ void WorkspacePool::release(Engine* engine) {
   available_.notify_one();
 }
 
+void WorkspacePool::reset_stats() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leases_ = 0;
+  }
+  for (const auto& engine : engines_) engine->workspace().reset_counters();
+}
+
 PoolStats WorkspacePool::stats() const {
   PoolStats s;
   {

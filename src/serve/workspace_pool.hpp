@@ -77,6 +77,12 @@ class WorkspacePool {
   /// partially counted, so read at a quiescent point for exact figures.
   PoolStats stats() const;
 
+  /// Zeroes the aggregated counters: the lease tally and every pooled
+  /// workspace's allocation/reuse counters (warmed buffers keep their
+  /// capacity, so a reset does not reintroduce allocations). Call at a
+  /// quiescent point -- counts from in-flight batches may be lost.
+  void reset_stats();
+
  private:
   void release(Engine* engine);
 

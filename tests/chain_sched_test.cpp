@@ -1,0 +1,163 @@
+// apps/chain_sched: the max-plus scan schedule must match the serial
+// recurrence bit-exactly on every backend and method, reject unschedulable
+// inputs with a typed Status, and hold the textbook invariants (release
+// respected, no task overlap, makespan at the tail).
+#include "apps/chain_sched.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "lists/generators.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+/// A random chain with bounded durations/releases (the exactness domain).
+struct Problem {
+  LinkedList chain;
+  std::vector<std::int32_t> duration;
+  std::vector<std::int32_t> release;
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed) {
+  Problem p;
+  Rng rng(seed);
+  p.chain = random_list(n, rng);
+  p.duration.resize(n);
+  p.release.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    p.duration[v] = static_cast<std::int32_t>(rng.uniform(50));
+    p.release[v] = static_cast<std::int32_t>(rng.uniform(2000));
+  }
+  return p;
+}
+
+TEST(ChainSched, MatchesSerialOracleOnEveryBackend) {
+  for (const BackendKind backend :
+       {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
+    EngineOptions opt;
+    opt.backend = backend;
+    if (backend == BackendKind::kHost) opt.threads = 3;
+    Engine engine(opt);
+    for (const std::size_t n : {0u, 1u, 2u, 13u, 2500u}) {
+      std::ostringstream repro;
+      repro << "backend=" << backend_name(backend) << " n=" << n;
+      SCOPED_TRACE(repro.str());
+      const Problem p = make_problem(n, 100 + n);
+      const ChainSchedule want =
+          schedule_chain_serial(p.chain, p.duration, p.release);
+      const ChainSchedule got =
+          schedule_chain(p.chain, p.duration, p.release, engine);
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok()) << got.status.message;
+      EXPECT_EQ(got.start, want.start);
+      EXPECT_EQ(got.finish, want.finish);
+      EXPECT_EQ(got.makespan, want.makespan);
+    }
+  }
+}
+
+TEST(ChainSched, EveryMethodAgreesOnTheSimBackend) {
+  const Problem p = make_problem(3000, 7);
+  const ChainSchedule want =
+      schedule_chain_serial(p.chain, p.duration, p.release);
+  Engine sim({.backend = BackendKind::kSim, .processors = 4});
+  for (const Method m : {Method::kSerial, Method::kWyllie,
+                         Method::kMillerReif, Method::kAndersonMiller,
+                         Method::kReidMiller}) {
+    SCOPED_TRACE(method_name(m));
+    const ChainSchedule got =
+        schedule_chain(p.chain, p.duration, p.release, sim, m);
+    ASSERT_TRUE(got.ok()) << got.status.message;
+    EXPECT_EQ(got.method_used, m);
+    EXPECT_EQ(got.start, want.start);
+    EXPECT_EQ(got.makespan, want.makespan);
+  }
+}
+
+TEST(ChainSched, ScheduleInvariantsHold) {
+  const Problem p = make_problem(5000, 13);
+  const ChainSchedule s = schedule_chain(p.chain, p.duration, p.release);
+  ASSERT_TRUE(s.ok());
+  value_t prev_finish = 0;
+  value_t last_finish = 0;
+  for_each_in_order(p.chain, [&](index_t v, std::size_t) {
+    EXPECT_GE(s.start[v], p.release[v]);     // never before release
+    EXPECT_GE(s.start[v], prev_finish);      // never overlaps predecessor
+    EXPECT_EQ(s.finish[v], s.start[v] + p.duration[v]);
+    // Earliest-start: the task begins the moment both constraints allow.
+    EXPECT_EQ(s.start[v], std::max<value_t>(prev_finish, p.release[v]));
+    prev_finish = s.finish[v];
+    last_finish = s.finish[v];
+  });
+  EXPECT_EQ(s.makespan, last_finish);
+}
+
+TEST(ChainSched, PureChainMakespanIsTotalWorkWhenNothingWaits) {
+  // All releases zero: the chain never idles, so the makespan is exactly
+  // the sum of durations.
+  Problem p = make_problem(1000, 21);
+  std::fill(p.release.begin(), p.release.end(), 0);
+  const ChainSchedule s = schedule_chain(p.chain, p.duration, p.release);
+  ASSERT_TRUE(s.ok());
+  value_t total = 0;
+  for (const std::int32_t d : p.duration) total += d;
+  EXPECT_EQ(s.makespan, total);
+}
+
+TEST(ChainSched, RejectsMalformedInputsTyped) {
+  Engine engine({.backend = BackendKind::kHost});
+  Problem p = make_problem(16, 3);
+
+  // Mismatched spans.
+  p.duration.pop_back();
+  EXPECT_EQ(schedule_chain(p.chain, p.duration, p.release, engine)
+                .status.code,
+            StatusCode::kInvalidInput);
+  p.duration.push_back(1);
+
+  // Negative duration / release.
+  p.duration[3] = -1;
+  EXPECT_EQ(schedule_chain(p.chain, p.duration, p.release, engine)
+                .status.code,
+            StatusCode::kInvalidInput);
+  p.duration[3] = 1;
+  p.release[5] = -7;
+  EXPECT_EQ(schedule_chain_serial(p.chain, p.duration, p.release)
+                .status.code,
+            StatusCode::kInvalidInput);
+  p.release[5] = 0;
+
+  // A horizon that would overflow the 32-bit max-plus lane.
+  p.release[2] = std::numeric_limits<std::int32_t>::max() - 5;
+  p.duration[2] = 100;
+  EXPECT_EQ(schedule_chain(p.chain, p.duration, p.release, engine)
+                .status.code,
+            StatusCode::kInvalidInput);
+}
+
+TEST(ChainSched, EmptyAndSingletonChains) {
+  const Problem none = make_problem(0, 1);
+  const ChainSchedule s0 =
+      schedule_chain(none.chain, none.duration, none.release);
+  ASSERT_TRUE(s0.ok());
+  EXPECT_TRUE(s0.start.empty());
+  EXPECT_EQ(s0.makespan, 0);
+
+  Problem one = make_problem(1, 2);
+  one.duration[0] = 9;
+  one.release[0] = 4;
+  const ChainSchedule s1 =
+      schedule_chain(one.chain, one.duration, one.release);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1.start[0], 4);
+  EXPECT_EQ(s1.finish[0], 13);
+  EXPECT_EQ(s1.makespan, 13);
+}
+
+}  // namespace
+}  // namespace lr90

@@ -55,20 +55,21 @@ TEST(Engine, BackendsAgreeOnDegenerateLayouts) {
 
 TEST(Engine, BackendsAgreeOnEveryScanOp) {
   Rng rng(2);
-  const LinkedList l = random_list(3000, rng, ValueInit::kSigned);
-  for (const ScanOp op :
-       {ScanOp::kPlus, ScanOp::kMin, ScanOp::kMax, ScanOp::kXor}) {
-    std::vector<value_t> want;
-    switch (op) {
-      case ScanOp::kPlus: want = testutil::expected_scan(l, OpPlus{}); break;
-      case ScanOp::kMin: want = testutil::expected_scan(l, OpMin{}); break;
-      case ScanOp::kMax: want = testutil::expected_scan(l, OpMax{}); break;
-      case ScanOp::kXor: want = testutil::expected_scan(l, OpXor{}); break;
+  const LinkedList base = random_list(3000, rng, ValueInit::kSigned);
+  for (const ScanOp op : kAllScanOps) {
+    // The packed operators read their value as 32-bit lanes; keep the
+    // magnitudes in-lane so every combine is exact (max-plus especially).
+    LinkedList l = base;
+    if (op == ScanOp::kSegSum || op == ScanOp::kAffine ||
+        op == ScanOp::kMaxPlus) {
+      for (value_t& v : l.value) v &= 0xffff;
     }
+    const std::vector<value_t> want = with_scan_op(
+        op, [&](auto o) { return testutil::expected_scan(l, o); });
     for (const BackendKind kind :
          {BackendKind::kSerial, BackendKind::kSim, BackendKind::kHost}) {
       Engine engine(backend_options(kind));
-      const RunResult r = engine.scan(l, op);
+      const RunResult r = engine.run(OpRequest{&l, op});
       ASSERT_TRUE(r.ok()) << backend_name(kind) << " op "
                           << scan_op_name(op) << ": " << r.status.message;
       testutil::expect_scan_eq(r.scan, want);
@@ -343,6 +344,36 @@ TEST(Planner, ExplicitMethodIsHonoured) {
             Method::kReidMiller);
   EXPECT_EQ(planner.decide(1u << 20, Method::kSerial, true).method,
             Method::kSerial);
+}
+
+TEST(Planner, OperatorCostScalesTheModel) {
+  // A costlier combine must raise every per-element estimate, never the
+  // startups alone, and the kAuto pick must still be the cheapest of the
+  // three candidates under that operator's costs.
+  const Planner planner(backend_options(BackendKind::kSim));
+  for (const std::size_t n : {64u, 512u, 4096u, 65536u}) {
+    EXPECT_GT(planner.serial_cycles(n, false, ScanOp::kAffine),
+              planner.serial_cycles(n, false, ScanOp::kPlus));
+    EXPECT_GT(planner.wyllie_cycles(n, false, ScanOp::kAffine),
+              planner.wyllie_cycles(n, false, ScanOp::kPlus));
+    if (n >= 2) {
+      EXPECT_GT(planner.reid_miller_cycles(n, false, ScanOp::kAffine),
+                planner.reid_miller_cycles(n, false, ScanOp::kPlus));
+    }
+    for (const ScanOp op : {ScanOp::kSegSum, ScanOp::kAffine,
+                            ScanOp::kMaxPlus}) {
+      const auto d = planner.decide(n, Method::kAuto, false, op);
+      EXPECT_LE(d.predicted_cycles, planner.serial_cycles(n, false, op));
+      EXPECT_LE(d.predicted_cycles, planner.wyllie_cycles(n, false, op));
+      EXPECT_LE(d.predicted_cycles,
+                planner.reid_miller_cycles(n, false, op));
+    }
+  }
+  // Ranking is all-ones addition regardless of the request's operator.
+  EXPECT_EQ(planner.decide(4096, Method::kAuto, true, ScanOp::kAffine)
+                .predicted_cycles,
+            planner.decide(4096, Method::kAuto, true, ScanOp::kPlus)
+                .predicted_cycles);
 }
 
 TEST(Planner, HostShedsThreadsBeforeGoingSerial) {

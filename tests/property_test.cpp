@@ -1,8 +1,16 @@
 // Property-based tests: invariants that must hold for every algorithm,
 // every list shape, every operator, and every seed. Uses parameterized
 // gtest suites to sweep the cross products.
+//
+// The differential harness at the top is the load-bearing suite: seeded
+// random lists of every generator shape and size class (0 / 1 / 2 / prime
+// / large) run through every Method x backend x ScanOp via the Engine
+// facade and must be bit-identical to the serial oracle -- or typed
+// kUnsupported exactly where the support matrix says so. Every assertion
+// carries the reproducing seed.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <tuple>
 
 #include "baselines/anderson_miller.hpp"
@@ -10,6 +18,7 @@
 #include "baselines/serial.hpp"
 #include "baselines/wyllie.hpp"
 #include "core/api.hpp"
+#include "core/engine.hpp"
 #include "core/parallel_host.hpp"
 #include "core/reid_miller.hpp"
 #include "lists/generators.hpp"
@@ -30,6 +39,192 @@ LinkedList make_shape(Shape shape, std::size_t n, ValueInit init, Rng& rng) {
       return blocked_list(n, std::max<std::size_t>(1, n / 16), rng, init);
   }
   return {};
+}
+
+// ---------------------------------------------------------------------
+// Differential harness: every Method x backend x operator, every shape,
+// sizes 0/1/2/prime/large, bit-exact against the serial oracle.
+// ---------------------------------------------------------------------
+
+/// The size classes of the harness: empty, singleton, pair, primes (no
+/// alignment accidents), and large enough for every parallel path.
+constexpr std::size_t kHarnessSizes[] = {0, 1, 2, 13, 997, 4096};
+
+constexpr Shape kAllShapes[] = {Shape::kRandom, Shape::kSequential,
+                                Shape::kReversed, Shape::kBlocked};
+
+/// The reproducing seed of one harness case, derived (not random) so a
+/// failure report names exactly how to rebuild the failing list.
+std::uint64_t case_seed(Shape shape, std::size_t n, ScanOp op) {
+  return 0x5eed1990ULL + static_cast<std::uint64_t>(shape) * 1000003ULL +
+         static_cast<std::uint64_t>(n) * 101ULL +
+         static_cast<std::uint64_t>(op) * 17ULL;
+}
+
+/// Rewrites raw generator values into the operator's value domain so
+/// every combine is exact (and therefore associative) regardless of how a
+/// method regroups segments: packed lanes for the packed operators,
+/// small magnitudes for the arithmetic ones.
+value_t harness_value(ScanOp op, value_t raw) {
+  switch (op) {
+    case ScanOp::kSegSum:
+      // A segment start roughly every 7th vertex, signed 32-bit sums --
+      // plus junk in bits 32..62, which the operator documents as ignored
+      // on input: outputs must still be canonical (bit-exact vs the
+      // oracle), so every method has to combine values through the
+      // operator rather than propagate them raw.
+      return seg_pack(raw % 7 == 0, static_cast<std::int32_t>(raw)) |
+             ((raw & 0x1f) << 40);
+    case ScanOp::kAffine:
+      // Any lanes are exact under wrapping arithmetic; vary both.
+      return affine_pack(static_cast<std::int32_t>(raw % 5) - 2,
+                         static_cast<std::int32_t>(raw));
+    case ScanOp::kMaxPlus:
+      // Non-negative shifts, bounded floors: no lane overflow over any
+      // sublist grouping of <= 5000 elements.
+      return maxplus_pack(static_cast<std::int32_t>((raw < 0 ? -raw : raw) %
+                                                    100),
+                          static_cast<std::int32_t>(raw % 1000));
+    default:
+      return raw;  // |raw| < 500 from ValueInit::kSigned: sums stay exact
+  }
+}
+
+/// The serial oracle under a runtime operator: one ordered walk.
+std::vector<value_t> oracle_scan(const LinkedList& l, ScanOp op) {
+  return with_scan_op(
+      op, [&](auto o) { return testutil::expected_scan(l, o); });
+}
+
+/// The support matrix: which (backend, method) pairs may run a scan at
+/// all. Anything outside must come back StatusCode::kUnsupported --
+/// typed, never wrong, never UB.
+bool scan_supported(BackendKind backend, Method method) {
+  switch (backend) {
+    case BackendKind::kSerial:
+      return method == Method::kAuto || method == Method::kSerial;
+    case BackendKind::kHost:
+      return method == Method::kAuto || method == Method::kSerial ||
+             method == Method::kReidMiller;
+    case BackendKind::kSim:
+      return method != Method::kReidMillerEncoded;  // encoded is rank-only
+  }
+  return false;
+}
+
+bool rank_supported(BackendKind backend, Method method) {
+  return scan_supported(backend, method) ||
+         (backend == BackendKind::kSim &&
+          method == Method::kReidMillerEncoded);
+}
+
+EngineOptions harness_options(BackendKind backend) {
+  EngineOptions opt;
+  opt.backend = backend;
+  if (backend == BackendKind::kSim) opt.processors = 4;
+  if (backend == BackendKind::kHost) opt.threads = 3;
+  return opt;
+}
+
+using BackendMethod = std::tuple<BackendKind, Method>;
+
+class DifferentialHarness : public ::testing::TestWithParam<BackendMethod> {};
+
+TEST_P(DifferentialHarness, ScansMatchSerialOracleOrRejectTyped) {
+  const auto [backend, method] = GetParam();
+  Engine engine(harness_options(backend));
+  for (const ScanOp op : kAllScanOps) {
+    for (const Shape shape : kAllShapes) {
+      for (const std::size_t n : kHarnessSizes) {
+        const std::uint64_t seed = case_seed(shape, n, op);
+        Rng rng(seed);
+        LinkedList l = make_shape(shape, n, ValueInit::kSigned, rng);
+        for (value_t& v : l.value) v = harness_value(op, v);
+
+        std::ostringstream repro;
+        repro << "repro: seed=" << seed << " shape=" << static_cast<int>(shape)
+              << " n=" << n << " op=" << scan_op_name(op)
+              << " method=" << method_name(method)
+              << " backend=" << backend_name(backend);
+        SCOPED_TRACE(repro.str());
+
+        const RunResult r = engine.run(OpRequest{&l, op, method});
+        if (!scan_supported(backend, method)) {
+          EXPECT_EQ(r.status.code, StatusCode::kUnsupported);
+          continue;
+        }
+        ASSERT_TRUE(r.ok()) << r.status.message;
+        ASSERT_NE(r.method_used, Method::kAuto);
+        testutil::expect_scan_eq(r.scan, oracle_scan(l, op));
+      }
+    }
+  }
+}
+
+TEST_P(DifferentialHarness, RanksMatchReferenceOrRejectTyped) {
+  const auto [backend, method] = GetParam();
+  Engine engine(harness_options(backend));
+  for (const Shape shape : kAllShapes) {
+    for (const std::size_t n : kHarnessSizes) {
+      const std::uint64_t seed = case_seed(shape, n, ScanOp::kPlus) ^ 0xabcd;
+      Rng rng(seed);
+      const LinkedList l = make_shape(shape, n, ValueInit::kSigned, rng);
+
+      std::ostringstream repro;
+      repro << "repro: seed=" << seed << " shape=" << static_cast<int>(shape)
+            << " n=" << n << " rank method=" << method_name(method)
+            << " backend=" << backend_name(backend);
+      SCOPED_TRACE(repro.str());
+
+      const RunResult r = engine.rank(l, method);
+      if (!rank_supported(backend, method)) {
+        EXPECT_EQ(r.status.code, StatusCode::kUnsupported);
+        continue;
+      }
+      ASSERT_TRUE(r.ok()) << r.status.message;
+      testutil::expect_scan_eq(r.scan, reference_rank(l));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsTimesMethods, DifferentialHarness,
+    ::testing::Combine(
+        ::testing::Values(BackendKind::kSerial, BackendKind::kSim,
+                          BackendKind::kHost),
+        ::testing::Values(Method::kAuto, Method::kSerial, Method::kWyllie,
+                          Method::kMillerReif, Method::kAndersonMiller,
+                          Method::kReidMiller, Method::kReidMillerEncoded)));
+
+// ---------------------------------------------------------------------
+// Operator algebra: the packed operators are associative with an exact
+// identity on arbitrary packed inputs (the property every parallel
+// regrouping implicitly relies on).
+// ---------------------------------------------------------------------
+TEST(OperatorAlgebra, PackedOperatorsAssociateWithExactIdentity) {
+  Rng rng(0x0955);
+  for (const ScanOp op :
+       {ScanOp::kSegSum, ScanOp::kAffine, ScanOp::kMaxPlus}) {
+    with_scan_op(op, [&](auto o) {
+      using Op = decltype(o);
+      for (int i = 0; i < 2000; ++i) {
+        const value_t a = harness_value(
+            op, static_cast<value_t>(rng.uniform(1000)) - 500);
+        const value_t b = harness_value(
+            op, static_cast<value_t>(rng.uniform(1000)) - 500);
+        const value_t c = harness_value(
+            op, static_cast<value_t>(rng.uniform(1000)) - 500);
+        ASSERT_EQ(o(o(a, b), c), o(a, o(b, c)))
+            << scan_op_name(op) << " must associate";
+        // Identity laws hold bitwise on canonical values (combine
+        // outputs); a raw input may carry ignored bits the combine drops.
+        const value_t canon = o(Op::identity(), a);
+        ASSERT_EQ(o(Op::identity(), canon), canon);
+        ASSERT_EQ(o(canon, Op::identity()), canon);
+        ASSERT_EQ(o(a, Op::identity()), canon);
+      }
+    });
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -324,6 +327,102 @@ TEST(EngineServer, ServesEulerTourTreeWorkloads) {
   EXPECT_EQ(depth, tree_depths(tree));
 }
 
+TEST(EngineServer, ResetStatsZeroesPoolCountersWithoutReallocating) {
+  // Regression: the pooled workspace allocation counters used to be
+  // monotonic-only -- reset_stats() must zero them (and every serving
+  // counter) while keeping the warmed buffers, so a post-reset steady
+  // state reads zero allocations, not a fresh warmup.
+  Rng rng(37);
+  const LinkedList list = random_list(10000, rng);
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.engine.threads = 2;  // force the sublist path so scratch is used
+  opt.workers = 1;
+  EngineServer server(opt);
+
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
+  // A resolved future precedes the worker's own bookkeeping; poll until
+  // the counters stabilize so the reset is genuinely quiescent.
+  ServerStats warm = server.stats();
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const ServerStats s = server.stats();
+    if (s.completed == 8 && s.batches == warm.batches &&
+        s.peak_batch == warm.peak_batch && s.pool.leases == warm.pool.leases)
+      break;
+    warm = s;
+  }
+  EXPECT_GT(warm.submitted, 0u);
+  EXPECT_GT(warm.pool.allocations, 0u);
+  EXPECT_GT(warm.pool.leases, 0u);
+
+  server.reset_stats();  // quiescent: counters stable, futures resolved
+  const ServerStats zeroed = server.stats();
+  EXPECT_EQ(zeroed.submitted, 0u);
+  EXPECT_EQ(zeroed.completed, 0u);
+  EXPECT_EQ(zeroed.batches, 0u);
+  EXPECT_EQ(zeroed.coalesced, 0u);
+  EXPECT_EQ(zeroed.collapsed, 0u);
+  EXPECT_EQ(zeroed.peak_batch, 0u);
+  EXPECT_EQ(zeroed.pool.allocations, 0u);
+  EXPECT_EQ(zeroed.pool.reuse_hits, 0u);
+  EXPECT_EQ(zeroed.pool.leases, 0u);
+
+  // Same-shaped traffic after the reset counts from zero -- and the kept
+  // warmed buffers mean it allocates nothing.
+  for (std::size_t i = 0; i < 8; ++i)
+    ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
+  server.shutdown();
+  const ServerStats after = server.stats();
+  EXPECT_EQ(after.submitted, 8u);
+  EXPECT_EQ(after.completed, 8u);
+  EXPECT_EQ(after.pool.allocations, 0u)
+      << "reset must not throw away the warmed buffers";
+  EXPECT_GT(after.pool.reuse_hits, 0u);
+}
+
+TEST(EngineServer, CollapsingKeysOnOperatorIdentity) {
+  // A hot key served under two different operators must collapse within
+  // each operator but never across them: seg-sum answers are not plus
+  // answers. Occupy the worker so the mixed burst lands in one backlog.
+  Rng rng(41);
+  const LinkedList big = random_list(300000, rng);
+  LinkedList hot = random_list(20000, rng, ValueInit::kSigned);
+
+  Engine serial({.backend = BackendKind::kSerial});
+  const RunResult want_plus = serial.run(OpRequest{&hot, ScanOp::kPlus});
+  const RunResult want_seg = serial.run(OpRequest{&hot, ScanOp::kSegSum});
+  ASSERT_TRUE(want_plus.ok());
+  ASSERT_TRUE(want_seg.ok());
+
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.workers = 1;
+  EngineServer server(opt);
+
+  std::future<RunResult> head = server.submit(RankRequest{&big});
+  std::vector<std::future<RunResult>> plus, seg;
+  for (std::size_t i = 0; i < 32; ++i) {
+    plus.push_back(server.submit(OpRequest{&hot, ScanOp::kPlus}));
+    seg.push_back(server.submit(OpRequest{&hot, ScanOp::kSegSum}));
+  }
+  ASSERT_TRUE(head.get().ok());
+  for (auto& f : plus) {
+    const RunResult r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.scan, want_plus.scan);
+  }
+  for (auto& f : seg) {
+    const RunResult r = f.get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.scan, want_seg.scan);
+  }
+  server.shutdown();
+  EXPECT_GT(server.stats().collapsed, 0u)
+      << "a 64-deep two-key backlog must collapse within each key";
+}
+
 TEST(BoundedQueue, AdaptiveBatchPop) {
   serve::BoundedQueue<int> q(16);
   for (int i = 0; i < 10; ++i) {
@@ -345,6 +444,110 @@ TEST(BoundedQueue, AdaptiveBatchPop) {
   while (q.pop_batch(out, 2, 4) != 0) {
   }
   EXPECT_EQ(out.size(), 10u);  // ...until every queued item came out
+}
+
+TEST(BoundedQueue, CapacityOneBackpressuresAndDeliversInOrder) {
+  // The degenerate bound: every push after the first must wait for a pop,
+  // and try_push must observe the single slot exactly.
+  serve::BoundedQueue<int> q(1);
+  EXPECT_EQ(q.capacity(), 1u);
+  int first = 0;
+  ASSERT_TRUE(q.push(first));
+  int probe = 99;
+  EXPECT_FALSE(q.try_push(probe));  // full at depth 1
+  EXPECT_EQ(probe, 99);             // rejected items stay with the caller
+
+  std::vector<int> got;
+  std::thread producer([&] {
+    for (int i = 1; i <= 50; ++i) {
+      int x = i;
+      ASSERT_TRUE(q.push(x));  // blocks whenever the slot is taken
+    }
+    q.close();
+  });
+  std::vector<int> out;
+  while (q.pop_batch(out, /*batch_threshold=*/1, /*max_batch=*/8) != 0) {
+  }
+  producer.join();
+  ASSERT_EQ(out.size(), 51u);  // the pre-filled 0 plus 1..50
+  for (int i = 0; i <= 50; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+}
+
+TEST(BoundedQueue, TryPushUnderContentionConservesEveryItem) {
+  // reject_when_full semantics under real contention: several producers
+  // spin on try_push against a tiny queue while one consumer drains.
+  // Every accepted item must come out exactly once; rejections must only
+  // ever happen at observed-full, and nothing deadlocks.
+  serve::BoundedQueue<int> q(4);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        if (q.try_push(item)) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+          std::this_thread::yield();  // full: give the consumer a turn
+        }
+      }
+    });
+  }
+  std::vector<int> out;
+  std::thread consumer([&] {
+    while (q.pop_batch(out, /*batch_threshold=*/1, /*max_batch=*/3) != 0) {
+    }
+  });
+  for (auto& t : producers) t.join();
+  q.close();
+  consumer.join();
+  EXPECT_EQ(accepted.load() + rejected.load(), kProducers * kPerProducer);
+  ASSERT_EQ(out.size(), static_cast<std::size_t>(accepted.load()));
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end())
+      << "an item was delivered twice";
+}
+
+TEST(BoundedQueue, DrainNowRacingBatchPopLosesNothing) {
+  // Non-graceful shutdown steals the backlog out from under a consumer
+  // blocked in (or racing into) pop_batch: every pushed item must end up
+  // in exactly one of the two, and the consumer must observe termination.
+  for (int round = 0; round < 20; ++round) {
+    serve::BoundedQueue<int> q(64);
+    for (int i = 0; i < 32; ++i) {
+      int x = i;
+      ASSERT_TRUE(q.push(x));
+    }
+    std::vector<int> popped;
+    std::thread consumer([&] {
+      // Keeps batch-popping until close-and-drained.
+      while (q.pop_batch(popped, /*batch_threshold=*/2, /*max_batch=*/5) !=
+             0) {
+      }
+    });
+    q.close();
+    const std::vector<int> drained = q.drain_now();
+    consumer.join();
+    EXPECT_EQ(popped.size() + drained.size(), 32u);
+    std::vector<int> all(popped);
+    all.insert(all.end(), drained.begin(), drained.end());
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(all[static_cast<size_t>(i)], i);
+  }
+
+  // And a consumer already asleep on an empty queue wakes on close.
+  serve::BoundedQueue<int> empty(4);
+  std::vector<int> none;
+  std::thread sleeper([&] { EXPECT_EQ(empty.pop_batch(none, 1, 4), 0u); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  empty.close();
+  sleeper.join();
+  EXPECT_TRUE(none.empty());
 }
 
 TEST(WorkspacePool, LeasesBlockAndAggregateStats) {
