@@ -11,6 +11,10 @@
 //   engine       Engine::run(OpRequest{...}) -- the full facade: planner
 //                decision, result allocation, stats.
 //
+// Every tier produces a fresh result vector per run (the Engine's API
+// contract), so the comparison isolates the dispatch machinery rather
+// than the allocator.
+//
 // The gate: the dispatched and engine medians must stay within 5% of the
 // hard-coded median (OP_SCAN_LENIENT=1 downgrades a miss to a warning for
 // noisy shared runners). Also prints the ns/vertex of every registered
@@ -27,6 +31,7 @@
 #include "core/host_exec.hpp"
 #include "lists/generators.hpp"
 #include "lists/ops.hpp"
+#include "support/bench_json.hpp"
 
 namespace {
 
@@ -58,23 +63,33 @@ int main(int argc, char** argv) {
   Rng rng(41);
   const LinkedList list = random_list(n, rng, ValueInit::kSigned);
 
-  // The hard-coded reference runs the kernel exactly as the engine's host
-  // backend does: same plan, same workspace discipline.
-  Workspace ws;
-  host_exec::HostPlan plan;
-  plan.threads = host_exec::effective_threads(0);
-  plan.sublists = static_cast<std::size_t>(plan.threads) * 64;
-  std::vector<value_t> out(n);
-
   Engine engine({.backend = BackendKind::kHost});
 
+  // The hard-coded reference runs the kernel exactly as the engine's host
+  // backend does: same plan (threads, sublists, interleave width), same
+  // workspace discipline -- so the tiers differ only by dispatch layers.
+  Workspace ws;
+  const Planner::Decision decision =
+      engine.planner().decide(n, Method::kAuto, /*rank=*/false);
+  host_exec::HostPlan plan;
+  plan.threads = decision.method == Method::kSerial ? 1 : decision.threads;
+  plan.sublists = static_cast<std::size_t>(decision.sublists);
+  plan.interleave = decision.interleave;
+
+  // Every tier returns a fresh result vector (the API contract); the
+  // volatile sink keeps the runs observable.
+  volatile value_t sink = 0;
   auto run_hard = [&] {
-    host_exec::scan_into(list, OpPlus{}, plan, ws, std::span<value_t>(out));
+    std::vector<value_t> res(n);
+    host_exec::scan_into(list, OpPlus{}, plan, ws, std::span<value_t>(res));
+    sink = res[list.head];
   };
   auto run_dispatched = [&] {
+    std::vector<value_t> res(n);
     with_scan_op(ScanOp::kPlus, [&](auto op) {
-      host_exec::scan_into(list, op, plan, ws, std::span<value_t>(out));
+      host_exec::scan_into(list, op, plan, ws, std::span<value_t>(res));
     });
+    sink = res[list.head];
   };
   auto run_engine = [&] {
     const RunResult r = engine.run(OpRequest{&list, ScanOp::kPlus});
@@ -83,6 +98,7 @@ int main(int argc, char** argv) {
                    r.status.message.c_str());
       std::exit(1);
     }
+    sink = r.scan[list.head];
   };
 
   // Warm every path (page-in, workspace growth), then interleave the reps
@@ -107,10 +123,27 @@ int main(int argc, char** argv) {
   std::printf("  %-22s %8.2f ms  %+6.2f%% vs hard-coded\n",
               "Engine OpRequest", e, (e / h - 1.0) * 100.0);
 
+  BenchJson json("op_scan");
+  json.meta("n", static_cast<double>(n));
+  json.meta("reps", static_cast<double>(reps));
+  json.meta("workload", "random-permutation list, signed values");
+  auto tier_row = [&](const char* tier, double ms) {
+    json.row();
+    json.field("tier", tier);
+    json.field("median_ms", ms);
+    json.field("ns_per_elem", ms * 1e6 / static_cast<double>(n));
+    json.field("vs_hard_coded", ms / h);
+  };
+  tier_row("hard-coded", h);
+  tier_row("with_scan_op", d);
+  tier_row("engine", e);
+
   // The new workloads: every registered operator through the same engine.
   std::printf("\nevery operator via OpRequest (median ms):\n");
   for (const ScanOp op : kAllScanOps) {
     std::vector<double> ms;
+    unsigned interleave = 0;
+    bool packed = false;
     for (std::size_t i = 0; i < std::max<std::size_t>(3, reps / 3); ++i) {
       ms.push_back(time_once([&] {
         const RunResult r = engine.run(OpRequest{&list, op});
@@ -119,10 +152,24 @@ int main(int argc, char** argv) {
                        r.status.message.c_str());
           std::exit(1);
         }
+        interleave = r.stats.host_interleave;
+        packed = r.stats.host_packed;
       }));
     }
-    std::printf("  %-10s %8.2f ms\n", scan_op_name(op), median(ms));
+    const double m = median(ms);
+    std::printf("  %-10s %8.2f ms  (%s, %u cursors)\n", scan_op_name(op), m,
+                packed ? "packed" : "unpacked", interleave);
+    json.row();
+    json.field("tier", "operator");
+    json.field("op", scan_op_name(op));
+    json.field("median_ms", m);
+    json.field("packed", packed ? 1.0 : 0.0);
+    json.field("cursors", static_cast<double>(interleave));
   }
+
+  const std::string json_path = bench_json_path("BENCH_op_scan.json");
+  if (json.write(json_path))
+    std::printf("\nwrote %s\n", json_path.c_str());
 
   bool ok = true;
   const double limit = 1.05;

@@ -41,6 +41,7 @@
 
 #include "lists/generators.hpp"
 #include "serve/server.hpp"
+#include "support/bench_json.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -52,6 +53,8 @@ struct LoadResult {
   double seconds = 0.0;          ///< wall time of the whole closed loop
   double reqs = 0.0;             ///< requests completed across clients
   std::vector<double> lat_us;    ///< per-request latency, microseconds
+  unsigned cursors = 0;          ///< cursors-in-flight the engines reported
+  bool packed = false;           ///< the packed hot path served the load
 };
 
 /// Runs `clients` closed-loop threads of `per_client` rank requests each.
@@ -73,6 +76,10 @@ LoadResult run_load(EngineServer& server, const LinkedList& list,
           std::fprintf(stderr, "request failed: %s\n",
                        r.status.message.c_str());
           std::exit(1);
+        }
+        if (c == 0 && i == 0) {  // execution shape is per-run deterministic
+          out.cursors = r.stats.host_interleave;
+          out.packed = r.stats.host_packed;
         }
         lat[c].push_back(
             std::chrono::duration<double, std::micro>(e - s).count());
@@ -129,7 +136,14 @@ int main(int argc, char** argv) {
   run_load(server, list, 2 * static_cast<unsigned>(server.workers()), 64);
   const std::uint64_t warm_allocs = server.stats().pool.allocations;
 
-  TextTable table({"clients", "req/s", "p50 us", "p99 us", "speedup"});
+  BenchJson json("serve_throughput");
+  json.meta("n", static_cast<double>(n));
+  json.meta("reqs_per_client", static_cast<double>(per_client));
+  json.meta("workers", static_cast<double>(server.workers()));
+  json.meta("engine_threads", 2.0);
+
+  TextTable table(
+      {"clients", "req/s", "p50 us", "p99 us", "speedup", "cursors"});
   double baseline = 0.0;
   double at4 = 0.0;
   for (const unsigned clients : {1u, 2u, 4u, 8u}) {
@@ -137,10 +151,21 @@ int main(int argc, char** argv) {
     const double rps = r.reqs / r.seconds;
     if (clients == 1) baseline = rps;
     if (clients == 4) at4 = rps;
+    const double p50 = percentile(r.lat_us, 0.50);
+    const double p99 = percentile(r.lat_us, 0.99);
     table.add_row({std::to_string(clients), TextTable::num(rps, 0),
-                   TextTable::num(percentile(r.lat_us, 0.50), 1),
-                   TextTable::num(percentile(r.lat_us, 0.99), 1),
-                   TextTable::num(rps / baseline, 2) + "x"});
+                   TextTable::num(p50, 1), TextTable::num(p99, 1),
+                   TextTable::num(rps / baseline, 2) + "x",
+                   std::to_string(r.cursors) +
+                       (r.packed ? " (packed)" : "")});
+    json.row();
+    json.field("clients", static_cast<double>(clients));
+    json.field("req_per_s", rps);
+    json.field("p50_us", p50);
+    json.field("p99_us", p99);
+    json.field("speedup_vs_1_client", rps / baseline);
+    json.field("cursors", static_cast<double>(r.cursors));
+    json.field("packed", r.packed ? 1.0 : 0.0);
   }
   table.print();
 
@@ -162,6 +187,10 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.collapsed),
       static_cast<unsigned long long>(steady_allocs),
       static_cast<unsigned long long>(stats.pool.reuse_hits), speedup);
+
+  const std::string json_path = bench_json_path("BENCH_serve.json");
+  if (json.write(json_path))
+    std::printf("wrote %s\n", json_path.c_str());
 
   // SERVE_THROUGHPUT_LENIENT downgrades the wall-clock speedup gate to a
   // warning (shared CI runners make timing assertions flaky); the

@@ -96,4 +96,41 @@ double expected_cycles_eq5(double n, double m, double s1, std::size_t l,
          static_cast<double>(l) * k.d + k.f;
 }
 
+double host_latency_ns(double bytes, const HostCostConstants& k) {
+  // Log-linear ramps between the cache levels: latency climbs as less of
+  // the working set fits each tier.
+  auto ramp = [](double bytes, double lo_b, double hi_b, double lo_ns,
+                 double hi_ns) {
+    const double t = (std::log2(bytes) - std::log2(lo_b)) /
+                     (std::log2(hi_b) - std::log2(lo_b));
+    return lo_ns + t * (hi_ns - lo_ns);
+  };
+  if (bytes <= k.l1_bytes) return k.l1_latency_ns;
+  if (bytes <= k.l2_bytes)
+    return ramp(bytes, k.l1_bytes, k.l2_bytes, k.l1_latency_ns,
+                k.l2_latency_ns);
+  if (bytes >= k.llc_bytes) return k.dram_latency_ns;
+  return ramp(bytes, k.l2_bytes, k.llc_bytes, k.l2_latency_ns,
+              k.dram_latency_ns);
+}
+
+double host_packed_ns_per_elem(double n, unsigned W,
+                               const HostCostConstants& k,
+                               double op_factor) {
+  assert(W >= 1);
+  // Footprint: the slab plus the output array phase 3 scatters into.
+  const double lat = host_latency_ns(n * 12.0, k);
+  const double per_phase =
+      std::max(lat / static_cast<double>(W), k.combine_ns * op_factor) +
+      k.bookkeeping_ns * static_cast<double>(W - 1);
+  // Phases 1 and 3 each traverse every element; the build is one
+  // sequential pass.
+  return 2.0 * per_phase + k.build_ns;
+}
+
+double host_serial_ns_per_elem(double n, const HostCostConstants& k,
+                               double op_factor) {
+  return host_latency_ns(n * 12.0, k) + k.serial_walk_ns * op_factor;
+}
+
 }  // namespace lr90

@@ -82,4 +82,50 @@ double phase2_serial_cycles(double m, const CostConstants& k);
 double expected_cycles_eq5(double n, double m, double s1, std::size_t l,
                            const CostConstants& k);
 
+// -- host packed hot path ---------------------------------------------------
+//
+// The host analog of the paper's vector model: with W cursors in flight
+// per worker, a traversal element costs roughly
+//
+//   max( latency(footprint) / W , combine )  +  bookkeeping(W)
+//
+// -- the memory round-trip amortizes across the W independent load chains
+// until the core's own per-element work becomes the bottleneck, while the
+// round-robin bookkeeping grows mildly with W. latency() steps through
+// the cache hierarchy by the slab's footprint, exactly the role the
+// Hockney (startup, per-element) pairs play in the C90 CostTable.
+// Defaults are fitted from bench/interleave_sweep on the dev machine;
+// they need only rank the candidate Ws correctly, not predict wall time.
+
+/// Per-element constants of the host packed traversal kernels, in
+/// nanoseconds. Value-semantic so benches can refit and re-plan.
+struct HostCostConstants {
+  double l1_latency_ns = 5.0;     ///< random load, working set in L1/L2
+  double l2_latency_ns = 16.0;    ///< random load, slab within L2/LLC
+  double dram_latency_ns = 95.0;  ///< random load, slab misses to DRAM
+  double combine_ns = 1.4;        ///< combine + cursor advance (plus-like)
+  double bookkeeping_ns = 0.08;   ///< round-robin overhead per extra cursor
+  double build_ns = 1.1;          ///< slab build, sequential, per element
+  double serial_walk_ns = 1.1;    ///< serial walk non-memory work per elem
+  double fixed_run_ns = 4000.0;   ///< boundary picks, phase 2, fork/join
+  double l1_bytes = 48.0 * 1024;          ///< fast-cache region
+  double l2_bytes = 2.0 * 1024 * 1024;    ///< slab fits here: l2 latency
+  double llc_bytes = 30.0 * 1024 * 1024;  ///< beyond here: dram latency
+};
+
+/// Interpolated random-access latency for a working set of `bytes`.
+double host_latency_ns(double bytes, const HostCostConstants& k);
+
+/// Model ns/element of the packed phases 1+3 with `W` cursors in flight
+/// per worker (one worker assumed: threads divide the element count
+/// upstream). `op_factor` scales the combine (lists/ops.hpp).
+double host_packed_ns_per_elem(double n, unsigned W,
+                               const HostCostConstants& k,
+                               double op_factor = 1.0);
+
+/// Model ns/element of the single-cursor serial walk over the same list
+/// (the packed path's break-even opponent on one thread).
+double host_serial_ns_per_elem(double n, const HostCostConstants& k,
+                               double op_factor = 1.0);
+
 }  // namespace lr90

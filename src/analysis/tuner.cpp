@@ -120,4 +120,25 @@ TuneResult tuned_params(double n, bool rank, unsigned p) {
   return r;
 }
 
+HostTuneResult host_tune_at(double n, unsigned interleave, double op_factor,
+                            const HostCostConstants& k) {
+  HostTuneResult r;
+  r.interleave = interleave;
+  r.serial_ns = n * host_serial_ns_per_elem(n, k, op_factor);
+  r.packed_ns =
+      n * host_packed_ns_per_elem(n, interleave, k, op_factor) +
+      k.fixed_run_ns;
+  return r;
+}
+
+HostTuneResult host_tune(double n, double op_factor,
+                         const HostCostConstants& k) {
+  HostTuneResult best = host_tune_at(n, 1, op_factor, k);
+  for (const unsigned w : {2u, 4u, 8u, 16u, 32u}) {
+    const HostTuneResult t = host_tune_at(n, w, op_factor, k);
+    if (t.packed_ns < best.packed_ns) best = t;
+  }
+  return best;
+}
+
 }  // namespace lr90

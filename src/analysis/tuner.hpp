@@ -61,4 +61,31 @@ class TunedModel {
 /// hot path of the public API.
 TuneResult tuned_params(double n, bool rank, unsigned p = 1);
 
+// -- host hot-path tuning ---------------------------------------------------
+
+/// The host tuner's answer for the packed multi-cursor path: the
+/// interleave width (the vector-length analog) plus the model totals
+/// backing the choice, so the Planner can compare the packed path against
+/// the single-cursor serial walk on one thread.
+struct HostTuneResult {
+  unsigned interleave = 1;  ///< cursors in flight per worker
+  double packed_ns = 0.0;   ///< model total ns of the packed path at W
+  double serial_ns = 0.0;   ///< model total ns of the serial walk
+};
+
+/// The host cost model evaluated at one pinned interleave width: the
+/// packed-vs-serial comparison a Planner makes when the caller fixed W.
+HostTuneResult host_tune_at(double n, unsigned interleave,
+                            double op_factor = 1.0,
+                            const HostCostConstants& k = {});
+
+/// Picks the packed-path interleave width for a list of length n by
+/// evaluating the host cost model (analysis/cost_eqs.hpp
+/// host_packed_ns_per_elem) at the power-of-two candidates W in {1..32}
+/// -- the host counterpart of the paper's Section 4.4 (m, S_1) grid.
+/// Deterministic, O(candidates); the Planner memoizes it per (n,
+/// op_factor).
+HostTuneResult host_tune(double n, double op_factor = 1.0,
+                         const HostCostConstants& k = {});
+
 }  // namespace lr90

@@ -87,6 +87,7 @@ Planner::Planner(const EngineOptions& opt)
       processors_(std::max(1u, opt.processors)),
       threads_(opt.threads),
       sublists_per_thread_(std::max(1u, opt.sublists_per_thread)),
+      pinned_interleave_(opt.interleave),
       pinned_m_(opt.reid_miller.m),
       pinned_s1_(opt.reid_miller.s1),
       sync_cycles_(opt.machine.sync_cycles),
@@ -112,6 +113,19 @@ TuneResult Planner::tuned(double n, bool rank_kernels,
   const TuneResult r = tune(n, k, processors_, contention_);
   std::lock_guard<std::mutex> lock(memo_->mu);
   memo_->cache.emplace(key, r);
+  return r;
+}
+
+HostTuneResult Planner::host_tuned(double n, double op_factor) const {
+  const std::pair<double, double> key{n, op_factor};
+  {
+    std::lock_guard<std::mutex> lock(memo_->mu);
+    auto it = memo_->host_cache.find(key);
+    if (it != memo_->host_cache.end()) return it->second;
+  }
+  const HostTuneResult r = host_tune(n, op_factor);
+  std::lock_guard<std::mutex> lock(memo_->mu);
+  memo_->host_cache.emplace(key, r);
   return r;
 }
 
@@ -163,20 +177,44 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
 
   if (backend_ == BackendKind::kHost) {
     const unsigned eff = host_exec::effective_threads(threads_);
+    const double factor = op_cost_factor(op);
     // Parallelism must amortize thread fork/join (~tens of microseconds):
     // give every thread at least ~2k vertices of combine-equivalent work
     // (costlier operators amortize sooner), shedding threads before
     // falling back to the serial walk.
-    const auto breakeven = static_cast<std::size_t>(
-        std::max(1.0, 2048.0 / op_cost_factor(op)));
+    const auto breakeven =
+        static_cast<std::size_t>(std::max(1.0, 2048.0 / factor));
     const auto useful = static_cast<unsigned>(
         std::min<std::size_t>(eff, std::max<std::size_t>(1, n / breakeven)));
     d.threads = useful;
     d.sublists = static_cast<double>(useful) *
                  static_cast<double>(sublists_per_thread_);
+    // Can the packed single-gather path serve this request? Ranking packs
+    // the constant 1; lane-capable scans pack their values (subject to
+    // the per-run 32-bit fit check, which falls back in the kernel).
+    const bool lane =
+        (rank || scan_op_lane32(op)) && n <= kHotMaxVertices;
+    // When the caller pinned W, the packed-vs-serial comparison below must
+    // model the width that will actually run, not the auto-optimal one.
+    const HostTuneResult ht =
+        !lane ? HostTuneResult{}
+        : pinned_interleave_ > 0
+            ? host_tune_at(static_cast<double>(n),
+                           std::min(pinned_interleave_,
+                                    host_exec::kMaxInterleave),
+                           factor)
+            : host_tuned(static_cast<double>(n), factor);
     if (requested == Method::kAuto) {
-      d.method = (useful <= 1 || n / 2 < 2) ? Method::kSerial
-                                            : Method::kReidMiller;
+      if (useful > 1 && n / 2 >= 2) {
+        d.method = Method::kReidMiller;
+      } else if (lane && n / 2 >= 2 && ht.packed_ns < ht.serial_ns) {
+        // One thread, but the packed multi-cursor path still wins: W
+        // independent load chains hide the memory latency the serial
+        // walk stalls on (the paper's vectorization argument, on a CPU).
+        d.method = Method::kReidMiller;
+      } else {
+        d.method = Method::kSerial;
+      }
     }
     if (d.method == Method::kReidMiller && requested != Method::kAuto) {
       // An explicit reid-miller request keeps every available thread.
@@ -184,6 +222,7 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
       d.sublists = static_cast<double>(eff) *
                    static_cast<double>(sublists_per_thread_);
     }
+    if (d.method == Method::kReidMiller && lane) d.interleave = ht.interleave;
     return d;
   }
 
@@ -279,37 +318,50 @@ class HostBackend final : public ExecutionBackend {
                       "not '") +
           method_name(plan.method) + "'");
     }
-    // Ranking is a scan of all-ones; materialize the ones once per call in
-    // the workspace so the traversal kernels stay branch-free.
-    if (req.rank && plan.method == Method::kReidMiller)
-      list = &ws.fit_ones(*list);
 
     host_exec::HostPlan hp;
     hp.threads = plan.method == Method::kSerial ? 1 : plan.threads;
     hp.sublists = static_cast<std::size_t>(plan.sublists);
+    hp.interleave = plan.interleave;
+    host_exec::ExecInfo info;
     if (req.rank) {
       if (plan.method == Method::kSerial) {
         serial_rank_into(*list, out.scan);
+        info.interleave = list->empty() ? 0 : 1;
       } else {
-        host_exec::scan_into(*list, OpPlus{}, hp, ws,
-                             std::span<value_t>(out.scan));
+        // Ranks as the all-ones scan without a ones copy: the packed
+        // slab's value lane is the constant 1 and the legacy kernels
+        // substitute it inline.
+        info = host_exec::rank_into(*list, hp, ws,
+                                    std::span<value_t>(out.scan));
       }
     } else {
       with_scan_op(req.op, [&](auto op) {
-        host_exec::scan_into(*list, op, hp, ws,
-                             std::span<value_t>(out.scan));
+        if (plan.method == Method::kSerial) {
+          host_exec::serial_scan_into(*list, std::span<value_t>(out.scan),
+                                      op);
+          info.interleave = list->empty() ? 0 : 1;
+        } else {
+          info = host_exec::scan_into(*list, op, hp, ws,
+                                      std::span<value_t>(out.scan));
+        }
       });
     }
 
     const std::size_t n = req.list->size();
-    out.stats.algo.rounds = plan.method == Method::kSerial ? 1 : 3;
-    out.stats.algo.link_steps =
-        plan.method == Method::kSerial ? n : 2 * n;
-    // Bitmap (n bytes) + owner table (n words) + O(sublists) arrays.
+    const bool sublists_ran = info.sublists > 0;
+    out.stats.algo.rounds = n == 0 ? 0 : (sublists_ran ? 3 : 1);
+    out.stats.algo.link_steps = sublists_ran ? 2 * n : n;
+    // Owner table + stamps (1.5n words) + bitmap (n bytes) + the packed
+    // slab (n words when it ran) + O(sublists) arrays.
     out.stats.algo.extra_words =
-        plan.method == Method::kSerial
-            ? 0
-            : n + n / 8 + 4 * static_cast<std::uint64_t>(plan.sublists);
+        sublists_ran
+            ? n + n / 2 + n / 8 + (info.packed ? n : 0) +
+                  4 * static_cast<std::uint64_t>(plan.sublists)
+            : 0;
+    out.stats.host_interleave = info.interleave;
+    out.stats.host_packed = info.packed;
+    out.stats.host_packed_cached = info.packed_cached;
     return Status::success();
   }
 };
@@ -510,6 +562,9 @@ RunResult Engine::run(const Request& req) {
   // Per-run determinism: results depend on the options' seed, never on
   // what ran on this engine before.
   ws_.rng = Rng(opt_.seed);
+  // The packed-slab cache is only trusted between the runs of one batch,
+  // where the caller cannot mutate the list behind the key's pointers.
+  if (!in_batch_) ws_.invalidate_packed();
 
   const auto t0 = std::chrono::steady_clock::now();
   result.status = backend_->execute(req, plan, ws_, result);
@@ -525,8 +580,9 @@ RunResult Engine::run(const Request& req) {
 
 std::vector<RunResult> Engine::run_batch(std::span<const Request> requests) {
   std::vector<RunResult> results;
-  results.reserve(requests.size());
-  for (const Request& req : requests) results.push_back(run(req));
+  results.resize(requests.size());
+  run_batch_each(requests,
+                 [&](std::size_t i, RunResult&& r) { results[i] = std::move(r); });
   return results;
 }
 

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/tuner.hpp"
 #include "baselines/algo_stats.hpp"
 #include "baselines/anderson_miller.hpp"
 #include "core/reid_miller.hpp"
@@ -183,6 +184,12 @@ struct RunStats {
   double sim_ns = 0.0;            ///< simulated wall time
   double sim_ns_per_vertex = 0.0; ///< sim_ns / n (0 for an empty list)
   vm::OpCounters ops;             ///< simulated data-movement counters
+
+  // Host-backend execution shape (zero/false on the other backends), so
+  // benches and the serving layer can report cursors-in-flight.
+  unsigned host_interleave = 0;   ///< cursors in flight per worker
+  bool host_packed = false;       ///< the single-gather packed slab ran
+  bool host_packed_cached = false;  ///< slab reused from the batch cache
 };
 
 /// The outcome of one run: typed status, the answer, and statistics.
@@ -211,6 +218,12 @@ struct EngineOptions {
   /// Sublists per thread the host planner targets (more = better balance,
   /// more overhead).
   unsigned sublists_per_thread = 64;
+  /// Cursors in flight per worker on the host packed hot path. 0 = let
+  /// the Planner pick from the host cost model (analysis/tuner
+  /// host_tune); 1..64 pins the width (tests and the interleave sweep
+  /// force every candidate through this knob). Ignored by runs the
+  /// packed path cannot serve (64-bit-value operators).
+  unsigned interleave = 0;
   /// Seed of the per-run RNG reseeding (results are deterministic in it).
   std::uint64_t seed = kDefaultSeed;
   vm::MachineConfig machine;           ///< sim backend configuration
@@ -250,6 +263,11 @@ class Planner {
     double sublists = 0.0;  ///< m (sim Reid-Miller) / total target (host)
     double s1 = 0.0;        ///< first balance interval (sim Reid-Miller)
     unsigned threads = 1;   ///< host worker threads (host backend only)
+    /// Host packed-path interleave width W (cursors in flight per
+    /// worker); 0 selects the legacy unpacked kernels. Set for
+    /// packed-capable host runs from the tune memo (or the pinned
+    /// EngineOptions::interleave).
+    unsigned interleave = 0;
     double predicted_cycles = 0.0;  ///< sim cost-model estimate; 0 if n/a
   };
 
@@ -275,11 +293,13 @@ class Planner {
 
  private:
   TuneResult tuned(double n, bool rank_kernels, double op_factor) const;
+  HostTuneResult host_tuned(double n, double op_factor) const;
 
   BackendKind backend_;
   unsigned processors_;
   unsigned threads_;
   unsigned sublists_per_thread_;
+  unsigned pinned_interleave_;  ///< caller-pinned interleave (0 = auto)
   double pinned_m_;   ///< caller-pinned reid_miller.m (<= 0 = auto)
   double pinned_s1_;  ///< caller-pinned reid_miller.s1 (<= 0 = auto)
   double contention_;
@@ -293,8 +313,11 @@ class Planner {
   struct TuneMemo {
     /// One memo key: (n, rank-kernel family, op_cost_factor).
     using Key = std::tuple<double, bool, double>;
-    std::mutex mu;                        ///< guards cache
+    std::mutex mu;                        ///< guards both caches
     std::map<Key, TuneResult> cache;      ///< per (n, family, op factor)
+    /// host_tune() results per (n, op factor): the packed-path width W
+    /// and the packed-vs-serial-walk model totals.
+    std::map<std::pair<double, double>, HostTuneResult> host_cache;
   };
   std::unique_ptr<TuneMemo> memo_;
 };
@@ -343,9 +366,13 @@ class Engine {
   /// The coalescing hook behind run_batch: runs the batch front to back
   /// and hands each result to `sink(index, RunResult&&)` as it completes,
   /// so a serving layer can fulfil per-request futures without waiting for
-  /// (or storing) the whole batch.
+  /// (or storing) the whole batch. Within the batch the workspace's
+  /// packed-slab cache is live: consecutive requests over the same list
+  /// (the serving layer's collapsed hot-key traffic) build the
+  /// single-gather slab once.
   template <class Sink>
   void run_batch_each(std::span<const Request> requests, Sink&& sink) {
+    const BatchScope scope(*this);
     for (std::size_t i = 0; i < requests.size(); ++i) sink(i, run(requests[i]));
   }
 
@@ -362,10 +389,35 @@ class Engine {
   const vm::Machine* sim_machine() const { return backend_->machine(); }
 
  private:
+  /// Marks a batch in flight. The packed-slab cache is trusted only
+  /// between runs of one batch: the keyed arrays are alive for the whole
+  /// batch (every request holds them), and a cache-hit run reads only
+  /// the slab's self-consistent snapshot (host_exec phase 2 chains by
+  /// slab links), so even a caller who mutates a list between two batch
+  /// runs -- e.g. a serving client whose earlier future already resolved
+  /// -- gets the coherent as-of-build answer, never a stale/live mix.
+  /// Outside a batch every run() invalidates the cache first.
+  struct BatchScope {
+    explicit BatchScope(Engine& e) : engine(e), prev(e.in_batch_) {
+      e.ws_.invalidate_packed();
+      e.ws_.set_packed_trusted(true);
+      e.in_batch_ = true;
+    }
+    ~BatchScope() {
+      engine.in_batch_ = prev;
+      engine.ws_.set_packed_trusted(prev);
+    }
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+    Engine& engine;  ///< the engine whose batch flag is scoped
+    bool prev;       ///< nesting: restore the outer scope's flag
+  };
+
   EngineOptions opt_;
   Planner planner_;
   std::unique_ptr<ExecutionBackend> backend_;
   Workspace ws_;
+  bool in_batch_ = false;
 };
 
 }  // namespace lr90

@@ -9,16 +9,34 @@
 //
 // Same structure as the paper's algorithm, non-destructively: sublist
 // boundaries live in a bitmap instead of planted self-loops, so the input
-// list stays shared read-only across threads. Threads own contiguous blocks
-// of sublists ("assign virtual processors to physical processors once, load
-// balance only locally"); OpenMP dynamic scheduling within the block plays
-// the role of the vector load balancing.
+// list stays shared read-only across threads.
+//
+// Two traversal engines implement phases 1 and 3:
+//
+//  * the LEGACY kernels (HostPlan::interleave == 0) -- one cursor per
+//    sublist, one dependent load per element plus a second gather on the
+//    value array and a third random access into the boundary bitmap. This
+//    is the seed behaviour, kept for operators whose values need all 64
+//    bits and as the differential baseline.
+//  * the PACKED multi-cursor kernels (interleave >= 1) -- the modern-CPU
+//    analog of the paper's VL=64 vector gathers. A single-gather slab
+//    (lists/encode.hpp hot_pack: link + value lane + sublist-tail flag in
+//    one 64-bit word) is built once per run -- and cached across same-list
+//    batch runs -- then each worker advances W independent sublist cursors
+//    round-robin with software prefetch on every next hop. One random
+//    load per element, W dependent-load chains in flight per thread:
+//    instead of stalling a full memory round-trip per element, the core
+//    overlaps W of them, exactly as the C90 overlapped 64 lanes of a
+//    vector gather. Cursors that finish their sublist refill from a
+//    shared claim counter; the last < W sublists drain scalar.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <span>
 
 #include "core/workspace.hpp"
+#include "lists/encode.hpp"
 #include "lists/linked_list.hpp"
 #include "lists/ops.hpp"
 #include "support/rng.hpp"
@@ -35,7 +53,26 @@ struct HostPlan {
   unsigned threads = 1;
   /// Total sublist count target; < 2 selects the serial fallback.
   std::size_t sublists = 0;
+  /// Cursors in flight per worker on the packed hot path. 0 selects the
+  /// legacy unpacked single-cursor kernels (the seed behaviour); >= 1
+  /// selects the packed single-gather path -- when the operator's values
+  /// fit the 32-bit lane -- with `interleave` round-robin cursors.
+  unsigned interleave = 0;
 };
+
+/// What one scan_into/rank_into call actually executed, for RunResult
+/// stats and benches (cursors-in-flight reporting).
+struct ExecInfo {
+  /// Cursors in flight per worker: W on the packed path, 1 on the legacy
+  /// kernels and the serial walk, 0 when nothing ran (empty list).
+  unsigned interleave = 0;
+  bool packed = false;        ///< the single-gather slab path ran
+  bool packed_cached = false; ///< ...and the slab came from the batch cache
+  std::size_t sublists = 0;   ///< sublists used (0 = serial walk)
+};
+
+/// Hard cap on cursors per worker (stack-resident cursor state).
+inline constexpr unsigned kMaxInterleave = 64;
 
 /// Worker threads actually available for `requested` (0 = library default:
 /// the OpenMP thread count, or 1 without OpenMP).
@@ -45,6 +82,17 @@ inline unsigned effective_threads(unsigned requested) {
   return static_cast<unsigned>(std::max(1, omp_get_max_threads()));
 #else
   return 1;
+#endif
+}
+
+/// Read-prefetch of the cache line holding `addr` (no-op when the
+/// compiler has no intrinsic). The packed kernels issue one per cursor
+/// per element, which is what keeps W load chains in flight.
+inline void prefetch_ro(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/0);
+#else
+  (void)addr;
 #endif
 }
 
@@ -78,57 +126,226 @@ inline void choose_boundaries(const LinkedList& list, std::size_t count,
   }
 }
 
+/// Builds the single-gather slab into ws.packed from the list and the
+/// per-run boundary bitmap (ws.is_tail must already be chosen): word v =
+/// hot_pack(is_tail[v], next[v], value lane). One sequential O(n) pass.
+/// `kOnes` forces every value lane to 1 (ranking) and cannot fail;
+/// otherwise returns false -- slab contents unspecified -- if any value
+/// does not round-trip through the signed 32-bit lane.
+template <bool kOnes, ListOp Op>
+bool build_packed(const LinkedList& list, Op, unsigned threads,
+                  Workspace& ws) {
+  static_assert(kOnes || kOpLane32<Op>,
+                "64-bit-value operators take the legacy kernels");
+  const std::size_t n = list.size();
+  ws.fit_uninit(ws.packed, n);
+  const index_t* next = list.next.data();
+  const value_t* val = list.value.data();
+  const std::uint8_t* tail = ws.is_tail.data();
+  packed_t* out = ws.packed.data();
+  bool ok = true;
+#if defined(LISTRANK90_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    reduction(&& : ok)
+#endif
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
+    const value_t v = kOnes ? value_t{1} : val[i];
+    ok = ok && hot_value_fits(v);
+    out[i] = hot_pack(tail[i] != 0, next[i],
+                      static_cast<std::uint32_t>(
+                          static_cast<std::uint64_t>(v)));
+  }
+  (void)threads;
+  return ok;
+}
+
+/// The multi-cursor driver shared by the packed phases: walks all `k`
+/// sublists over `threads` workers, each keeping up to `W` cursors in
+/// flight. Per element: ONE gather from the slab, a prefetch of the next
+/// hop, then `step(vertex, word, acc)`; at a sublist tail,
+/// `finish(sublist, tail_vertex, acc)` runs and the cursor refills from
+/// the shared claim counter (perfect load balance; the final < W sublists
+/// drain with shrinking parallelism). `init(sublist)` seeds the
+/// accumulator.
+template <class AccInit, class Step, class Finish>
+void interleave_sublists(const packed_t* packed, const index_t* heads,
+                         std::size_t k, unsigned threads, unsigned W,
+                         AccInit init, Step step, Finish finish) {
+  W = std::clamp(W, 1u, kMaxInterleave);
+  std::atomic<std::size_t> next_claim{0};
+  auto worker = [&]() {
+    struct Cursor {
+      index_t v;    ///< current vertex
+      index_t j;    ///< owning sublist
+      value_t acc;  ///< running combine
+    };
+    Cursor cur[kMaxInterleave];
+    std::size_t active = 0;
+    auto claim = [&]() -> bool {
+      const std::size_t j =
+          next_claim.fetch_add(1, std::memory_order_relaxed);
+      if (j >= k) return false;
+      cur[active] = Cursor{heads[j], static_cast<index_t>(j), init(j)};
+      prefetch_ro(&packed[heads[j]]);
+      ++active;
+      return true;
+    };
+    for (unsigned i = 0; i < W && claim(); ++i) {
+    }
+    while (active > 0) {
+      for (std::size_t i = 0; i < active;) {
+        Cursor& c = cur[i];
+        const packed_t w = packed[c.v];
+        prefetch_ro(&packed[hot_link(w)]);
+        step(c.v, w, c.acc);
+        if (!hot_tail(w)) {
+          c.v = hot_link(w);
+          ++i;
+          continue;
+        }
+        finish(c.j, c.v, c.acc);
+        const std::size_t j =
+            next_claim.fetch_add(1, std::memory_order_relaxed);
+        if (j < k) {
+          c = Cursor{heads[j], static_cast<index_t>(j), init(j)};
+          prefetch_ro(&packed[heads[j]]);
+          ++i;
+        } else {
+          --active;  // drain: rerun index i with the swapped-in cursor
+          cur[i] = cur[active];
+        }
+      }
+    }
+  };
+#if defined(LISTRANK90_HAVE_OPENMP)
+  if (threads > 1) {
+#pragma omp parallel num_threads(threads)
+    worker();
+    return;
+  }
+#endif
+  (void)threads;
+  worker();
+}
+
 /// Exclusive list scan into `out` (sized n) per the plan, reusing `ws`.
 /// Preconditions: `list` is a valid LinkedList, out.size() == list.size().
-template <ListOp Op>
-void scan_into(const LinkedList& list, Op op, const HostPlan& plan,
-               Workspace& ws, std::span<value_t> out) {
+/// `kOnes` treats every value as 1 regardless of list.value (ranking);
+/// only rank_into sets it.
+template <ListOp Op, bool kOnes = false>
+ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
+                   Workspace& ws, std::span<value_t> out) {
+  ExecInfo info;
   const std::size_t n = list.size();
-  if (n == 0) return;
+  if (n == 0) return info;
+  info.interleave = 1;
   if (n == 1) {
     out[list.head] = Op::identity();
-    return;
+    return info;
   }
+
+  auto serial_fallback = [&] {
+    if constexpr (kOnes) {
+      for_each_in_order(list, [&](index_t v, std::size_t pos) {
+        out[v] = static_cast<value_t>(pos);
+      });
+    } else {
+      serial_scan_into(list, out, op);
+    }
+    return info;
+  };
 
   const std::size_t want = std::min(plan.sublists, n / 2);
-  if (plan.threads <= 1 || want < 2) {
-    serial_scan_into(list, out, op);
-    return;
+  // The packed path pays off even on one thread (W independent load
+  // chains hide latency where the serial walk stalls on every hop); the
+  // legacy kernels need real threads to beat the serial walk.
+  bool packed = plan.interleave >= 1 && (kOnes || kOpLane32<Op>) &&
+                n <= kHotMaxVertices;
+  if (want < 2 || (!packed && plan.threads <= 1)) return serial_fallback();
+
+  const unsigned W = std::clamp(plan.interleave, 1u, kMaxInterleave);
+  Workspace::PackedKey key;
+  bool cache_hit = false;
+  if (packed) {
+    key.next_data = list.next.data();
+    key.value_data = kOnes ? nullptr : list.value.data();
+    key.n = n;
+    key.head = list.head;
+    key.sublists = want;
+    key.ones = kOnes;
+    key.rng_at_entry = ws.rng;  // before any draws: picks would repeat
+    cache_hit = ws.packed_cache_hit(key);
   }
-
-  choose_boundaries(list, want - 1, ws, list.find_tail());
-
-  // Sublist heads: the whole-list head plus each pick's successor. A pick
-  // whose successor is itself a tail yields a single-vertex sublist.
-  ws.fit_uninit(ws.heads, want);
-  ws.heads.clear();
-  ws.heads.push_back(list.head);
-  for (const index_t r : ws.picks) ws.heads.push_back(list.next[r]);
+  if (!cache_hit) {
+    choose_boundaries(list, want - 1, ws, list.find_tail());
+    // Sublist heads: the whole-list head plus each pick's successor. A
+    // pick whose successor is itself a tail yields a single-vertex
+    // sublist.
+    ws.fit_uninit(ws.heads, want);
+    ws.heads.clear();
+    ws.heads.push_back(list.head);
+    for (const index_t r : ws.picks) ws.heads.push_back(list.next[r]);
+    bool built = false;
+    if constexpr (kOnes || kOpLane32<Op>) {
+      if (packed) built = build_packed<kOnes>(list, op, plan.threads, ws);
+    }
+    if (built) {
+      ws.packed_cache_store(key);
+    } else {
+      // Either the legacy kernels were planned, or some value misses the
+      // 32-bit lane: the slab (if any) no longer matches ws.heads.
+      if (packed && plan.threads <= 1) {
+        ws.invalidate_packed();
+        return serial_fallback();
+      }
+      packed = false;
+      ws.invalidate_packed();
+    }
+  }
   const std::size_t k = ws.heads.size();
 
   // Phase 1: per-sublist inclusive sums; record each sublist's tail.
   ws.fit(ws.sums, k, Op::identity());
   ws.fit(ws.tails, k, kNoVertex);
+  if (packed) {
+    interleave_sublists(
+        ws.packed.data(), ws.heads.data(), k, plan.threads, W,
+        [&](std::size_t) { return Op::identity(); },
+        [&](index_t, packed_t w, value_t& acc) {
+          acc = op(acc, hot_value(w));
+        },
+        [&](index_t j, index_t v, value_t acc) {
+          ws.sums[j] = acc;
+          ws.tails[j] = v;
+        });
+  } else {
 #if defined(LISTRANK90_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 8) num_threads(plan.threads)
 #endif
-  for (std::size_t j = 0; j < k; ++j) {
-    index_t v = ws.heads[j];
-    value_t acc = Op::identity();
-    while (true) {
-      acc = op(acc, list.value[v]);
-      if (ws.is_tail[v]) break;
-      v = list.next[v];
+    for (std::size_t j = 0; j < k; ++j) {
+      index_t v = ws.heads[j];
+      value_t acc = Op::identity();
+      while (true) {
+        acc = op(acc, kOnes ? value_t{1} : list.value[v]);
+        if (ws.is_tail[v]) break;
+        v = list.next[v];
+      }
+      ws.sums[j] = acc;
+      ws.tails[j] = v;
     }
-    ws.sums[j] = acc;
-    ws.tails[j] = v;
   }
 
   // Phase 2 (serial; k is tiny): order the sublists by chaining
-  // tail -> successor head, then exclusive-scan their sums.
-  ws.fit(ws.owner_of_head, n, kNoVertex);
+  // tail -> successor head, then exclusive-scan their sums. The
+  // head-ownership table is epoch-stamped, so this is O(k) per run, not
+  // O(n). On the packed path successor links come from the SLAB, never
+  // the live list: a cache-hit run then reads only the self-consistent
+  // snapshot taken at build time, so a caller mutating the list between
+  // the runs of a batch (e.g. after an earlier future resolved) gets the
+  // coherent as-of-build answer instead of a stale/live mix.
+  ws.owner_begin(n);
   for (std::size_t j = 0; j < k; ++j)
-    ws.owner_of_head[ws.heads[j]] = static_cast<index_t>(j);
+    ws.owner_set(ws.heads[j], static_cast<index_t>(j));
   ws.fit(ws.headscan, k, Op::identity());
   {
     value_t acc = Op::identity();
@@ -137,25 +354,55 @@ void scan_into(const LinkedList& list, Op op, const HostPlan& plan,
       ws.headscan[j] = acc;
       acc = op(acc, ws.sums[j]);
       const index_t t = ws.tails[j];
-      if (list.next[t] == t) break;  // the global tail ends the chain
-      j = ws.owner_of_head[list.next[t]];
+      const index_t nt = packed ? hot_link(ws.packed[t]) : list.next[t];
+      if (nt == t) break;  // the global tail ends the chain
+      const index_t owner = ws.owner_get(nt);
+      if (owner == kNoVertex) break;  // defensive: malformed snapshot
+      j = owner;
     }
   }
 
   // Phase 3: expand each sublist from its head's scan value.
+  if (packed) {
+    value_t* o = out.data();
+    interleave_sublists(
+        ws.packed.data(), ws.heads.data(), k, plan.threads, W,
+        [&](std::size_t j) { return ws.headscan[j]; },
+        [&](index_t v, packed_t w, value_t& acc) {
+          o[v] = acc;
+          acc = op(acc, hot_value(w));
+        },
+        [](index_t, index_t, value_t) {});
+  } else {
 #if defined(LISTRANK90_HAVE_OPENMP)
 #pragma omp parallel for schedule(dynamic, 8) num_threads(plan.threads)
 #endif
-  for (std::size_t j = 0; j < k; ++j) {
-    index_t v = ws.heads[j];
-    value_t acc = ws.headscan[j];
-    while (true) {
-      out[v] = acc;
-      acc = op(acc, list.value[v]);
-      if (ws.is_tail[v]) break;
-      v = list.next[v];
+    for (std::size_t j = 0; j < k; ++j) {
+      index_t v = ws.heads[j];
+      value_t acc = ws.headscan[j];
+      while (true) {
+        out[v] = acc;
+        acc = op(acc, kOnes ? value_t{1} : list.value[v]);
+        if (ws.is_tail[v]) break;
+        v = list.next[v];
+      }
     }
   }
+
+  info.interleave = packed ? W : 1;
+  info.packed = packed;
+  info.packed_cached = cache_hit;
+  info.sublists = k;
+  return info;
+}
+
+/// Exclusive list rank into `out`: the all-ones scan without ever
+/// materializing a ones copy -- the packed slab's value lane is the
+/// constant 1, the legacy kernels substitute it inline, and the serial
+/// fallback writes positions directly. Correct for any plan.
+inline ExecInfo rank_into(const LinkedList& list, const HostPlan& plan,
+                          Workspace& ws, std::span<value_t> out) {
+  return scan_into<OpPlus, /*kOnes=*/true>(list, OpPlus{}, plan, ws, out);
 }
 
 }  // namespace lr90::host_exec

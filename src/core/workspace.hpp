@@ -7,16 +7,34 @@
 // and every run re-fits the same buffers: capacity only ever grows, and a
 // warmed-up workspace serves steady-state traffic with zero allocations.
 //
+// Two hot-path refinements live here as well:
+//
+//  * the packed slab -- the host kernels' single-gather representation
+//    (lists/encode.hpp hot_pack): one 64-bit word per vertex fusing link,
+//    value lane, and sublist-tail flag. Building it is one sequential O(n)
+//    pass; the slab is cached under a content key so a batch of runs over
+//    the same list (the serving layer's collapsed hot-key traffic) builds
+//    it once. The cache is only trusted inside an Engine batch, where the
+//    caller's thread is blocked inside run_batch and cannot mutate the
+//    list behind the key's pointers.
+//  * the epoch-stamped head-ownership table -- phase 2 needs owner_of_head
+//    only at the k sublist heads, so refilling an O(n) array per run was
+//    pure waste; a per-run epoch stamp makes stale entries invisible and
+//    the per-run cost O(k).
+//
 // The counters make reuse observable: `allocations()` increments whenever a
 // fit must grow a buffer, `reuse_hits()` whenever existing capacity was
-// enough. Tests assert that a batch of same-shaped requests stops
-// allocating after the first one.
+// enough, `packed_builds()` whenever the packed slab is (re)built rather
+// than served from cache. Tests assert that a batch of same-shaped requests
+// stops allocating after the first one.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
 
+#include "lists/encode.hpp"
 #include "lists/linked_list.hpp"
 #include "support/rng.hpp"
 
@@ -36,6 +54,7 @@ class Workspace {
   std::vector<value_t> sums;              ///< per-sublist inclusive sums
   std::vector<value_t> headscan;          ///< per-sublist exclusive scan
   std::vector<value_t> verify;            ///< serial reference (verify_output)
+  std::vector<packed_t> packed;           ///< hot-path single-gather slab
   LinkedList scratch_list;                ///< mutable copy of an input list
 
   /// RNG used for boundary picks; reseeded per run from the engine options
@@ -53,10 +72,17 @@ class Workspace {
         sums(std::move(other.sums)),
         headscan(std::move(other.headscan)),
         verify(std::move(other.verify)),
+        packed(std::move(other.packed)),
         scratch_list(std::move(other.scratch_list)),
         rng(other.rng),
+        owner_stamp_(std::move(other.owner_stamp_)),
+        owner_epoch_(other.owner_epoch_),
+        packed_key_(other.packed_key_),
+        packed_live_(other.packed_live_),
+        packed_trusted_(other.packed_trusted_),
         allocations_(other.allocations()),
-        reuse_hits_(other.reuse_hits()) {}
+        reuse_hits_(other.reuse_hits()),
+        packed_builds_(other.packed_builds()) {}
   /// Move-assignment counterpart of the move constructor.
   Workspace& operator=(Workspace&& other) noexcept {
     is_tail = std::move(other.is_tail);
@@ -67,10 +93,17 @@ class Workspace {
     sums = std::move(other.sums);
     headscan = std::move(other.headscan);
     verify = std::move(other.verify);
+    packed = std::move(other.packed);
     scratch_list = std::move(other.scratch_list);
     rng = other.rng;
+    owner_stamp_ = std::move(other.owner_stamp_);
+    owner_epoch_ = other.owner_epoch_;
+    packed_key_ = other.packed_key_;
+    packed_live_ = other.packed_live_;
+    packed_trusted_ = other.packed_trusted_;
     allocations_.store(other.allocations(), std::memory_order_relaxed);
     reuse_hits_.store(other.reuse_hits(), std::memory_order_relaxed);
+    packed_builds_.store(other.packed_builds(), std::memory_order_relaxed);
     return *this;
   }
 
@@ -84,14 +117,20 @@ class Workspace {
   std::uint64_t reuse_hits() const {
     return reuse_hits_.load(std::memory_order_relaxed);
   }
+  /// Times the packed hot-path slab was (re)built; a batch of runs over
+  /// the same list should count one.
+  std::uint64_t packed_builds() const {
+    return packed_builds_.load(std::memory_order_relaxed);
+  }
 
-  /// Zeroes both counters (buffers and their capacity are untouched), so a
+  /// Zeroes all counters (buffers and their capacity are untouched), so a
   /// serving layer's stats reset can restart the allocation bookkeeping
   /// from a warmed state. Call at a quiescent point: concurrent fits on
   /// the owning thread may be lost from the new tallies.
   void reset_counters() {
     allocations_.store(0, std::memory_order_relaxed);
     reuse_hits_.store(0, std::memory_order_relaxed);
+    packed_builds_.store(0, std::memory_order_relaxed);
   }
 
   /// Sizes `v` to n elements, all set to `init`, reusing capacity.
@@ -111,6 +150,80 @@ class Workspace {
     return v;
   }
 
+  // -- epoch-stamped head-ownership table --------------------------------
+
+  /// Opens a fresh owner_of_head generation over `n` vertices: O(1) after
+  /// the table first grows to n (the epoch bump invalidates every old
+  /// entry), where a full refill would be O(n) per run.
+  void owner_begin(std::size_t n) {
+    note(owner_of_head.capacity() >= n && owner_stamp_.capacity() >= n);
+    if (owner_of_head.size() < n) owner_of_head.resize(n);
+    if (owner_stamp_.size() < n) owner_stamp_.resize(n, 0);
+    if (++owner_epoch_ == 0) {  // wrapped: stamps from 2^32 runs ago could
+      std::fill(owner_stamp_.begin(), owner_stamp_.end(), 0u);  // collide
+      owner_epoch_ = 1;
+    }
+  }
+  /// Records vertex `v` as the head of sublist `j` in the open generation.
+  void owner_set(index_t v, index_t j) {
+    owner_of_head[v] = j;
+    owner_stamp_[v] = owner_epoch_;
+  }
+  /// The sublist owning head `v`, or kNoVertex if not set this generation.
+  index_t owner_get(index_t v) const {
+    return owner_stamp_[v] == owner_epoch_ ? owner_of_head[v] : kNoVertex;
+  }
+
+  // -- packed-slab cache -------------------------------------------------
+
+  /// Identity of a packed slab: which arrays it was built from (by
+  /// pointer: the cache is only trusted while the caller is blocked
+  /// inside a batch and cannot mutate them), the sublist-boundary inputs
+  /// (count and the RNG state the picks were drawn from), and whether
+  /// values were overridden to ones (ranking).
+  struct PackedKey {
+    const void* next_data = nullptr;   ///< the list's link array
+    const void* value_data = nullptr;  ///< the value array; null when `ones`
+    std::size_t n = 0;                 ///< list length
+    index_t head = kNoVertex;          ///< list head vertex
+    std::size_t sublists = 0;  ///< boundary count the picks targeted
+    bool ones = false;         ///< value lane forced to 1 (ranking)
+    Rng rng_at_entry{0};       ///< draws repeat iff entry state matches
+
+    /// Field-wise equality: same arrays, same boundary inputs.
+    bool operator==(const PackedKey& o) const {
+      return next_data == o.next_data && value_data == o.value_data &&
+             n == o.n && head == o.head && sublists == o.sublists &&
+             ones == o.ones && rng_at_entry == o.rng_at_entry;
+    }
+  };
+
+  /// True iff the cached slab (and the ws.heads it was built with) was
+  /// built under exactly `key` -- and the cache is currently trusted.
+  /// Trust is granted only by Engine::run_batch (see
+  /// set_packed_trusted): the key identifies arrays by pointer, which is
+  /// only sound while the caller is provably unable to mutate them, so a
+  /// direct host_exec caller never hits the cache.
+  bool packed_cache_hit(const PackedKey& key) const {
+    return packed_trusted_ && packed_live_ && packed_key_ == key;
+  }
+  /// Grants (or revokes) cache trust; only an Engine batch scope -- where
+  /// the caller's thread is blocked and cannot mutate the keyed arrays --
+  /// may grant it.
+  void set_packed_trusted(bool trusted) { packed_trusted_ = trusted; }
+  /// Marks the current slab + heads as built under `key`, and counts the
+  /// build.
+  void packed_cache_store(const PackedKey& key) {
+    packed_key_ = key;
+    packed_live_ = true;
+    packed_builds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Drops the cached slab identity (the memory stays for reuse). Called
+  /// outside batches -- where the caller could have mutated the list
+  /// behind the key's pointers -- and whenever another path clobbers
+  /// ws.heads.
+  void invalidate_packed() { packed_live_ = false; }
+
   /// Copies `src` into the scratch list, reusing its capacity. Algorithms
   /// that mutate their input (the simulated Reid-Miller path) run on this
   /// copy so the caller's list stays const without a per-call allocation.
@@ -120,6 +233,7 @@ class Workspace {
     scratch_list.next = src.next;
     scratch_list.value = src.value;
     scratch_list.head = src.head;
+    scratch_list.tail = src.tail;
     return scratch_list;
   }
 
@@ -131,6 +245,7 @@ class Workspace {
     scratch_list.next = src.next;
     scratch_list.value.assign(src.next.size(), 1);
     scratch_list.head = src.head;
+    scratch_list.tail = src.tail;
     return scratch_list;
   }
 
@@ -144,7 +259,12 @@ class Workspace {
     sums = {};
     headscan = {};
     verify = {};
+    packed = {};
     scratch_list = {};
+    owner_stamp_ = {};
+    owner_epoch_ = 0;
+    packed_live_ = false;
+    packed_trusted_ = false;
   }
 
  private:
@@ -156,8 +276,14 @@ class Workspace {
     }
   }
 
+  std::vector<std::uint32_t> owner_stamp_;  ///< owner_of_head generations
+  std::uint32_t owner_epoch_ = 0;           ///< current generation
+  PackedKey packed_key_;                    ///< identity of `packed`
+  bool packed_live_ = false;                ///< packed_key_ is meaningful
+  bool packed_trusted_ = false;             ///< an Engine batch is active
   std::atomic<std::uint64_t> allocations_{0};
   std::atomic<std::uint64_t> reuse_hits_{0};
+  std::atomic<std::uint64_t> packed_builds_{0};
 };
 
 }  // namespace lr90

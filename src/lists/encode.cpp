@@ -27,6 +27,8 @@ LinkedList decode_list(const std::vector<packed_t>& packed, index_t head) {
   for (std::size_t v = 0; v < packed.size(); ++v) {
     list.next[v] = packed_link(packed[v]);
     list.value[v] = static_cast<value_t>(packed_value(packed[v]));
+    if (list.next[v] == static_cast<index_t>(v))
+      list.tail = static_cast<index_t>(v);
   }
   return list;
 }

@@ -36,6 +36,52 @@ inline std::uint32_t packed_value(packed_t w) {
   return static_cast<std::uint32_t>(w & kPackValueMask);
 }
 
+// -- the host hot-path word ("tail-flag-in-word") ---------------------------
+//
+// The host traversal kernels (core/host_exec.hpp) extend the single-gather
+// idea with the per-run sublist-tail flag, stolen from the top bit of the
+// link lane (links only need 31 bits, bounding n by 2^31 on this path):
+//
+//   word = (is_sublist_tail << 63) | (next << 32) | (value & 0xffffffff)
+//
+// so the inner loop issues exactly ONE random load per element -- link,
+// value, and stop condition arrive together, where the seed kernel paid a
+// dependent load on `next`, a second gather on `value`, and a third random
+// access into the `is_tail` bitmap. The value lane is the low 32 bits of
+// value_t, reread back sign-extended; a list qualifies only when every
+// value round-trips (hot_value_fits).
+
+/// The sublist-tail flag bit of a hot word.
+inline constexpr packed_t kHotTailBit = 0x8000000000000000ULL;
+/// Mask of the 31-bit link lane (bits 32..62).
+inline constexpr packed_t kHotLinkMask = 0x7fffffffULL;
+/// The largest list the hot path can encode (links must fit 31 bits).
+inline constexpr std::size_t kHotMaxVertices = std::size_t{1} << 31;
+
+/// Packs (sublist-tail flag, link, value lane) into one hot word.
+inline constexpr packed_t hot_pack(bool tail, index_t link,
+                                   std::uint32_t value) {
+  return (tail ? kHotTailBit : 0) |
+         ((static_cast<packed_t>(link) & kHotLinkMask) << kPackShift) |
+         static_cast<packed_t>(value);
+}
+/// True iff the word's vertex ends its sublist.
+inline constexpr bool hot_tail(packed_t w) { return (w & kHotTailBit) != 0; }
+/// The word's successor index.
+inline constexpr index_t hot_link(packed_t w) {
+  return static_cast<index_t>((w >> kPackShift) & kHotLinkMask);
+}
+/// The word's value lane, sign-extended back to value_t.
+inline constexpr value_t hot_value(packed_t w) {
+  return static_cast<value_t>(
+      static_cast<std::int32_t>(static_cast<std::uint32_t>(w)));
+}
+/// True iff `v` survives the lane round-trip (fits a signed 32-bit lane).
+inline constexpr bool hot_value_fits(value_t v) {
+  return v == static_cast<value_t>(static_cast<std::int32_t>(
+                  static_cast<std::uint32_t>(v)));
+}
+
 /// True iff every value of `list` fits the 32-bit value lane and n itself
 /// cannot overflow a 32-bit partial rank (the paper's n <= 2^(w/2) bound).
 bool can_encode(const LinkedList& list);

@@ -39,6 +39,7 @@ LinkedList list_from_order(std::span<const index_t> order, ValueInit init,
     list.next[order[i]] = order[i + 1];
   }
   list.next[order[n - 1]] = order[n - 1];  // tail self-loop
+  list.tail = order[n - 1];
   init_values(list, init, rng);
   return list;
 }

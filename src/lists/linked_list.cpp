@@ -3,6 +3,7 @@
 namespace lr90 {
 
 index_t LinkedList::find_tail() const {
+  if (tail < next.size() && next[tail] == tail) return tail;
   for (std::size_t v = 0; v < next.size(); ++v) {
     if (next[v] == static_cast<index_t>(v)) return static_cast<index_t>(v);
   }

@@ -33,12 +33,20 @@ struct LinkedList {
   std::vector<index_t> next;
   std::vector<value_t> value;
   index_t head = kNoVertex;
+  /// Cached tail index (the self-loop vertex), kNoVertex when unknown.
+  /// The generators, decode_list, and the transforms fill it at build
+  /// time; find_tail() trusts it only after re-checking the self-loop, so
+  /// a stale cache (links edited by hand) degrades to the O(n) scan
+  /// instead of a wrong answer.
+  index_t tail = kNoVertex;
 
   std::size_t size() const { return next.size(); }
   bool empty() const { return next.empty(); }
 
-  /// The tail index found by O(n) scan for the self-loop; kNoVertex if the
-  /// list is empty or malformed. Prefer caching the result.
+  /// The tail index: the cached `tail` when it still names the self-loop,
+  /// otherwise an O(n) scan (whose result is not written back -- the
+  /// struct stays freely copyable/const). kNoVertex if the list is empty
+  /// or malformed.
   index_t find_tail() const;
 };
 

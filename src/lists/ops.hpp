@@ -238,6 +238,27 @@ struct OpMaxPlus {
   }
 };
 
+// -- lane capability --------------------------------------------------------
+//
+// The host hot path (core/host_exec.hpp) packs each vertex's value into
+// the 32-bit lane of a single-gather word (lists/encode.hpp hot_pack) and
+// rereads it sign-extended. That is exact for the elementwise operators
+// whenever every input fits a signed 32-bit lane: addition accumulates in
+// 64 bits from exact inputs; min/max/xor of sign-extended inputs are
+// themselves sign-extended. The packed two-lane operators (seg-sum,
+// affine, max-plus) need all 64 value bits, so they are typed out of the
+// lane path entirely and take the unpacked fallback kernels.
+
+/// Compile-time capability: may `Op` read its inputs from a sign-extended
+/// 32-bit value lane? Defaults to false; opt in per operator.
+template <class Op>
+inline constexpr bool kOpLane32 = false;
+
+template <> inline constexpr bool kOpLane32<OpPlus> = true;
+template <> inline constexpr bool kOpLane32<OpMin> = true;
+template <> inline constexpr bool kOpLane32<OpMax> = true;
+template <> inline constexpr bool kOpLane32<OpXor> = true;
+
 // -- runtime dispatch -------------------------------------------------------
 
 /// The registered operators, runtime-nameable for requests (OpRequest /
@@ -278,7 +299,7 @@ inline constexpr const char* scan_op_name(ScanOp op) {
 /// value of the matching ListOp. One switch per run -- the traversal
 /// kernels underneath stay monomorphic and fully inlined.
 template <class F>
-decltype(auto) with_scan_op(ScanOp op, F&& f) {
+constexpr decltype(auto) with_scan_op(ScanOp op, F&& f) {
   switch (op) {
     case ScanOp::kPlus: return f(OpPlus{});
     case ScanOp::kMin: return f(OpMin{});
@@ -289,6 +310,14 @@ decltype(auto) with_scan_op(ScanOp op, F&& f) {
     case ScanOp::kMaxPlus: return f(OpMaxPlus{});
   }
   return f(OpPlus{});
+}
+
+/// Runtime face of kOpLane32 -- derived from the trait through the
+/// dispatcher so there is one source of truth: true iff `op`'s inputs may
+/// live in the 32-bit value lane of the host hot-path word (subject to
+/// the per-run value-fit check, host_exec::build_packed).
+constexpr bool scan_op_lane32(ScanOp op) {
+  return with_scan_op(op, [](auto o) { return kOpLane32<decltype(o)>; });
 }
 
 /// Combine cost of `op` relative to integer addition, for the Planner's

@@ -54,6 +54,7 @@ LinkedList reverse_list(const LinkedList& list) {
     }
   }
   rev.next[tail] = tail;
+  rev.tail = tail;
   return rev;
 }
 
@@ -74,6 +75,7 @@ std::vector<LinkedList> split_list(const LinkedList& list,
     cur.next.resize(k);
     cur.value.resize(k);
     cur.head = 0;
+    cur.tail = k > 0 ? static_cast<index_t>(k - 1) : kNoVertex;
     for (std::size_t i = 0; i < k; ++i) {
       cur.next[i] = static_cast<index_t>(i + 1 < k ? i + 1 : i);
       cur.value[i] = list.value[order[i]];
@@ -118,6 +120,7 @@ LinkedList concat_lists(std::span<const LinkedList> lists) {
     base += l.size();
   }
   if (out.next.empty()) out.head = kNoVertex;
+  out.tail = prev_tail;  // kNoVertex when every input was empty
   return out;
 }
 

@@ -1,0 +1,124 @@
+#include "support/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lr90 {
+
+namespace {
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // Integral values (counts, sizes) print exactly; measurements keep six
+  // significant digits.
+  if (v == std::floor(v) && std::abs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+void BenchJson::meta(const std::string& key, const std::string& value) {
+  meta_.push_back(Field{key, value, 0.0, false});
+}
+
+void BenchJson::meta(const std::string& key, double value) {
+  meta_.push_back(Field{key, {}, value, true});
+}
+
+void BenchJson::row() { rows_.emplace_back(); }
+
+void BenchJson::field(const std::string& key, double value) {
+  rows_.back().push_back(Field{key, {}, value, true});
+}
+
+void BenchJson::field(const std::string& key, const std::string& value) {
+  rows_.back().push_back(Field{key, value, 0.0, false});
+}
+
+void BenchJson::append_fields(std::string& out,
+                              const std::vector<Field>& fields) {
+  bool first = true;
+  for (const Field& f : fields) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += escaped(f.key);
+    out += "\": ";
+    if (f.is_num) {
+      out += number(f.num);
+    } else {
+      out += '"';
+      out += escaped(f.str);
+      out += '"';
+    }
+  }
+}
+
+std::string BenchJson::dump() const {
+  std::string out = "{\n  \"bench\": \"" + escaped(name_) + "\",\n";
+  out += "  \"meta\": { ";
+  append_fields(out, meta_);
+  out += " },\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    out += "    { ";
+    append_fields(out, rows_[i]);
+    out += i + 1 < rows_.size() ? " },\n" : " }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string doc = dump();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  if (!ok)
+    std::fprintf(stderr, "bench_json: short write to %s\n", path.c_str());
+  return ok;
+}
+
+std::string bench_json_path(const char* default_name) {
+  const char* env = std::getenv("LR90_BENCH_JSON_PATH");
+  return env != nullptr && env[0] != '\0' ? std::string(env)
+                                          : std::string(default_name);
+}
+
+}  // namespace lr90

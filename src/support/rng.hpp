@@ -57,6 +57,14 @@ class Rng {
   /// same parent in the same order are reproducible.
   Rng split();
 
+  /// True iff both generators are in the same state (will produce the
+  /// same stream). Lets caches key on "the draws would repeat exactly"
+  /// (core/workspace.hpp's packed-slab cache).
+  friend bool operator==(const Rng& a, const Rng& b) {
+    return a.s_[0] == b.s_[0] && a.s_[1] == b.s_[1] && a.s_[2] == b.s_[2] &&
+           a.s_[3] == b.s_[3];
+  }
+
  private:
   std::uint64_t s_[4];
 };

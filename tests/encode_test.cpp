@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
 
@@ -65,6 +68,88 @@ TEST(Encode, SelfLoopSurvivesEncoding) {
   const auto packed = encode_list(l);
   const index_t tail = l.find_tail();
   EXPECT_EQ(packed_link(packed[tail]), tail);
+}
+
+// -- the host hot-path word -------------------------------------------------
+
+TEST(HotWord, PackUnpackRoundTrip) {
+  for (const bool tail : {false, true}) {
+    for (const index_t link :
+         {index_t{0}, index_t{1}, index_t{12345}, index_t{0x7fffffff}}) {
+      for (const std::int32_t lane :
+           {std::int32_t{0}, std::int32_t{1}, std::int32_t{-1},
+            std::numeric_limits<std::int32_t>::min(),
+            std::numeric_limits<std::int32_t>::max()}) {
+        const packed_t w =
+            hot_pack(tail, link, static_cast<std::uint32_t>(lane));
+        EXPECT_EQ(hot_tail(w), tail);
+        EXPECT_EQ(hot_link(w), link);
+        EXPECT_EQ(hot_value(w), static_cast<value_t>(lane))
+            << "sign extension must reconstruct the value";
+      }
+    }
+  }
+}
+
+TEST(HotWord, TailFlagDoesNotLeakIntoLinkOrValue) {
+  // The flag is stolen from the top bit of the link lane: flipping it
+  // must change nothing else.
+  const packed_t off = hot_pack(false, 0x7fffffff, 0xffffffffu);
+  const packed_t on = hot_pack(true, 0x7fffffff, 0xffffffffu);
+  EXPECT_EQ(hot_link(off), hot_link(on));
+  EXPECT_EQ(hot_value(off), hot_value(on));
+  EXPECT_FALSE(hot_tail(off));
+  EXPECT_TRUE(hot_tail(on));
+  EXPECT_EQ(on, off | kHotTailBit);
+}
+
+TEST(HotWord, RandomRoundTrips) {
+  Rng rng(0x407);
+  for (int i = 0; i < 5000; ++i) {
+    const bool tail = rng.coin();
+    const auto link = static_cast<index_t>(rng.uniform(1ull << 31));
+    const auto lane = static_cast<std::uint32_t>(rng.next_u64());
+    const packed_t w = hot_pack(tail, link, lane);
+    ASSERT_EQ(hot_tail(w), tail);
+    ASSERT_EQ(hot_link(w), link);
+    ASSERT_EQ(hot_value(w),
+              static_cast<value_t>(static_cast<std::int32_t>(lane)));
+  }
+}
+
+TEST(HotWord, ValueFitsMatchesLaneRoundTrip) {
+  EXPECT_TRUE(hot_value_fits(0));
+  EXPECT_TRUE(hot_value_fits(1));
+  EXPECT_TRUE(hot_value_fits(-1));
+  EXPECT_TRUE(hot_value_fits(std::numeric_limits<std::int32_t>::max()));
+  EXPECT_TRUE(hot_value_fits(std::numeric_limits<std::int32_t>::min()));
+  EXPECT_FALSE(hot_value_fits(static_cast<value_t>(1) << 31));
+  EXPECT_FALSE(
+      hot_value_fits(static_cast<value_t>(
+                         std::numeric_limits<std::int32_t>::min()) -
+                     1));
+  EXPECT_FALSE(hot_value_fits(std::numeric_limits<value_t>::max()));
+  EXPECT_FALSE(hot_value_fits(std::numeric_limits<value_t>::min()));
+}
+
+TEST(HotWord, CachedTailIsUsedAndGuarded) {
+  Rng rng(6);
+  LinkedList l = random_list(100, rng);
+  const index_t scan_tail = [&] {
+    for (std::size_t v = 0; v < l.size(); ++v)
+      if (l.next[v] == static_cast<index_t>(v))
+        return static_cast<index_t>(v);
+    return kNoVertex;
+  }();
+  // The generator caches the tail at build time.
+  EXPECT_EQ(l.tail, scan_tail);
+  EXPECT_EQ(l.find_tail(), scan_tail);
+  // A stale cache (links edited by hand) degrades to the scan, never a
+  // wrong answer.
+  l.tail = (scan_tail + 1) % static_cast<index_t>(l.size());
+  EXPECT_EQ(l.find_tail(), scan_tail);
+  l.tail = kNoVertex;
+  EXPECT_EQ(l.find_tail(), scan_tail);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/api.hpp"
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
@@ -401,6 +403,155 @@ TEST(Planner, SerialBackendAlwaysWalksSerially) {
   const Planner planner(backend_options(BackendKind::kSerial));
   EXPECT_EQ(planner.decide(1u << 20, Method::kAuto, true).method,
             Method::kSerial);
+}
+
+TEST(Planner, PicksPackedInterleavedForLargeN) {
+  // The acceptance bar of the latency-hiding PR: large-n packed-capable
+  // requests must route to the packed multi-cursor path automatically --
+  // even on a single thread, where the seed planner fell back to the
+  // serial walk (one dependent load chain, a full stall per element).
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    EngineOptions eo = backend_options(BackendKind::kHost);
+    eo.threads = threads;
+    const Planner planner(eo);
+    const auto d = planner.decide(1u << 20, Method::kAuto, /*rank=*/true);
+    EXPECT_EQ(d.method, Method::kReidMiller) << threads << " threads";
+    EXPECT_GT(d.interleave, 1u) << threads << " threads";
+    // Lane-capable scans interleave too; 64-bit-value operators get the
+    // legacy kernels (interleave 0).
+    const auto scan =
+        planner.decide(1u << 20, Method::kAuto, false, ScanOp::kMin);
+    EXPECT_GT(scan.interleave, 1u);
+    const auto wide =
+        planner.decide(1u << 20, Method::kAuto, false, ScanOp::kAffine);
+    EXPECT_EQ(wide.interleave, 0u);
+  }
+  // Tiny lists still take the serial walk.
+  EngineOptions one = backend_options(BackendKind::kHost);
+  one.threads = 1;
+  const Planner planner(one);
+  EXPECT_EQ(planner.decide(100, Method::kAuto, true).method,
+            Method::kSerial);
+  // A pinned W=1 on one thread is modelled at that width: the packed
+  // path cannot hide latency with one cursor, so kAuto keeps the serial
+  // walk instead of justifying the choice with the auto-optimal W.
+  EngineOptions pinned1 = backend_options(BackendKind::kHost);
+  pinned1.threads = 1;
+  pinned1.interleave = 1;
+  const Planner p1(pinned1);
+  EXPECT_EQ(p1.decide(1u << 20, Method::kAuto, true).method,
+            Method::kSerial);
+}
+
+TEST(Engine, LargeRankRunsPackedAndReportsCursors) {
+  Rng rng(21);
+  const LinkedList l = random_list(1u << 17, rng);
+  Engine engine(backend_options(BackendKind::kHost));
+  const RunResult r = engine.rank(l);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.method_used, Method::kReidMiller);
+  EXPECT_TRUE(r.stats.host_packed);
+  EXPECT_GT(r.stats.host_interleave, 1u);
+  EXPECT_FALSE(r.stats.host_packed_cached);  // single run: no batch cache
+  testutil::expect_scan_eq(r.scan, reference_rank(l));
+}
+
+TEST(Engine, PinnedInterleaveIsHonoured) {
+  Rng rng(22);
+  const LinkedList l = random_list(50000, rng);
+  for (const unsigned w : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    EngineOptions eo = backend_options(BackendKind::kHost);
+    eo.interleave = w;
+    Engine engine(std::move(eo));
+    const RunResult r = engine.rank(l);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.stats.host_packed);
+    EXPECT_EQ(r.stats.host_interleave, w);
+    testutil::expect_scan_eq(r.scan, reference_rank(l));
+  }
+}
+
+TEST(Engine, WideValuesFallBackToLegacyKernelsNeverWrong) {
+  // Values outside the signed 32-bit lane fail the pack-time fit check;
+  // the run must fall back to the unpacked kernels and stay bit-exact.
+  Rng rng(23);
+  LinkedList l = random_list(30000, rng, ValueInit::kSigned);
+  l.value[12345] = (value_t{1} << 40) + 7;
+  l.value[777] = std::numeric_limits<value_t>::min() / 4;
+  Engine engine(backend_options(BackendKind::kHost));
+  const RunResult r = engine.run(OpRequest{&l, ScanOp::kPlus});
+  ASSERT_TRUE(r.ok()) << r.status.message;
+  EXPECT_EQ(r.method_used, Method::kReidMiller);
+  EXPECT_FALSE(r.stats.host_packed);
+  testutil::expect_scan_eq(r.scan,
+                           testutil::expected_scan(l, OpPlus{}));
+  // The same engine still packs the next lane-clean request.
+  const LinkedList clean = random_list(30000, rng);
+  const RunResult r2 = engine.rank(clean);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.stats.host_packed);
+}
+
+TEST(Engine, FewerSublistsThanCursorsDrainCorrectly) {
+  // The k < W edge of the multi-cursor driver: fewer sublists than
+  // cursors means the initial claims exhaust immediately and the drain
+  // (swap-with-last) path does all the work. Explicit kReidMiller skips
+  // the planner's serial shed for tiny lists.
+  Rng rng(25);
+  for (const std::size_t n : {4u, 5u, 9u, 17u, 40u, 64u}) {
+    const LinkedList l = random_list(n, rng, ValueInit::kSigned);
+    for (const unsigned w : {8u, 32u, 64u}) {
+      EngineOptions eo = backend_options(BackendKind::kHost);
+      eo.interleave = w;
+      Engine engine(std::move(eo));
+      const RunResult r = engine.rank(l, Method::kReidMiller);
+      ASSERT_TRUE(r.ok()) << "n=" << n << " W=" << w;
+      EXPECT_TRUE(r.stats.host_packed);
+      testutil::expect_scan_eq(r.scan, reference_rank(l));
+      const RunResult s =
+          engine.scan(l, ScanOp::kMin, Method::kReidMiller);
+      ASSERT_TRUE(s.ok());
+      testutil::expect_scan_eq(s.scan,
+                               testutil::expected_scan(l, OpMin{}));
+    }
+  }
+}
+
+TEST(Engine, BatchCachesThePackedSlabAcrossSameListRuns) {
+  // A batch of requests over one list (the serving layer's collapsed
+  // hot-key traffic) must build the single-gather slab once; distinct
+  // lists and non-batch runs must rebuild.
+  Rng rng(24);
+  const LinkedList a = random_list(40000, rng);
+  const LinkedList b = random_list(40000, rng);
+  Engine engine(backend_options(BackendKind::kHost));
+
+  const std::vector<Request> same(5, Request{RankRequest{&a}});
+  const auto results = engine.run_batch(same);
+  const std::uint64_t builds_after_batch = engine.workspace().packed_builds();
+  EXPECT_EQ(builds_after_batch, 1u) << "one build for five same-list runs";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    EXPECT_TRUE(results[i].stats.host_packed);
+    EXPECT_EQ(results[i].stats.host_packed_cached, i > 0);
+    EXPECT_EQ(results[i].scan, results[0].scan) << "cache changed answers";
+  }
+  testutil::expect_scan_eq(results[0].scan, reference_rank(a));
+
+  // Alternating lists in one batch: every switch re-keys the slab.
+  const std::vector<Request> mixed{RankRequest{&a}, RankRequest{&b},
+                                   RankRequest{&a}};
+  for (const RunResult& r : engine.run_batch(mixed)) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.stats.host_packed_cached);
+  }
+  EXPECT_EQ(engine.workspace().packed_builds(), builds_after_batch + 3);
+
+  // Outside a batch the cache is never trusted (the caller could mutate
+  // the list between runs).
+  ASSERT_TRUE(engine.rank(a).ok());
+  ASSERT_TRUE(engine.rank(a).ok());
+  EXPECT_EQ(engine.workspace().packed_builds(), builds_after_batch + 5);
 }
 
 TEST(Engine, PinnedS1SurvivesAutoM) {

@@ -197,6 +197,59 @@ INSTANTIATE_TEST_SUITE_P(
                           Method::kReidMiller, Method::kReidMillerEncoded)));
 
 // ---------------------------------------------------------------------
+// The packed multi-cursor hot path: every forced interleave width
+// (including the degenerate W=1), every generator shape and size class,
+// every operator -- bit-exact against the serial oracle. Lane-capable
+// operators run the packed single-gather kernels; the 64-bit-value
+// operators must transparently take the legacy kernels under the same
+// forced plan, never a wrong answer.
+// ---------------------------------------------------------------------
+
+class HostInterleaveHarness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HostInterleaveHarness, AllWidthsMatchSerialOracle) {
+  const unsigned width = GetParam();
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.threads = 3;
+  opt.interleave = width;
+  Engine engine(std::move(opt));
+  for (const ScanOp op : kAllScanOps) {
+    for (const Shape shape : kAllShapes) {
+      for (const std::size_t n : kHarnessSizes) {
+        const std::uint64_t seed = case_seed(shape, n, op) ^ 0x11ead;
+        Rng rng(seed);
+        LinkedList l = make_shape(shape, n, ValueInit::kSigned, rng);
+        for (value_t& v : l.value) v = harness_value(op, v);
+
+        std::ostringstream repro;
+        repro << "repro: seed=" << seed << " shape=" << static_cast<int>(shape)
+              << " n=" << n << " op=" << scan_op_name(op) << " W=" << width;
+        SCOPED_TRACE(repro.str());
+
+        const RunResult r = engine.run(OpRequest{&l, op});
+        ASSERT_TRUE(r.ok()) << r.status.message;
+        testutil::expect_scan_eq(r.scan, oracle_scan(l, op));
+        if (r.method_used == Method::kReidMiller) {
+          // Lane-capable operators must actually take the packed path at
+          // the forced width; the two-lane operators must not.
+          EXPECT_EQ(r.stats.host_packed, scan_op_lane32(op));
+          if (r.stats.host_packed)
+            EXPECT_EQ(r.stats.host_interleave, width);
+        }
+
+        const RunResult rank = engine.rank(l);
+        ASSERT_TRUE(rank.ok()) << rank.status.message;
+        testutil::expect_scan_eq(rank.scan, reference_rank(l));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HostInterleaveHarness,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+// ---------------------------------------------------------------------
 // Operator algebra: the packed operators are associative with an exact
 // identity on arbitrary packed inputs (the property every parallel
 // regrouping implicitly relies on).
