@@ -24,7 +24,9 @@
 // degrades to "best packed width >= seed-1cur" -- still meaningful on
 // shared runners, and INTERLEAVE_SWEEP_LENIENT=1 downgrades any miss to a
 // warning. Every row lands in BENCH_hotpath.json (LR90_BENCH_JSON_PATH
-// overrides the path), which is the repo's committed perf trajectory.
+// overrides the path); the committed perf trajectory lives in
+// bench/trajectory/ and tools/bench_compare.py diffs fresh runs
+// against it.
 //
 //   $ ./interleave_sweep [max_n] [reps]
 #include <algorithm>
@@ -135,6 +137,7 @@ int main(int argc, char** argv) {
   constexpr std::size_t kSublists = 64;
 
   BenchJson json("interleave_sweep");
+  stamp_provenance(json);
   json.meta("workload", "random-permutation list, OpPlus over ones");
   json.meta("threads", 1.0);
   json.meta("sublists", static_cast<double>(kSublists));

@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
               "Engine OpRequest", e, (e / h - 1.0) * 100.0);
 
   BenchJson json("op_scan");
+  stamp_provenance(json);
   json.meta("n", static_cast<double>(n));
   json.meta("reps", static_cast<double>(reps));
   json.meta("workload", "random-permutation list, signed values");

@@ -137,6 +137,7 @@ int main(int argc, char** argv) {
   const std::uint64_t warm_allocs = server.stats().pool.allocations;
 
   BenchJson json("serve_throughput");
+  stamp_provenance(json);
   json.meta("n", static_cast<double>(n));
   json.meta("reqs_per_client", static_cast<double>(per_client));
   json.meta("workers", static_cast<double>(server.workers()));
@@ -187,6 +188,17 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.collapsed),
       static_cast<unsigned long long>(steady_allocs),
       static_cast<unsigned long long>(stats.pool.reuse_hits), speedup);
+  // The two parallelism axes multiplied: worker pool (inter-request) x
+  // per-engine host threads (intra-request, RunStats::host_threads peak).
+  std::printf(
+      "machine parallelism: %zu workers x %llu intra-request threads "
+      "= %llu\n",
+      server.workers(),
+      static_cast<unsigned long long>(stats.intra_threads_peak),
+      static_cast<unsigned long long>(
+          server.workers() * stats.intra_threads_peak));
+  json.meta("intra_threads_peak",
+            static_cast<double>(stats.intra_threads_peak));
 
   const std::string json_path = bench_json_path("BENCH_serve.json");
   if (json.write(json_path))

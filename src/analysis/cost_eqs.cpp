@@ -128,6 +128,26 @@ double host_packed_ns_per_elem(double n, unsigned W,
   return 2.0 * per_phase + k.build_ns;
 }
 
+double host_packed_ns_per_elem_mt(double n, unsigned threads, unsigned W,
+                                  const HostCostConstants& k,
+                                  double op_factor) {
+  assert(threads >= 1 && W >= 1);
+  const double lat = host_latency_ns(n * 12.0, k);
+  // One worker's per-element cost (same shape as host_packed_ns_per_elem).
+  const double per_thread =
+      std::max(lat / static_cast<double>(W), k.combine_ns * op_factor) +
+      k.bookkeeping_ns * static_cast<double>(W - 1);
+  // Dividing across workers helps until the chip's outstanding-miss
+  // ceiling: threads x W chains cannot hide more latency than
+  // mem_parallelism concurrent round-trips' worth.
+  const double per_phase =
+      std::max(per_thread / static_cast<double>(threads),
+               lat / k.mem_parallelism);
+  const double build = std::max(k.build_ns / static_cast<double>(threads),
+                                k.build_min_ns);
+  return 2.0 * per_phase + build;
+}
+
 double host_serial_ns_per_elem(double n, const HostCostConstants& k,
                                double op_factor) {
   return host_latency_ns(n * 12.0, k) + k.serial_walk_ns * op_factor;

@@ -98,19 +98,39 @@ double expected_cycles_eq5(double n, double m, double s1, std::size_t l,
 // they need only rank the candidate Ws correctly, not predict wall time.
 
 /// Per-element constants of the host packed traversal kernels, in
-/// nanoseconds. Value-semantic so benches can refit and re-plan.
+/// nanoseconds. Value-semantic so benches can refit and re-plan. The
+/// per-thread terms (fork_join_ns, mem_parallelism, build_min_ns,
+/// serial_bandwidth_frac) extend the model to the joint (threads x W)
+/// grid: per-core work divides across workers, but the memory system
+/// caps the aggregate latency hiding -- the host analog of the paper's
+/// Section 5 shared-memory contention term.
 struct HostCostConstants {
   double l1_latency_ns = 5.0;     ///< random load, working set in L1/L2
   double l2_latency_ns = 16.0;    ///< random load, slab within L2/LLC
   double dram_latency_ns = 95.0;  ///< random load, slab misses to DRAM
   double combine_ns = 1.4;        ///< combine + cursor advance (plus-like)
   double bookkeeping_ns = 0.08;   ///< round-robin overhead per extra cursor
-  double build_ns = 1.1;          ///< slab build, sequential, per element
+  double build_ns = 1.1;          ///< slab build per element on one worker
   double serial_walk_ns = 1.1;    ///< serial walk non-memory work per elem
-  double fixed_run_ns = 4000.0;   ///< boundary picks, phase 2, fork/join
+  double fixed_run_ns = 4000.0;   ///< boundary picks, phase 2, plan fixed
   double l1_bytes = 48.0 * 1024;          ///< fast-cache region
   double l2_bytes = 2.0 * 1024 * 1024;    ///< slab fits here: l2 latency
   double llc_bytes = 30.0 * 1024 * 1024;  ///< beyond here: dram latency
+
+  // -- thread-scaling terms (joint (threads x W) planning) ---------------
+  /// Per extra worker per run: team wake-up plus the join barrier (std::
+  /// thread spawn on OpenMP-less builds is the costlier bound; the model
+  /// only has to shed threads for small n, not predict wall time).
+  double fork_join_ns = 9000.0;
+  /// Chip-wide outstanding-miss ceiling: total in-flight random loads the
+  /// memory system sustains. threads x W chains hide latency only up to
+  /// this; past it, more threads stop helping the traversal phases. Kept
+  /// above the per-worker cursor cap (32 in the W grid) so the T=1 model
+  /// stays identical to host_packed_ns_per_elem.
+  double mem_parallelism = 48.0;
+  /// Parallel slab-build floor (streaming bandwidth bound): build time
+  /// per element cannot drop below this no matter how many workers.
+  double build_min_ns = 0.3;
 };
 
 /// Interpolated random-access latency for a working set of `bytes`.
@@ -122,6 +142,16 @@ double host_latency_ns(double bytes, const HostCostConstants& k);
 double host_packed_ns_per_elem(double n, unsigned W,
                                const HostCostConstants& k,
                                double op_factor = 1.0);
+
+/// The (threads x W) generalization: model ns/element of the packed
+/// phases 1+3 plus the parallel slab build with `threads` workers each
+/// keeping `W` cursors in flight. Per-core work divides by the worker
+/// count; aggregate latency hiding saturates at k.mem_parallelism
+/// outstanding misses; the build scales to its bandwidth floor. Excludes
+/// the per-run fixed and fork/join terms (host_tune_at adds those).
+double host_packed_ns_per_elem_mt(double n, unsigned threads, unsigned W,
+                                  const HostCostConstants& k,
+                                  double op_factor = 1.0);
 
 /// Model ns/element of the single-cursor serial walk over the same list
 /// (the packed path's break-even opponent on one thread).

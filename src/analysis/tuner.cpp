@@ -120,23 +120,46 @@ TuneResult tuned_params(double n, bool rank, unsigned p) {
   return r;
 }
 
-HostTuneResult host_tune_at(double n, unsigned interleave, double op_factor,
-                            const HostCostConstants& k) {
+HostTuneResult host_tune_at(double n, unsigned threads, unsigned interleave,
+                            double op_factor, const HostCostConstants& k) {
+  threads = std::max(1u, threads);
   HostTuneResult r;
+  r.threads = threads;
   r.interleave = interleave;
   r.serial_ns = n * host_serial_ns_per_elem(n, k, op_factor);
   r.packed_ns =
-      n * host_packed_ns_per_elem(n, interleave, k, op_factor) +
-      k.fixed_run_ns;
+      n * host_packed_ns_per_elem_mt(n, threads, interleave, k, op_factor) +
+      k.fixed_run_ns + k.fork_join_ns * static_cast<double>(threads - 1);
   return r;
 }
 
-HostTuneResult host_tune(double n, double op_factor,
+HostTuneResult host_tune(double n, double op_factor, unsigned max_threads,
+                         unsigned pinned_threads, unsigned pinned_interleave,
                          const HostCostConstants& k) {
-  HostTuneResult best = host_tune_at(n, 1, op_factor, k);
-  for (const unsigned w : {2u, 4u, 8u, 16u, 32u}) {
-    const HostTuneResult t = host_tune_at(n, w, op_factor, k);
-    if (t.packed_ns < best.packed_ns) best = t;
+  max_threads = std::max(1u, max_threads);
+  // Thread candidates: the powers of two up to max_threads plus
+  // max_threads itself (so e.g. 6 hardware threads consider {1,2,4,6}).
+  std::vector<unsigned> ts;
+  if (pinned_threads > 0) {
+    ts.push_back(pinned_threads);
+  } else {
+    for (unsigned t = 1; t <= max_threads; t *= 2) ts.push_back(t);
+    if (ts.back() != max_threads) ts.push_back(max_threads);
+  }
+  std::vector<unsigned> ws;
+  if (pinned_interleave > 0) {
+    ws.push_back(pinned_interleave);
+  } else {
+    ws.assign({1u, 2u, 4u, 8u, 16u, 32u});
+  }
+  HostTuneResult best = host_tune_at(n, ts.front(), ws.front(), op_factor, k);
+  for (const unsigned t : ts) {
+    for (const unsigned w : ws) {
+      const HostTuneResult cand = host_tune_at(n, t, w, op_factor, k);
+      // Strict improvement keeps the smallest (threads, W) among model
+      // ties: fewer workers and cursors at equal predicted time.
+      if (cand.packed_ns < best.packed_ns) best = cand;
+    }
   }
   return best;
 }

@@ -116,14 +116,15 @@ TuneResult Planner::tuned(double n, bool rank_kernels,
   return r;
 }
 
-HostTuneResult Planner::host_tuned(double n, double op_factor) const {
-  const std::pair<double, double> key{n, op_factor};
+HostTuneResult Planner::host_tuned(double n, double op_factor,
+                                   unsigned max_threads) const {
+  const std::tuple<double, double, unsigned> key{n, op_factor, max_threads};
   {
     std::lock_guard<std::mutex> lock(memo_->mu);
     auto it = memo_->host_cache.find(key);
     if (it != memo_->host_cache.end()) return it->second;
   }
-  const HostTuneResult r = host_tune(n, op_factor);
+  const HostTuneResult r = host_tune(n, op_factor, max_threads);
   std::lock_guard<std::mutex> lock(memo_->mu);
   memo_->host_cache.emplace(key, r);
   return r;
@@ -194,35 +195,61 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
     // the per-run 32-bit fit check, which falls back in the kernel).
     const bool lane =
         (rank || scan_op_lane32(op)) && n <= kHotMaxVertices;
-    // When the caller pinned W, the packed-vs-serial comparison below must
-    // model the width that will actually run, not the auto-optimal one.
-    const HostTuneResult ht =
-        !lane ? HostTuneResult{}
-        : pinned_interleave_ > 0
-            ? host_tune_at(static_cast<double>(n),
-                           std::min(pinned_interleave_,
-                                    host_exec::kMaxInterleave),
-                           factor)
-            : host_tuned(static_cast<double>(n), factor);
+    const unsigned wpin =
+        pinned_interleave_ > 0
+            ? std::min(pinned_interleave_, host_exec::kMaxInterleave)
+            : 0;
+    const double nd = static_cast<double>(n);
+    // The packed-vs-serial choice model. A caller-pinned knob (threads
+    // or W) restricts its grid axis to what will actually run; with both
+    // on auto, the memoized joint (threads x W) grid picks the full
+    // execution shape.
+    HostTuneResult ht;
+    if (lane) {
+      ht = threads_ > 0 || wpin > 0
+               ? host_tune(nd, factor, eff, threads_ > 0 ? useful : 0, wpin)
+               : host_tuned(nd, factor, eff);
+    }
     if (requested == Method::kAuto) {
-      if (useful > 1 && n / 2 >= 2) {
-        d.method = Method::kReidMiller;
-      } else if (lane && n / 2 >= 2 && ht.packed_ns < ht.serial_ns) {
-        // One thread, but the packed multi-cursor path still wins: W
-        // independent load chains hide the memory latency the serial
-        // walk stalls on (the paper's vectorization argument, on a CPU).
+      // Threads alone justify the sublist kernel; so does the packed
+      // multi-cursor path whenever the model beats the serial walk --
+      // including on ONE thread, where W independent load chains hide
+      // the memory latency the serial walk stalls on (the paper's
+      // vectorization argument, on a CPU).
+      if ((useful > 1 || (lane && ht.packed_ns < ht.serial_ns)) &&
+          n / 2 >= 2) {
         d.method = Method::kReidMiller;
       } else {
         d.method = Method::kSerial;
       }
     }
-    if (d.method == Method::kReidMiller && requested != Method::kAuto) {
-      // An explicit reid-miller request keeps every available thread.
-      d.threads = eff;
-      d.sublists = static_cast<double>(eff) *
+    if (d.method == Method::kReidMiller) {
+      if (requested != Method::kAuto) {
+        // An explicit reid-miller request keeps every available thread.
+        d.threads = eff;
+        d.legacy_threads = eff;
+      } else {
+        // The legacy kernels (planned, or reached by a runtime
+        // lane-overflow fallback) have no W-way latency hiding: they
+        // always want the full breakeven-shed count, even when the
+        // packed model saturates at fewer workers below.
+        d.legacy_threads = useful;
+        if (threads_ == 0 && lane) {
+          // Auto threads: the joint grid picked the worker count.
+          d.threads = std::max(1u, std::min(ht.threads, eff));
+        }
+      }
+      d.sublists = static_cast<double>(d.threads) *
                    static_cast<double>(sublists_per_thread_);
+      // W at the worker count that will actually run: the choice model
+      // already evaluated that count everywhere except the explicit
+      // request above, which overrode the thread count to eff.
+      if (lane)
+        d.interleave =
+            d.threads == ht.threads
+                ? ht.interleave
+                : host_tune(nd, factor, eff, d.threads, wpin).interleave;
     }
-    if (d.method == Method::kReidMiller && lane) d.interleave = ht.interleave;
     return d;
   }
 
@@ -323,11 +350,14 @@ class HostBackend final : public ExecutionBackend {
     hp.threads = plan.method == Method::kSerial ? 1 : plan.threads;
     hp.sublists = static_cast<std::size_t>(plan.sublists);
     hp.interleave = plan.interleave;
+    hp.legacy_threads =
+        plan.method == Method::kSerial ? 1 : plan.legacy_threads;
     host_exec::ExecInfo info;
     if (req.rank) {
       if (plan.method == Method::kSerial) {
         serial_rank_into(*list, out.scan);
         info.interleave = list->empty() ? 0 : 1;
+        info.threads = info.interleave;
       } else {
         // Ranks as the all-ones scan without a ones copy: the packed
         // slab's value lane is the constant 1 and the legacy kernels
@@ -341,6 +371,7 @@ class HostBackend final : public ExecutionBackend {
           host_exec::serial_scan_into(*list, std::span<value_t>(out.scan),
                                       op);
           info.interleave = list->empty() ? 0 : 1;
+          info.threads = info.interleave;
         } else {
           info = host_exec::scan_into(*list, op, hp, ws,
                                       std::span<value_t>(out.scan));
@@ -360,8 +391,14 @@ class HostBackend final : public ExecutionBackend {
                   4 * static_cast<std::uint64_t>(plan.sublists)
             : 0;
     out.stats.host_interleave = info.interleave;
+    out.stats.host_threads = info.threads;
     out.stats.host_packed = info.packed;
     out.stats.host_packed_cached = info.packed_cached;
+    out.stats.host_build_ns = info.build_ns;
+    out.stats.host_phase1_ns = info.phase1_ns;
+    out.stats.host_phase2_ns = info.phase2_ns;
+    out.stats.host_phase3_ns = info.phase3_ns;
+    out.stats.host_parallel_frac = info.parallel_frac();
     return Status::success();
   }
 };

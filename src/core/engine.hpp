@@ -186,10 +186,23 @@ struct RunStats {
   vm::OpCounters ops;             ///< simulated data-movement counters
 
   // Host-backend execution shape (zero/false on the other backends), so
-  // benches and the serving layer can report cursors-in-flight.
+  // benches and the serving layer can report cursors-in-flight and
+  // intra-request thread scaling.
   unsigned host_interleave = 0;   ///< cursors in flight per worker
+  unsigned host_threads = 0;      ///< worker threads the run actually used
   bool host_packed = false;       ///< the single-gather packed slab ran
   bool host_packed_cached = false;  ///< slab reused from the batch cache
+
+  // Per-phase wall clock of the host sublist kernel (zero on the serial
+  // walk and other backends), so benches can compute per-phase parallel
+  // efficiency E(T) = t_phase(1) / (T * t_phase(T)) across a thread sweep.
+  double host_build_ns = 0.0;   ///< boundaries + heads + slab build
+  double host_phase1_ns = 0.0;  ///< per-sublist inclusive scans
+  double host_phase2_ns = 0.0;  ///< reduced-list scan over sublist sums
+  double host_phase3_ns = 0.0;  ///< per-sublist expansion
+  /// Share of the phase wall clock spent in multi-worker phases (the
+  /// Amdahl fraction); 0 when no phases were timed.
+  double host_parallel_frac = 0.0;
 };
 
 /// The outcome of one run: typed status, the answer, and statistics.
@@ -213,7 +226,10 @@ struct EngineOptions {
   BackendKind backend = BackendKind::kHost;
   /// Simulated processors (sim backend; overrides machine.processors).
   unsigned processors = 1;
-  /// Host worker threads; 0 = OpenMP default (host backend).
+  /// Host worker threads; 0 = auto: the Planner picks the count jointly
+  /// with the packed-path width W from the host cost model, capped at
+  /// the OpenMP (or hardware) thread count. > 0 pins the cap explicitly
+  /// (small runs still shed threads before going serial).
   unsigned threads = 0;
   /// Sublists per thread the host planner targets (more = better balance,
   /// more overhead).
@@ -251,7 +267,12 @@ struct EngineOptions {
 /// Host backend: serial below a small per-thread break-even, otherwise the
 /// sublist kernel with threads * sublists_per_thread sublists (the paper's
 /// oversubscription discipline; the tuner models C90 vector startups, which
-/// do not exist on the host).
+/// do not exist on the host). Packed-capable requests plan the full
+/// execution shape on the joint (threads x W) host cost model
+/// (analysis/tuner host_tune): with EngineOptions::threads == 0 the grid
+/// search picks both the worker count and the interleave width, the
+/// paper's Section 5 processor dimension joined to its Section 3 vector
+/// length.
 class Planner {
  public:
   /// Builds a planner for the given engine configuration.
@@ -268,6 +289,12 @@ class Planner {
     /// packed-capable host runs from the tune memo (or the pinned
     /// EngineOptions::interleave).
     unsigned interleave = 0;
+    /// Host worker threads for a RUNTIME fallback from the packed path
+    /// to the legacy kernels (a value missing the 32-bit lane): the
+    /// packed-optimal `threads` can be lower than the unpacked kernels
+    /// want, so the planner carries the breakeven-shed count separately.
+    /// 0 = same as `threads`.
+    unsigned legacy_threads = 0;
     double predicted_cycles = 0.0;  ///< sim cost-model estimate; 0 if n/a
   };
 
@@ -293,7 +320,8 @@ class Planner {
 
  private:
   TuneResult tuned(double n, bool rank_kernels, double op_factor) const;
-  HostTuneResult host_tuned(double n, double op_factor) const;
+  HostTuneResult host_tuned(double n, double op_factor,
+                            unsigned max_threads) const;
 
   BackendKind backend_;
   unsigned processors_;
@@ -315,9 +343,11 @@ class Planner {
     using Key = std::tuple<double, bool, double>;
     std::mutex mu;                        ///< guards both caches
     std::map<Key, TuneResult> cache;      ///< per (n, family, op factor)
-    /// host_tune() results per (n, op factor): the packed-path width W
-    /// and the packed-vs-serial-walk model totals.
-    std::map<std::pair<double, double>, HostTuneResult> host_cache;
+    /// Joint host_tune() results per (n, op factor, max threads): the
+    /// packed-path (threads, W) pair and the packed-vs-serial-walk model
+    /// totals.
+    std::map<std::tuple<double, double, unsigned>, HostTuneResult>
+        host_cache;
   };
   std::unique_ptr<TuneMemo> memo_;
 };

@@ -29,11 +29,23 @@
 //    overlaps W of them, exactly as the C90 overlapped 64 lanes of a
 //    vector gather. Cursors that finish their sublist refill from a
 //    shared claim counter; the last < W sublists drain scalar.
+//
+// Every phase scales across worker threads (the paper's Section 5
+// multiprocessor dimension, Fig. 11): the slab build splits into
+// per-thread ranges, phases 1 and 3 feed each worker its own W-cursor set
+// from the shared claim counter, and phase 2's reduced-list scan runs as
+// a blocked two-pass prefix over operator-splittable prefixes once the
+// sublist count is large enough to pay for it. Workers come from OpenMP
+// when the build has it and plain std::thread otherwise, so OpenMP-less
+// builds (and the TSan job) exercise the same parallel kernels.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <span>
+#include <thread>
+#include <vector>
 
 #include "core/workspace.hpp"
 #include "lists/encode.hpp"
@@ -58,31 +70,123 @@ struct HostPlan {
   /// selects the packed single-gather path -- when the operator's values
   /// fit the 32-bit lane -- with `interleave` round-robin cursors.
   unsigned interleave = 0;
+  /// Worker threads when a packed plan falls back to the legacy kernels
+  /// at run time (a value missing the 32-bit lane): the packed-optimal
+  /// thread count can be lower than what the unpacked kernels want --
+  /// they have no W-way latency hiding -- so the Planner supplies both.
+  /// 0 = use `threads`.
+  unsigned legacy_threads = 0;
 };
 
 /// What one scan_into/rank_into call actually executed, for RunResult
-/// stats and benches (cursors-in-flight reporting).
+/// stats and benches (cursors-in-flight and thread-scaling reporting).
 struct ExecInfo {
   /// Cursors in flight per worker: W on the packed path, 1 on the legacy
   /// kernels and the serial walk, 0 when nothing ran (empty list).
   unsigned interleave = 0;
+  /// Worker threads the run used: the plan's count on the sublist path, 1
+  /// on the serial walk, 0 when nothing ran (empty list).
+  unsigned threads = 0;
   bool packed = false;        ///< the single-gather slab path ran
   bool packed_cached = false; ///< ...and the slab came from the batch cache
+  bool phase2_parallel = false;  ///< phase 2 ran the blocked parallel scan
   std::size_t sublists = 0;   ///< sublists used (0 = serial walk)
+
+  // Per-phase wall clock, for parallel-efficiency reporting (zero on the
+  // serial walk, which has no phases). build_ns covers boundary choice,
+  // head collection, and the slab build; it is zero on a batch cache hit.
+  double build_ns = 0.0;   ///< boundaries + heads + packed-slab build
+  double phase1_ns = 0.0;  ///< per-sublist inclusive scans
+  double phase2_ns = 0.0;  ///< reduced-list scan over sublist sums
+  double phase3_ns = 0.0;  ///< per-sublist expansion
+
+  /// Share of the phase wall clock spent in the multi-worker phases
+  /// (build + 1 + 3, plus 2 when it ran blocked): the Amdahl fraction a
+  /// bench divides by to judge thread scaling. 0 when nothing was timed.
+  double parallel_frac() const {
+    const double par =
+        build_ns + phase1_ns + phase3_ns + (phase2_parallel ? phase2_ns : 0.0);
+    const double total = build_ns + phase1_ns + phase2_ns + phase3_ns;
+    return total > 0.0 ? par / total : 0.0;
+  }
 };
 
 /// Hard cap on cursors per worker (stack-resident cursor state).
 inline constexpr unsigned kMaxInterleave = 64;
 
+/// Hard cap on worker threads per run (per-thread scratch such as the
+/// phase-2 block sums is sized by this).
+inline constexpr unsigned kMaxThreads = 256;
+
+/// Smallest sublist count phase 2 parallelizes its reduced-list scan at;
+/// below it the serial scan wins on fork/join overhead alone.
+inline constexpr std::size_t kPhase2MinParallelSublists = 64;
+
 /// Worker threads actually available for `requested` (0 = library default:
-/// the OpenMP thread count, or 1 without OpenMP).
+/// the OpenMP thread count, or the hardware thread count on OpenMP-less
+/// builds, whose kernels fan out over std::thread instead).
 inline unsigned effective_threads(unsigned requested) {
-  if (requested > 0) return requested;
+  if (requested > 0) return std::min(requested, kMaxThreads);
 #if defined(LISTRANK90_HAVE_OPENMP)
-  return static_cast<unsigned>(std::max(1, omp_get_max_threads()));
+  const auto omp = static_cast<unsigned>(std::max(1, omp_get_max_threads()));
+  return std::min(omp, kMaxThreads);
 #else
-  return 1;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? std::min(hw, kMaxThreads) : 1;
 #endif
+}
+
+/// Runs fn() concurrently on `threads` workers and waits for all of them:
+/// the one worker-orchestration primitive every parallel kernel here
+/// uses. OpenMP supplies the (pooled, cheap) team when the build has it;
+/// plain std::thread otherwise -- the same code runs parallel in
+/// OpenMP-less builds, which is also what lets the TSan job see the real
+/// kernels. OpenMP may deliver a smaller team than requested, so workers
+/// must divide their work dynamically (the kernels here claim fixed
+/// blocks from an atomic counter) rather than by worker id.
+template <class Fn>
+void run_workers(unsigned threads, Fn&& fn) {
+  threads = std::clamp(threads, 1u, kMaxThreads);
+  if (threads == 1) {
+    fn();
+    return;
+  }
+#if defined(LISTRANK90_HAVE_OPENMP)
+#pragma omp parallel num_threads(threads)
+  fn();
+#else
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) pool.emplace_back([&fn] { fn(); });
+  fn();
+  for (std::thread& th : pool) th.join();
+#endif
+}
+
+/// The b-th of `blocks` contiguous balanced ranges over `count` items
+/// (empty ranges when b >= count are fine). Workers claim block ids from
+/// a shared atomic, so coverage is exact for any actual team size.
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t count,
+                                                       std::size_t blocks,
+                                                       std::size_t b) {
+  const std::size_t base = count / blocks;
+  const std::size_t extra = count % blocks;
+  const std::size_t begin = b * base + std::min(b, extra);
+  return {begin, begin + base + (b < extra ? 1 : 0)};
+}
+
+/// Fans block ids [0, count) out to `threads` workers through a shared
+/// claim counter and calls body(block) for each: the one claim
+/// discipline every parallel kernel here uses (exact coverage whatever
+/// team size run_workers actually delivers).
+template <class Body>
+void claim_blocks(unsigned threads, std::size_t count, Body&& body) {
+  std::atomic<std::size_t> next{0};
+  run_workers(threads, [&] {
+    for (std::size_t b = next.fetch_add(1, std::memory_order_relaxed);
+         b < count; b = next.fetch_add(1, std::memory_order_relaxed))
+      body(b);
+  });
 }
 
 /// Read-prefetch of the cache line holding `addr` (no-op when the
@@ -128,10 +232,11 @@ inline void choose_boundaries(const LinkedList& list, std::size_t count,
 
 /// Builds the single-gather slab into ws.packed from the list and the
 /// per-run boundary bitmap (ws.is_tail must already be chosen): word v =
-/// hot_pack(is_tail[v], next[v], value lane). One sequential O(n) pass.
-/// `kOnes` forces every value lane to 1 (ranking) and cannot fail;
-/// otherwise returns false -- slab contents unspecified -- if any value
-/// does not round-trip through the signed 32-bit lane.
+/// hot_pack(is_tail[v], next[v], value lane). One O(n) pass, split into
+/// per-thread index ranges (hot_pack_range) claimed from an atomic
+/// counter. `kOnes` forces every value lane to 1 (ranking) and cannot
+/// fail; otherwise returns false -- slab contents unspecified -- if any
+/// value does not round-trip through the signed 32-bit lane.
 template <bool kOnes, ListOp Op>
 bool build_packed(const LinkedList& list, Op, unsigned threads,
                   Workspace& ws) {
@@ -140,23 +245,17 @@ bool build_packed(const LinkedList& list, Op, unsigned threads,
   const std::size_t n = list.size();
   ws.fit_uninit(ws.packed, n);
   const index_t* next = list.next.data();
-  const value_t* val = list.value.data();
+  const value_t* val = kOnes ? nullptr : list.value.data();
   const std::uint8_t* tail = ws.is_tail.data();
   packed_t* out = ws.packed.data();
-  bool ok = true;
-#if defined(LISTRANK90_HAVE_OPENMP)
-#pragma omp parallel for schedule(static) num_threads(threads) \
-    reduction(&& : ok)
-#endif
-  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(n); ++i) {
-    const value_t v = kOnes ? value_t{1} : val[i];
-    ok = ok && hot_value_fits(v);
-    out[i] = hot_pack(tail[i] != 0, next[i],
-                      static_cast<std::uint32_t>(
-                          static_cast<std::uint64_t>(v)));
-  }
-  (void)threads;
-  return ok;
+  const std::size_t blocks = std::max<std::size_t>(1, threads);
+  std::atomic<bool> ok{true};
+  claim_blocks(threads, blocks, [&](std::size_t b) {
+    const auto [begin, end] = block_range(n, blocks, b);
+    if (!hot_pack_range(next, val, tail, out, begin, end))
+      ok.store(false, std::memory_order_relaxed);
+  });
+  return ok.load(std::memory_order_relaxed);
 }
 
 /// The multi-cursor driver shared by the packed phases: walks all `k`
@@ -217,15 +316,7 @@ void interleave_sublists(const packed_t* packed, const index_t* heads,
       }
     }
   };
-#if defined(LISTRANK90_HAVE_OPENMP)
-  if (threads > 1) {
-#pragma omp parallel num_threads(threads)
-    worker();
-    return;
-  }
-#endif
-  (void)threads;
-  worker();
+  run_workers(threads, worker);
 }
 
 /// Exclusive list scan into `out` (sized n) per the plan, reusing `ws`.
@@ -239,6 +330,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   const std::size_t n = list.size();
   if (n == 0) return info;
   info.interleave = 1;
+  info.threads = 1;
   if (n == 1) {
     out[list.head] = Op::identity();
     return info;
@@ -276,6 +368,14 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
     key.rng_at_entry = ws.rng;  // before any draws: picks would repeat
     cache_hit = ws.packed_cache_hit(key);
   }
+  using Clock = std::chrono::steady_clock;
+  const auto since_ns = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::nano>(Clock::now() - t0)
+        .count();
+  };
+  const unsigned legacy_threads =
+      plan.legacy_threads > 0 ? plan.legacy_threads : plan.threads;
+  const auto t_build = Clock::now();
   if (!cache_hit) {
     choose_boundaries(list, want - 1, ws, list.find_tail());
     // Sublist heads: the whole-list head plus each pick's successor. A
@@ -294,7 +394,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
     } else {
       // Either the legacy kernels were planned, or some value misses the
       // 32-bit lane: the slab (if any) no longer matches ws.heads.
-      if (packed && plan.threads <= 1) {
+      if (packed && legacy_threads <= 1) {
         ws.invalidate_packed();
         return serial_fallback();
       }
@@ -303,13 +403,33 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
     }
   }
   const std::size_t k = ws.heads.size();
+  info.build_ns = cache_hit ? 0.0 : since_ns(t_build);
+
+  // From here on the worker count is path-dependent: the packed kernels
+  // run the (possibly lower) packed-optimal count, a runtime fallback to
+  // the legacy kernels takes the breakeven-shed count they want.
+  const unsigned threads = packed ? plan.threads : legacy_threads;
+
+  // The legacy kernels walk sublists claimed in chunks from a shared
+  // counter -- the unpacked counterpart of the multi-cursor refill, and
+  // the same dynamic balance the old OpenMP schedule(dynamic, 8) gave.
+  constexpr std::size_t kLegacyChunk = 8;
+  const auto legacy_sublists = [&](auto&& body) {
+    claim_blocks(threads, (k + kLegacyChunk - 1) / kLegacyChunk,
+                 [&](std::size_t c) {
+                   const std::size_t j0 = c * kLegacyChunk;
+                   const std::size_t j1 = std::min(k, j0 + kLegacyChunk);
+                   for (std::size_t j = j0; j < j1; ++j) body(j);
+                 });
+  };
 
   // Phase 1: per-sublist inclusive sums; record each sublist's tail.
+  const auto t_phase1 = Clock::now();
   ws.fit(ws.sums, k, Op::identity());
   ws.fit(ws.tails, k, kNoVertex);
   if (packed) {
     interleave_sublists(
-        ws.packed.data(), ws.heads.data(), k, plan.threads, W,
+        ws.packed.data(), ws.heads.data(), k, threads, W,
         [&](std::size_t) { return Op::identity(); },
         [&](index_t, packed_t w, value_t& acc) {
           acc = op(acc, hot_value(w));
@@ -319,10 +439,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
           ws.tails[j] = v;
         });
   } else {
-#if defined(LISTRANK90_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 8) num_threads(plan.threads)
-#endif
-    for (std::size_t j = 0; j < k; ++j) {
+    legacy_sublists([&](std::size_t j) {
       index_t v = ws.heads[j];
       value_t acc = Op::identity();
       while (true) {
@@ -332,27 +449,34 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
       }
       ws.sums[j] = acc;
       ws.tails[j] = v;
-    }
+    });
   }
+  info.phase1_ns = since_ns(t_phase1);
 
-  // Phase 2 (serial; k is tiny): order the sublists by chaining
-  // tail -> successor head, then exclusive-scan their sums. The
-  // head-ownership table is epoch-stamped, so this is O(k) per run, not
-  // O(n). On the packed path successor links come from the SLAB, never
-  // the live list: a cache-hit run then reads only the self-consistent
-  // snapshot taken at build time, so a caller mutating the list between
-  // the runs of a batch (e.g. after an earlier future resolved) gets the
-  // coherent as-of-build answer instead of a stale/live mix.
+  // Phase 2: order the sublists by chaining tail -> successor head (a
+  // serial O(k) pointer-chase; the head-ownership table is
+  // epoch-stamped, so no O(n) refill), then exclusive-scan their sums in
+  // that order. Large sublist counts scan blocked across the workers:
+  // contiguous prefixes of the order reduce in parallel, a serial pass
+  // turns the block sums into block offsets, and the workers expand
+  // their blocks -- combine order is preserved throughout, so
+  // associativity alone (no commutativity) keeps the non-commutative
+  // operators bit-exact. On the packed path successor links come from
+  // the SLAB, never the live list: a cache-hit run then reads only the
+  // self-consistent snapshot taken at build time, so a caller mutating
+  // the list between the runs of a batch (e.g. after an earlier future
+  // resolved) gets the coherent as-of-build answer instead of a
+  // stale/live mix.
+  const auto t_phase2 = Clock::now();
   ws.owner_begin(n);
   for (std::size_t j = 0; j < k; ++j)
     ws.owner_set(ws.heads[j], static_cast<index_t>(j));
-  ws.fit(ws.headscan, k, Op::identity());
+  ws.fit_uninit(ws.order, k);
+  ws.order.clear();
   {
-    value_t acc = Op::identity();
     std::size_t j = 0;  // the first sublist starts at the list head
     for (std::size_t seen = 0; seen < k; ++seen) {
-      ws.headscan[j] = acc;
-      acc = op(acc, ws.sums[j]);
+      ws.order.push_back(static_cast<index_t>(j));
       const index_t t = ws.tails[j];
       const index_t nt = packed ? hot_link(ws.packed[t]) : list.next[t];
       if (nt == t) break;  // the global tail ends the chain
@@ -361,12 +485,51 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
       j = owner;
     }
   }
+  // Sublists a malformed snapshot left out of the chain keep identity.
+  ws.fit(ws.headscan, k, Op::identity());
+  const std::size_t ordered = ws.order.size();
+  if (threads > 1 && ordered >= kPhase2MinParallelSublists) {
+    info.phase2_parallel = true;
+    const std::size_t blocks = threads;
+    ws.fit(ws.block_sums, blocks, Op::identity());
+    claim_blocks(threads, blocks, [&](std::size_t b) {
+      const auto [begin, end] = block_range(ordered, blocks, b);
+      value_t acc = Op::identity();
+      for (std::size_t i = begin; i < end; ++i)
+        acc = op(acc, ws.sums[ws.order[i]]);
+      ws.block_sums[b] = acc;
+    });
+    value_t acc = Op::identity();  // block sums -> exclusive block offsets
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const value_t sum = ws.block_sums[b];
+      ws.block_sums[b] = acc;
+      acc = op(acc, sum);
+    }
+    claim_blocks(threads, blocks, [&](std::size_t b) {
+      const auto [begin, end] = block_range(ordered, blocks, b);
+      value_t acc = ws.block_sums[b];
+      for (std::size_t i = begin; i < end; ++i) {
+        const index_t j = ws.order[i];
+        ws.headscan[j] = acc;
+        acc = op(acc, ws.sums[j]);
+      }
+    });
+  } else {
+    value_t acc = Op::identity();
+    for (std::size_t i = 0; i < ordered; ++i) {
+      const index_t j = ws.order[i];
+      ws.headscan[j] = acc;
+      acc = op(acc, ws.sums[j]);
+    }
+  }
+  info.phase2_ns = since_ns(t_phase2);
 
   // Phase 3: expand each sublist from its head's scan value.
+  const auto t_phase3 = Clock::now();
   if (packed) {
     value_t* o = out.data();
     interleave_sublists(
-        ws.packed.data(), ws.heads.data(), k, plan.threads, W,
+        ws.packed.data(), ws.heads.data(), k, threads, W,
         [&](std::size_t j) { return ws.headscan[j]; },
         [&](index_t v, packed_t w, value_t& acc) {
           o[v] = acc;
@@ -374,10 +537,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
         },
         [](index_t, index_t, value_t) {});
   } else {
-#if defined(LISTRANK90_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 8) num_threads(plan.threads)
-#endif
-    for (std::size_t j = 0; j < k; ++j) {
+    legacy_sublists([&](std::size_t j) {
       index_t v = ws.heads[j];
       value_t acc = ws.headscan[j];
       while (true) {
@@ -386,10 +546,12 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
         if (ws.is_tail[v]) break;
         v = list.next[v];
       }
-    }
+    });
   }
+  info.phase3_ns = since_ns(t_phase3);
 
   info.interleave = packed ? W : 1;
+  info.threads = threads;
   info.packed = packed;
   info.packed_cached = cache_hit;
   info.sublists = k;

@@ -23,7 +23,8 @@
 namespace lr90 {
 
 struct HostOptions {
-  /// Worker threads; 0 = OpenMP default (or 1 without OpenMP).
+  /// Worker threads; 0 = the OpenMP default, or the hardware thread
+  /// count on OpenMP-less builds (host_exec fans out over std::thread).
   unsigned threads = 0;
   /// Sublists per thread; the total sublist count is threads * per_thread
   /// (capped at n/2). More sublists = better balance, more overhead.

@@ -82,6 +82,26 @@ inline constexpr bool hot_value_fits(value_t v) {
                   static_cast<std::uint32_t>(v)));
 }
 
+/// Packs hot words for the index range [begin, end): the per-thread unit
+/// of the parallel slab build (core/host_exec.hpp build_packed). `value`
+/// == nullptr packs the constant 1 into every value lane (ranking).
+/// Returns false -- packed contents of the range unspecified -- if any
+/// value misses the signed 32-bit lane; always true when ranking. The
+/// pass is branch-light and sequential over the range, so per-thread
+/// ranges stream independently at full bandwidth.
+inline bool hot_pack_range(const index_t* next, const value_t* value,
+                           const std::uint8_t* is_tail, packed_t* out,
+                           std::size_t begin, std::size_t end) {
+  bool ok = true;
+  for (std::size_t i = begin; i < end; ++i) {
+    const value_t v = value == nullptr ? value_t{1} : value[i];
+    ok = ok && hot_value_fits(v);
+    out[i] = hot_pack(is_tail[i] != 0, next[i],
+                      static_cast<std::uint32_t>(static_cast<std::uint64_t>(v)));
+  }
+  return ok;
+}
+
 /// True iff every value of `list` fits the 32-bit value lane and n itself
 /// cannot overflow a 32-bit partial rank (the paper's n <= 2^(w/2) bound).
 bool can_encode(const LinkedList& list);

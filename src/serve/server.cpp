@@ -120,6 +120,15 @@ void EngineServer::worker_loop() {
     try {
       lease->run_batch_each(
           std::span<const Request>(reqs), [&](std::size_t u, RunResult&& r) {
+            // Track the intra-request thread peak before the result moves
+            // out: workers x this is the machine parallelism actually used.
+            std::uint64_t peak =
+                intra_threads_peak_.load(std::memory_order_relaxed);
+            while (r.stats.host_threads > peak &&
+                   !intra_threads_peak_.compare_exchange_weak(
+                       peak, r.stats.host_threads,
+                       std::memory_order_relaxed)) {
+            }
             // Fan the result out to every job this run answers: copies for
             // the duplicates, the original for the last one.
             std::size_t last = jobs.size();
@@ -186,6 +195,7 @@ void EngineServer::reset_stats() {
   coalesced_.store(0, std::memory_order_relaxed);
   collapsed_.store(0, std::memory_order_relaxed);
   peak_batch_.store(0, std::memory_order_relaxed);
+  intra_threads_peak_.store(0, std::memory_order_relaxed);
   pool_.reset_stats();
 }
 
@@ -198,6 +208,8 @@ ServerStats EngineServer::stats() const {
   s.coalesced = coalesced_.load(std::memory_order_relaxed);
   s.collapsed = collapsed_.load(std::memory_order_relaxed);
   s.peak_batch = peak_batch_.load(std::memory_order_relaxed);
+  s.intra_threads_peak =
+      intra_threads_peak_.load(std::memory_order_relaxed);
   s.pool = pool_.stats();
   return s;
 }

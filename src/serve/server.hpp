@@ -86,6 +86,11 @@ struct ServerStats {
   std::uint64_t coalesced = 0;   ///< jobs that shared a batch (size > 1)
   std::uint64_t collapsed = 0;   ///< jobs served by another job's run
   std::uint64_t peak_batch = 0;  ///< largest batch observed
+  /// Largest per-request host worker-thread count observed in any result
+  /// (RunStats::host_threads): together with `workers()` this is the
+  /// intra-request x inter-request parallelism the server actually ran
+  /// (bench/serve_throughput reports the product).
+  std::uint64_t intra_threads_peak = 0;
   PoolStats pool;                ///< aggregated workspace counters
 };
 
@@ -160,6 +165,7 @@ class EngineServer {
   std::atomic<std::uint64_t> coalesced_{0};   ///< jobs in shared batches
   std::atomic<std::uint64_t> collapsed_{0};   ///< duplicate jobs collapsed
   std::atomic<std::uint64_t> peak_batch_{0};  ///< largest batch seen
+  std::atomic<std::uint64_t> intra_threads_peak_{0};  ///< max host_threads
 
   std::mutex shutdown_mu_;        ///< serializes shutdown paths
   bool joined_ = false;           ///< workers already joined

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace lr90 {
 
@@ -119,6 +120,29 @@ std::string bench_json_path(const char* default_name) {
   const char* env = std::getenv("LR90_BENCH_JSON_PATH");
   return env != nullptr && env[0] != '\0' ? std::string(env)
                                           : std::string(default_name);
+}
+
+void stamp_provenance(BenchJson& json) {
+  const char* sha = std::getenv("LR90_GIT_SHA");
+  if (sha == nullptr || sha[0] == '\0') sha = std::getenv("GITHUB_SHA");
+#if defined(LR90_GIT_SHA_CONFIGURED)
+  if (sha == nullptr || sha[0] == '\0') sha = LR90_GIT_SHA_CONFIGURED;
+#endif
+  json.meta("git_sha", sha != nullptr && sha[0] != '\0' ? sha : "unknown");
+#if defined(__clang__)
+  json.meta("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  json.meta("compiler", std::string("gcc ") + __VERSION__);
+#else
+  json.meta("compiler", "unknown");
+#endif
+#if defined(LISTRANK90_HAVE_OPENMP)
+  json.meta("openmp", "on");
+#else
+  json.meta("openmp", "off");
+#endif
+  json.meta("hw_threads",
+            static_cast<double>(std::thread::hardware_concurrency()));
 }
 
 }  // namespace lr90

@@ -4,7 +4,9 @@
 
 #include <limits>
 
+#include "analysis/tuner.hpp"
 #include "core/api.hpp"
+#include "core/host_exec.hpp"
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
 #include "test_util.hpp"
@@ -600,6 +602,54 @@ TEST(Engine, SimShimMatchesEngine) {
   EXPECT_EQ(shim.scan, direct.scan);
   EXPECT_DOUBLE_EQ(shim.cycles, direct.stats.sim_cycles);
   EXPECT_EQ(shim.method_used, direct.method_used);
+}
+
+TEST(Planner, AutoThreadsComeFromTheJointGrid) {
+  // threads = 0: the planner resolves the worker count from the joint
+  // (threads x W) grid, capped at the machine. The pick must agree with
+  // the model evaluated at the same cap, whatever this machine is.
+  EngineOptions eo;
+  eo.backend = BackendKind::kHost;
+  eo.threads = 0;
+  const Planner planner(eo);
+  const unsigned eff = host_exec::effective_threads(0);
+  const auto d = planner.decide(1u << 22, Method::kAuto, /*rank=*/true);
+  ASSERT_EQ(d.method, Method::kReidMiller);
+  const HostTuneResult ht = host_tune(1u << 22, 1.0, eff);
+  EXPECT_EQ(d.threads, std::max(1u, std::min(ht.threads, eff)));
+  EXPECT_EQ(d.interleave, ht.interleave);
+
+  // On an (emulated) 8-thread machine the joint grid wants real thread
+  // parallelism for a DRAM-resident list, and W re-tuned at that count.
+  EngineOptions big = eo;
+  big.threads = 8;
+  const Planner p8(big);
+  const auto d8 = p8.decide(1u << 22, Method::kAuto, /*rank=*/true);
+  ASSERT_EQ(d8.method, Method::kReidMiller);
+  EXPECT_EQ(d8.threads, 8u);
+  EXPECT_EQ(d8.interleave, host_tune(1u << 22, 1.0, 8, 8).interleave);
+}
+
+TEST(Engine, ReportsThreadsAndPerPhaseTimings) {
+  Rng rng(26);
+  const LinkedList l = random_list(1u << 16, rng);
+  Engine engine(backend_options(BackendKind::kHost));  // threads = 2
+  const RunResult r = engine.rank(l);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.method_used, Method::kReidMiller);
+  EXPECT_EQ(r.stats.host_threads, 2u);
+  EXPECT_GT(r.stats.host_build_ns, 0.0);
+  EXPECT_GT(r.stats.host_phase1_ns, 0.0);
+  EXPECT_GT(r.stats.host_phase3_ns, 0.0);
+  EXPECT_GT(r.stats.host_parallel_frac, 0.0);
+  EXPECT_LE(r.stats.host_parallel_frac, 1.0);
+
+  // The serial walk has no phases to time and one worker by definition.
+  const RunResult s = engine.rank(l, Method::kSerial);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.stats.host_threads, 1u);
+  EXPECT_EQ(s.stats.host_phase1_ns, 0.0);
+  EXPECT_EQ(s.stats.host_parallel_frac, 0.0);
 }
 
 }  // namespace

@@ -250,6 +250,85 @@ INSTANTIATE_TEST_SUITE_P(Widths, HostInterleaveHarness,
                          ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
 
 // ---------------------------------------------------------------------
+// Thread scaling: every forced (T, W) execution shape, every generator
+// shape and size class, every operator -- bit-exact against the serial
+// oracle. The direct host_exec half pins the exact worker count (the
+// Engine's planner sheds threads for small n), so the parallel slab
+// build, the shared claim counter, and the blocked phase-2 scan all run
+// with genuinely T workers; the Engine half checks the same shape
+// end-to-end through the planner and stats plumbing.
+// ---------------------------------------------------------------------
+
+using ThreadsWidth = std::tuple<unsigned, unsigned>;
+
+class HostThreadsHarness : public ::testing::TestWithParam<ThreadsWidth> {};
+
+TEST_P(HostThreadsHarness, AllThreadCountsMatchSerialOracle) {
+  const auto [threads, width] = GetParam();
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.threads = threads;
+  opt.interleave = width;
+  Engine engine(std::move(opt));
+  // Enough sublists that T workers all get work and the blocked phase-2
+  // scan (k >= 64) is exercised whenever n allows it.
+  const std::size_t sublists = 16 * static_cast<std::size_t>(threads) + 64;
+  for (const ScanOp op : kAllScanOps) {
+    for (const Shape shape : kAllShapes) {
+      for (const std::size_t n : kHarnessSizes) {
+        const std::uint64_t seed = case_seed(shape, n, op) ^ 0x7ead5;
+        Rng rng(seed);
+        LinkedList l = make_shape(shape, n, ValueInit::kSigned, rng);
+        for (value_t& v : l.value) v = harness_value(op, v);
+
+        std::ostringstream repro;
+        repro << "repro: seed=" << seed << " shape=" << static_cast<int>(shape)
+              << " n=" << n << " op=" << scan_op_name(op) << " T=" << threads
+              << " W=" << width;
+        SCOPED_TRACE(repro.str());
+        const std::vector<value_t> want = oracle_scan(l, op);
+
+        // Direct kernel, exact worker count (packed when the operator's
+        // values fit the 32-bit lane, the legacy kernels otherwise).
+        {
+          host_exec::HostPlan plan;
+          plan.threads = threads;
+          plan.sublists = sublists;
+          plan.interleave = width;
+          Workspace ws;
+          ws.rng = Rng(seed);
+          std::vector<value_t> got(n, 0);
+          with_scan_op(op, [&](auto o) {
+            host_exec::scan_into(l, o, plan, ws, std::span<value_t>(got));
+          });
+          testutil::expect_scan_eq(got, want);
+
+          std::vector<value_t> ranked(n, 0);
+          ws.rng = Rng(seed);
+          ws.invalidate_packed();
+          host_exec::rank_into(l, plan, ws, std::span<value_t>(ranked));
+          testutil::expect_scan_eq(ranked, reference_rank(l));
+        }
+
+        // The Engine path under the same pinned options.
+        const RunResult r = engine.run(OpRequest{&l, op});
+        ASSERT_TRUE(r.ok()) << r.status.message;
+        testutil::expect_scan_eq(r.scan, want);
+        if (r.method_used == Method::kReidMiller) {
+          EXPECT_GE(r.stats.host_threads, 1u);
+          EXPECT_LE(r.stats.host_threads, threads);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsTimesWidths, HostThreadsHarness,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1u, 4u, 16u)));
+
+// ---------------------------------------------------------------------
 // Operator algebra: the packed operators are associative with an exact
 // identity on arbitrary packed inputs (the property every parallel
 // regrouping implicitly relies on).

@@ -382,6 +382,29 @@ TEST(EngineServer, ResetStatsZeroesPoolCountersWithoutReallocating) {
   EXPECT_GT(after.pool.reuse_hits, 0u);
 }
 
+TEST(EngineServer, ReportsIntraRequestThreadPeak) {
+  // The intra-request axis: every result's RunStats::host_threads feeds
+  // the server's peak, so serve_throughput can report
+  // workers x intra-threads as the parallelism actually used.
+  Rng rng(43);
+  const LinkedList list = random_list(20000, rng);
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.engine.threads = 2;  // pinned intra-request parallelism
+  opt.workers = 1;
+  EngineServer server(opt);
+
+  for (std::size_t i = 0; i < 4; ++i)
+    ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
+  EXPECT_EQ(server.stats().intra_threads_peak, 2u);
+
+  server.reset_stats();
+  EXPECT_EQ(server.stats().intra_threads_peak, 0u);
+  ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
+  server.shutdown();
+  EXPECT_EQ(server.stats().intra_threads_peak, 2u);
+}
+
 TEST(EngineServer, CollapsingKeysOnOperatorIdentity) {
   // A hot key served under two different operators must collapse within
   // each operator but never across them: seg-sum answers are not plus

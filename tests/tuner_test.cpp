@@ -152,5 +152,68 @@ TEST(TunedParams, CachedAndDeterministic) {
   EXPECT_GE(r.m, 1.0);
 }
 
+// -- joint (threads x W) host tuning ---------------------------------------
+
+TEST(HostTune, JointGridPicksThreadsForLargeLists) {
+  // A DRAM-resident list with plenty of hardware: the model must want
+  // real thread parallelism AND keep the packed path ahead of the serial
+  // walk (the Fig. 11 regime).
+  const HostTuneResult big = host_tune(1 << 22, 1.0, /*max_threads=*/8);
+  EXPECT_GT(big.threads, 1u);
+  EXPECT_GE(big.interleave, 4u);
+  EXPECT_LT(big.packed_ns, big.serial_ns);
+
+  // Tiny lists: fork/join dominates, one worker is the right answer.
+  const HostTuneResult tiny = host_tune(512, 1.0, /*max_threads=*/8);
+  EXPECT_EQ(tiny.threads, 1u);
+}
+
+TEST(HostTune, ThreadsNeverExceedTheCapAndPinsAreHonoured) {
+  for (const unsigned cap : {1u, 2u, 3u, 6u, 16u}) {
+    const HostTuneResult r = host_tune(1 << 22, 1.0, cap);
+    EXPECT_GE(r.threads, 1u);
+    EXPECT_LE(r.threads, cap) << "cap " << cap;
+  }
+  const HostTuneResult pinned_t = host_tune(1 << 22, 1.0, 8, /*pin T=*/3);
+  EXPECT_EQ(pinned_t.threads, 3u);
+  const HostTuneResult pinned_w =
+      host_tune(1 << 22, 1.0, 8, /*pin T=*/0, /*pin W=*/2);
+  EXPECT_EQ(pinned_w.interleave, 2u);
+  const HostTuneResult pinned_both = host_tune(1 << 20, 1.0, 8, 5, 7);
+  EXPECT_EQ(pinned_both.threads, 5u);
+  EXPECT_EQ(pinned_both.interleave, 7u);
+  // A pinned point evaluates to exactly host_tune_at's model totals.
+  const HostTuneResult at = host_tune_at(1 << 20, 5, 7, 1.0);
+  EXPECT_EQ(pinned_both.packed_ns, at.packed_ns);
+  EXPECT_EQ(pinned_both.serial_ns, at.serial_ns);
+}
+
+TEST(HostTune, MoreThreadsNeverModelSlowerUnderTheJointGrid) {
+  // The grid's best at a larger cap can only improve (it contains the
+  // smaller grid), and the fork/join term makes strictly more threads at
+  // a FIXED W more expensive for small n.
+  double prev = host_tune(1 << 22, 1.0, 1).packed_ns;
+  for (const unsigned cap : {2u, 4u, 8u, 16u}) {
+    const double cur = host_tune(1 << 22, 1.0, cap).packed_ns;
+    EXPECT_LE(cur, prev) << "cap " << cap;
+    prev = cur;
+  }
+  EXPECT_GT(host_tune_at(4096, 8, 8, 1.0).packed_ns,
+            host_tune_at(4096, 1, 8, 1.0).packed_ns);
+}
+
+TEST(HostTune, MtModelReducesToSingleThreadModel) {
+  // At T=1 the multithread per-element model must agree with the original
+  // single-worker model (same phases, same build, no floor active).
+  const HostCostConstants k;
+  for (const double n : {1 << 14, 1 << 18, 1 << 22}) {
+    for (const unsigned w : {1u, 8u, 32u}) {
+      EXPECT_NEAR(host_packed_ns_per_elem_mt(n, 1, w, k),
+                  host_packed_ns_per_elem(n, w, k), 1e-12)
+          << "n=" << n << " W=" << w;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lr90
