@@ -1,0 +1,57 @@
+// Per-connection state of the event-loop TCP server: one Connection per
+// accepted socket, owned and touched exclusively by the loop thread.
+//
+// A connection moves through read -> parse -> dispatch -> write phases
+// driven entirely by readiness events (the Gigablast TcpServer request-
+// state idiom: many sockets, one nonblocking loop, no thread per
+// connection). Incoming bytes accumulate in `in` until parse_frame
+// carves complete frames off the front; dispatched engine work completes
+// on EngineServer worker threads and is married back to the connection
+// via the loop's completion queue; encoded responses accumulate in `out`
+// and drain whenever the socket is writable.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lr90::net {
+
+/// One accepted socket's state machine, confined to the loop thread.
+struct Connection {
+  int fd = -1;            ///< the nonblocking socket
+  std::uint64_t id = 0;   ///< loop-unique serial (fds are reused; ids not)
+
+  std::vector<std::uint8_t> in;   ///< unparsed incoming bytes
+  std::vector<std::uint8_t> out;  ///< encoded, not-yet-written responses
+  std::size_t out_off = 0;        ///< bytes of `out` already written
+
+  std::size_t in_flight = 0;  ///< dispatched requests not yet answered
+  /// Stop reading and close once `out` drains and in_flight hits zero
+  /// (protocol error, plaintext one-shot, or server drain).
+  bool closing = false;
+  /// The peer spoke plaintext ("STATS\n"/"HEALTH\n"), not frames; the
+  /// response is raw text and the connection closes after it.
+  bool plaintext = false;
+
+  std::chrono::steady_clock::time_point last_activity;  ///< idle clock
+
+  /// Bytes still queued for writing.
+  std::size_t pending_out() const { return out.size() - out_off; }
+  /// True when the loop should POLLOUT this socket.
+  bool wants_write() const { return pending_out() > 0; }
+  /// True when every response this connection is owed has been written.
+  bool drained() const { return in_flight == 0 && pending_out() == 0; }
+
+  /// Drops the already-written prefix of `out` (called once the buffer
+  /// fully drains, so steady state never memmoves).
+  void compact_out() {
+    if (out_off == out.size()) {
+      out.clear();
+      out_off = 0;
+    }
+  }
+};
+
+}  // namespace lr90::net

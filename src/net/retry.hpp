@@ -1,0 +1,90 @@
+// The RETRY_AFTER hint: how long a rejected client should wait before
+// retrying, derived from what the server actually observes -- the current
+// queue backlog and the recent drain rate -- instead of a fixed constant.
+//
+// The event loop feeds the policy one sample per iteration (monotonic
+// time + the EngineServer's completed-jobs counter); completions per
+// second are smoothed with a time-constant EWMA so one fast or slow batch
+// does not whipsaw the hint. A rejected request is then told to come back
+// after roughly the time the present backlog needs to drain:
+//
+//     hint_ms = (depth + 1) / drain_rate, clamped to [min_ms, max_ms]
+//
+// Before any drain rate has been observed (cold server under instant
+// overload) the hint falls back to a per-queued-job constant. The policy
+// is a plain value type with injected time, so tests drive it
+// deterministically (tests/net_server_test.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace lr90::net {
+
+/// Computes back-pressure retry hints from queue depth and drain rate.
+class RetryPolicy {
+ public:
+  /// Hints are clamped to [min_ms, max_ms].
+  explicit RetryPolicy(std::uint32_t min_ms = 1, std::uint32_t max_ms = 2000)
+      : min_ms_(min_ms), max_ms_(std::max(max_ms, min_ms)) {}
+
+  /// Feeds one sample: `now_s` monotonic seconds, `completed` the
+  /// monotonic completed-jobs counter. Call regularly (every event-loop
+  /// iteration); out-of-order or repeated timestamps are ignored.
+  void observe(double now_s, std::uint64_t completed) {
+    if (last_t_ < 0.0) {  // first sample: baseline only
+      last_t_ = now_s;
+      last_completed_ = completed;
+      return;
+    }
+    // A non-advancing timestamp is ignored outright -- including its
+    // baseline. Folding it in would let a later honest sample compute a
+    // rate against a rolled-back origin.
+    if (now_s <= last_t_) return;
+    if (completed < last_completed_) {
+      // The completed counter went backwards (a stats reset):
+      // re-baseline without deriving a rate.
+      last_t_ = now_s;
+      last_completed_ = completed;
+      return;
+    }
+    const double dt = now_s - last_t_;
+    const double inst = static_cast<double>(completed - last_completed_) / dt;
+    // EWMA with time constant kTauS: irregular sample spacing weighted
+    // by how much time each sample actually covers.
+    const double alpha = 1.0 - std::exp(-dt / kTauS);
+    rate_ += (inst - rate_) * alpha;
+    last_t_ = now_s;
+    last_completed_ = completed;
+  }
+
+  /// The smoothed drain rate in completions per second (0 until two
+  /// samples with progress have been observed).
+  double drain_rate() const { return rate_; }
+
+  /// The wait hint for a client rejected while `depth` jobs are queued.
+  std::uint32_t hint_ms(std::size_t depth) const {
+    const double jobs = static_cast<double>(depth) + 1.0;
+    double ms = 0.0;
+    if (rate_ > 1e-9) {
+      ms = jobs / rate_ * 1000.0;
+    } else {
+      ms = jobs * kColdMsPerJob;  // no drain observed yet
+    }
+    ms = std::min(ms, static_cast<double>(max_ms_));
+    return std::max(min_ms_, static_cast<std::uint32_t>(ms));
+  }
+
+ private:
+  static constexpr double kTauS = 0.5;       ///< EWMA time constant
+  static constexpr double kColdMsPerJob = 10.0;  ///< pre-observation guess
+  std::uint32_t min_ms_;                     ///< hint floor
+  std::uint32_t max_ms_;                     ///< hint ceiling
+  double rate_ = 0.0;                        ///< EWMA completions/sec
+  double last_t_ = -1.0;                     ///< previous sample time
+  std::uint64_t last_completed_ = 0;         ///< previous counter value
+};
+
+}  // namespace lr90::net

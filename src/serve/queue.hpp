@@ -51,6 +51,7 @@ class BoundedQueue {
                    [&] { return closed_ || items_.size() < capacity_; });
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (items_.size() > size_hwm_) size_hwm_ = items_.size();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -62,6 +63,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > size_hwm_) size_hwm_ = items_.size();
     }
     not_empty_.notify_one();
     return true;
@@ -132,6 +134,21 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// High-water mark of size() since construction (or the last
+  /// reset_size_hwm()). Updated under the queue lock at push time, so a
+  /// successful push is always reflected -- the depth signal behind the
+  /// serving layer's queue_depth_hwm stat and the wire RETRY_AFTER hint.
+  std::size_t size_hwm() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_hwm_;
+  }
+
+  /// Restarts the high-water tracking (ServerStats::reset_stats coverage).
+  void reset_size_hwm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_hwm_ = items_.size();
+  }
+
   /// The fixed capacity bound.
   std::size_t capacity() const { return capacity_; }
 
@@ -141,6 +158,7 @@ class BoundedQueue {
   std::condition_variable not_empty_;   ///< consumers wait here
   std::condition_variable not_full_;    ///< producers wait here
   std::deque<T> items_;                 ///< FIFO payload
+  std::size_t size_hwm_ = 0;            ///< deepest items_ seen at a push
   bool closed_ = false;                 ///< set once by close()
 };
 

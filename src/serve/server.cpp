@@ -58,17 +58,33 @@ std::future<RunResult> EngineServer::submit(const ScanRequest& req) {
 std::future<RunResult> EngineServer::submit(Request req) {
   Job job;
   job.req = req;
-  std::future<RunResult> future = job.result.get_future();
+  return submit_job(std::move(job), /*has_future=*/true);
+}
+
+void EngineServer::submit(Request req,
+                          std::function<void(RunResult&&)> done) {
+  Job job;
+  job.req = req;
+  job.done = std::move(done);
+  submit_job(std::move(job), /*has_future=*/false);
+}
+
+std::future<RunResult> EngineServer::submit_job(Job job, bool has_future) {
+  std::future<RunResult> future;
+  if (has_future) future = job.result.get_future();
+  const bool rank = job.req.rank;
   const bool accepted =
       opt_.reject_when_full ? queue_.try_push(job) : queue_.push(job);
   if (!accepted) {
-    // The job was never enqueued, so the promise is still ours to answer.
+    // The job was never enqueued, so the answer is still ours to give.
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    job.result.set_value(rejected_result(
+    job.fulfill(rejected_result(
         opt_, queue_.closed() ? "server is shut down" : "request queue full"));
     return future;
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
+  (rank ? rank_requests_ : scan_requests_)
+      .fetch_add(1, std::memory_order_relaxed);
   return future;
 }
 
@@ -139,18 +155,24 @@ void EngineServer::worker_loop() {
               if (run_of[i] != u) continue;
               answered[i] = true;
               if (i == last) {
-                jobs[i].result.set_value(std::move(r));
+                jobs[i].fulfill(std::move(r));
               } else {
-                jobs[i].result.set_value(r);
+                jobs[i].fulfill_copy(r);
               }
             }
           });
     } catch (...) {
       // run() only throws on resource exhaustion (e.g. bad_alloc); every
-      // job whose run never fulfilled it is still unanswered.
+      // job whose run never fulfilled it is still unanswered. Future jobs
+      // propagate the exception; callback jobs (which have no promise to
+      // carry it) get a typed kUnavailable result instead.
       for (std::size_t i = 0; i < jobs.size(); ++i) {
-        if (!answered[i])
+        if (answered[i]) continue;
+        if (jobs[i].done) {
+          jobs[i].fulfill(rejected_result(opt_, "engine run threw"));
+        } else {
           jobs[i].result.set_exception(std::current_exception());
+        }
       }
     }
 
@@ -174,7 +196,7 @@ void EngineServer::join_workers(bool drain) {
   if (!drain) {
     for (Job& job : queue_.drain_now()) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      job.result.set_value(rejected_result(opt_, "server is shutting down"));
+      job.fulfill(rejected_result(opt_, "server is shutting down"));
     }
   }
   std::lock_guard<std::mutex> lock(shutdown_mu_);
@@ -196,6 +218,9 @@ void EngineServer::reset_stats() {
   collapsed_.store(0, std::memory_order_relaxed);
   peak_batch_.store(0, std::memory_order_relaxed);
   intra_threads_peak_.store(0, std::memory_order_relaxed);
+  rank_requests_.store(0, std::memory_order_relaxed);
+  scan_requests_.store(0, std::memory_order_relaxed);
+  queue_.reset_size_hwm();
   pool_.reset_stats();
 }
 
@@ -210,6 +235,9 @@ ServerStats EngineServer::stats() const {
   s.peak_batch = peak_batch_.load(std::memory_order_relaxed);
   s.intra_threads_peak =
       intra_threads_peak_.load(std::memory_order_relaxed);
+  s.queue_depth_hwm = queue_.size_hwm();
+  s.rank_requests = rank_requests_.load(std::memory_order_relaxed);
+  s.scan_requests = scan_requests_.load(std::memory_order_relaxed);
   s.pool = pool_.stats();
   return s;
 }

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <thread>
 #include <vector>
@@ -86,6 +87,12 @@ struct ServerStats {
   std::uint64_t coalesced = 0;   ///< jobs that shared a batch (size > 1)
   std::uint64_t collapsed = 0;   ///< jobs served by another job's run
   std::uint64_t peak_batch = 0;  ///< largest batch observed
+  /// Deepest request-queue backlog seen at any submit (BoundedQueue
+  /// size_hwm): the congestion high-water behind capacity planning and
+  /// the net layer's RETRY_AFTER hint.
+  std::uint64_t queue_depth_hwm = 0;
+  std::uint64_t rank_requests = 0;  ///< accepted jobs that were ranks
+  std::uint64_t scan_requests = 0;  ///< accepted jobs that were scans
   /// Largest per-request host worker-thread count observed in any result
   /// (RunStats::host_threads): together with `workers()` this is the
   /// intra-request x inter-request parallelism the server actually ran
@@ -116,6 +123,13 @@ class EngineServer {
   std::future<RunResult> submit(const ScanRequest& req);
   /// Submits a unified request (same contract as the rank overload).
   std::future<RunResult> submit(Request req);
+  /// Callback flavour of submit() for callers that must never block on a
+  /// future -- the network event loop. `done` is invoked exactly once
+  /// with the result: from a worker thread on completion, or inline from
+  /// this call on rejection (full queue / shutdown, a kUnavailable
+  /// result). The callback must be cheap and non-blocking (it runs on a
+  /// worker's batch path); hand heavy work to another thread.
+  void submit(Request req, std::function<void(RunResult&&)> done);
 
   /// Stops accepting work, drains every queued job, joins the workers.
   /// Idempotent; concurrent callers all block until the drain finishes.
@@ -143,13 +157,33 @@ class EngineServer {
   const ServerOptions& options() const { return opt_; }
 
  private:
-  /// One queued unit of work: the request plus the promise feeding the
-  /// future handed to the client.
+  /// One queued unit of work: the request plus how to answer it -- a
+  /// promise feeding the client's future, or (callback submissions) a
+  /// completion function invoked in its place.
   struct Job {
     Request req;                     ///< what to run
-    std::promise<RunResult> result;  ///< how to answer
+    std::promise<RunResult> result;  ///< how to answer (future flavour)
+    std::function<void(RunResult&&)> done;  ///< how to answer (callback)
+
+    /// Answers with `r` (consumed). Exactly one fulfil per job.
+    void fulfill(RunResult&& r) {
+      if (done) {
+        done(std::move(r));
+      } else {
+        result.set_value(std::move(r));
+      }
+    }
+    /// Answers with a copy of `r` (collapsed-duplicate fan-out).
+    void fulfill_copy(const RunResult& r) {
+      if (done) {
+        done(RunResult(r));
+      } else {
+        result.set_value(r);
+      }
+    }
   };
 
+  std::future<RunResult> submit_job(Job job, bool has_future);
   void worker_loop();
   void join_workers(bool drain);
 
@@ -166,6 +200,8 @@ class EngineServer {
   std::atomic<std::uint64_t> collapsed_{0};   ///< duplicate jobs collapsed
   std::atomic<std::uint64_t> peak_batch_{0};  ///< largest batch seen
   std::atomic<std::uint64_t> intra_threads_peak_{0};  ///< max host_threads
+  std::atomic<std::uint64_t> rank_requests_{0};  ///< accepted rank jobs
+  std::atomic<std::uint64_t> scan_requests_{0};  ///< accepted scan jobs
 
   std::mutex shutdown_mu_;        ///< serializes shutdown paths
   bool joined_ = false;           ///< workers already joined

@@ -1,0 +1,356 @@
+// Wire-codec contract (net/wire.hpp): seeded round-trip property tests
+// for every request kind and response body, plus the corruption harness --
+// truncated frames, oversized length prefixes, bad magic/version/kind,
+// and junk payloads must all come back as typed WireErrors without ever
+// reading past the buffer. CI runs this suite under ASan+UBSan (the
+// asan-ubsan job runs the full ctest registry), which is what turns
+// "no reads past the buffer" from a comment into a checked property.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "lists/generators.hpp"
+#include "net/retry.hpp"
+#include "support/rng.hpp"
+
+namespace lr90::net {
+namespace {
+
+/// Parses a buffer that must hold exactly one well-formed frame.
+FrameView must_parse(const std::vector<std::uint8_t>& buf) {
+  FrameView frame;
+  std::size_t frame_len = 0;
+  const WireError e = parse_frame(buf.data(), buf.size(), frame, frame_len);
+  EXPECT_EQ(e, WireError::kOk) << wire_error_name(e);
+  EXPECT_EQ(frame_len, buf.size());
+  return frame;
+}
+
+void expect_lists_equal(const LinkedList& a, const LinkedList& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.head, b.head);
+  EXPECT_EQ(a.next, b.next);
+  EXPECT_EQ(a.value, b.value);
+}
+
+constexpr std::size_t kSizes[] = {0, 1, 2, 13, 997, 4096};
+
+TEST(WireCodec, RankRequestRoundTripsAllSizes) {
+  Rng rng(1234);
+  for (const std::size_t n : kSizes) {
+    const LinkedList list = random_list(n, rng);
+    std::vector<std::uint8_t> buf;
+    encode_rank_request(buf, /*request_id=*/7 + n, list,
+                        Method::kReidMiller);
+    const FrameView frame = must_parse(buf);
+    EXPECT_EQ(frame.kind, MsgKind::kRankRequest);
+    RequestFrame req;
+    ASSERT_EQ(decode_request(frame, req), WireError::kOk);
+    EXPECT_EQ(req.request_id, 7 + n);
+    EXPECT_EQ(req.method, Method::kReidMiller);
+    expect_lists_equal(req.list, list);
+  }
+}
+
+TEST(WireCodec, ScanRequestRoundTripsEveryOperator) {
+  Rng rng(99);
+  for (const ScanOp op : kAllScanOps) {
+    const LinkedList list = random_list(101, rng);
+    std::vector<std::uint8_t> buf;
+    encode_scan_request(buf, 42, list, op, Method::kAuto);
+    RequestFrame req;
+    ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+    EXPECT_EQ(req.kind, MsgKind::kScanRequest);
+    EXPECT_EQ(req.op, op);
+    EXPECT_EQ(req.method, Method::kAuto);
+    expect_lists_equal(req.list, list);
+  }
+}
+
+TEST(WireCodec, PlainRequestsRoundTrip) {
+  for (const MsgKind kind :
+       {MsgKind::kStatsRequest, MsgKind::kHealthRequest}) {
+    std::vector<std::uint8_t> buf;
+    encode_plain_request(buf, kind, 3);
+    RequestFrame req;
+    ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+    EXPECT_EQ(req.kind, kind);
+    EXPECT_EQ(req.request_id, 3u);
+  }
+}
+
+TEST(WireCodec, ResponsesRoundTripEveryBodyKind) {
+  // kValues with negative and extreme values (the codec must be exact
+  // over the full int64 range, not just ranks).
+  std::vector<value_t> values = {0, -1, 42, INT64_MIN, INT64_MAX};
+  std::vector<std::uint8_t> buf;
+  encode_values_response(buf, 9, WireStatus::kOk, values);
+  ResponseFrame resp;
+  ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+  EXPECT_EQ(resp.request_id, 9u);
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(resp.body, BodyKind::kValues);
+  EXPECT_EQ(resp.values, values);
+
+  buf.clear();
+  encode_text_response(buf, 10, WireStatus::kInvalidInput,
+                       "two heads\n");
+  ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+  EXPECT_EQ(resp.status, WireStatus::kInvalidInput);
+  EXPECT_EQ(resp.body, BodyKind::kText);
+  EXPECT_EQ(resp.text, "two heads\n");
+
+  buf.clear();
+  encode_retry_response(buf, 11, 250);
+  ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+  EXPECT_EQ(resp.status, WireStatus::kRetryAfter);
+  EXPECT_EQ(resp.body, BodyKind::kRetry);
+  EXPECT_EQ(resp.retry_after_ms, 250u);
+
+  buf.clear();
+  encode_status_response(buf, 12, WireStatus::kShuttingDown);
+  ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+  EXPECT_EQ(resp.status, WireStatus::kShuttingDown);
+  EXPECT_EQ(resp.body, BodyKind::kNone);
+}
+
+TEST(WireCodec, SeededRandomRoundTrips) {
+  // Property sweep: random lists, methods, and ops encode->parse->decode
+  // bit-exactly. The reproducing seed is in every failure message.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 1 + rng.next_u64() % 2000;
+    const LinkedList list = random_list(n, rng);
+    const auto method = static_cast<Method>(rng.next_u64() % 7);
+    const auto op = static_cast<ScanOp>(rng.next_u64() % 7);
+    const auto id = static_cast<std::uint32_t>(rng.next_u64());
+    std::vector<std::uint8_t> buf;
+    const bool rank = rng.next_u64() % 2 == 0;
+    if (rank) {
+      encode_rank_request(buf, id, list, method);
+    } else {
+      encode_scan_request(buf, id, list, op, method);
+    }
+    RequestFrame req;
+    ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk)
+        << "seed " << seed;
+    EXPECT_EQ(req.request_id, id) << "seed " << seed;
+    EXPECT_EQ(req.method, method) << "seed " << seed;
+    if (!rank) EXPECT_EQ(req.op, op) << "seed " << seed;
+    expect_lists_equal(req.list, list);
+  }
+}
+
+// -- the corruption harness -------------------------------------------------
+
+/// A valid medium-size scan frame the corruption cases start from.
+std::vector<std::uint8_t> valid_frame() {
+  Rng rng(7);
+  const LinkedList list = random_list(57, rng);
+  std::vector<std::uint8_t> buf;
+  encode_scan_request(buf, 77, list, ScanOp::kMax, Method::kAuto);
+  return buf;
+}
+
+TEST(WireCorruption, EveryTruncationIsNeedMore) {
+  // An honest prefix of a valid frame is never an error and never a
+  // parse: the stream just needs more bytes. Every cut point.
+  const std::vector<std::uint8_t> buf = valid_frame();
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    FrameView frame;
+    std::size_t frame_len = 0;
+    EXPECT_EQ(parse_frame(buf.data(), cut, frame, frame_len),
+              WireError::kNeedMore)
+        << "cut at " << cut;
+  }
+}
+
+TEST(WireCorruption, BadMagicBadVersionBadKind) {
+  FrameView frame;
+  std::size_t frame_len = 0;
+
+  std::vector<std::uint8_t> bad = valid_frame();
+  bad[0] = 'G';  // "GET ..." -- a lost HTTP client
+  EXPECT_EQ(parse_frame(bad.data(), bad.size(), frame, frame_len),
+            WireError::kBadMagic);
+  // Rejected on the very first byte: no need to buffer a header first.
+  EXPECT_EQ(parse_frame(bad.data(), 1, frame, frame_len),
+            WireError::kBadMagic);
+
+  bad = valid_frame();
+  bad[1] = 'X';
+  EXPECT_EQ(parse_frame(bad.data(), bad.size(), frame, frame_len),
+            WireError::kBadMagic);
+
+  bad = valid_frame();
+  bad[2] = kWireVersion + 1;  // a future protocol rev
+  EXPECT_EQ(parse_frame(bad.data(), bad.size(), frame, frame_len),
+            WireError::kBadVersion);
+
+  bad = valid_frame();
+  bad[3] = 0x7F;  // no such MsgKind
+  EXPECT_EQ(parse_frame(bad.data(), bad.size(), frame, frame_len),
+            WireError::kBadKind);
+}
+
+TEST(WireCorruption, OversizedLengthPrefixRejectedBeforeAllocation) {
+  std::vector<std::uint8_t> bad = valid_frame();
+  const std::uint32_t huge = kMaxPayload + 1;
+  std::memcpy(bad.data() + 8, &huge, sizeof(huge));
+  FrameView frame;
+  std::size_t frame_len = 0;
+  EXPECT_EQ(parse_frame(bad.data(), bad.size(), frame, frame_len),
+            WireError::kOversized);
+}
+
+TEST(WireCorruption, LengthElementCountMismatchIsBadLength) {
+  // The payload claims more elements than the frame carries: decode must
+  // refuse before sizing any allocation from the counter.
+  std::vector<std::uint8_t> bad = valid_frame();
+  // Payload layout: u8 method; u8 op; u32 n at payload offset 2.
+  const std::size_t n_off = kHeaderSize + 2;
+  std::uint32_t n = 0;
+  std::memcpy(&n, bad.data() + n_off, sizeof(n));
+  const std::uint32_t inflated = n + 1;
+  std::memcpy(bad.data() + n_off, &inflated, sizeof(inflated));
+  RequestFrame req;
+  EXPECT_EQ(decode_request(must_parse(bad), req), WireError::kBadLength);
+
+  // And fewer than the frame carries is just as malformed.
+  const std::uint32_t deflated = n - 1;
+  std::memcpy(bad.data() + n_off, &deflated, sizeof(deflated));
+  EXPECT_EQ(decode_request(must_parse(bad), req), WireError::kBadLength);
+}
+
+TEST(WireCorruption, OutOfRangeEnumBytesAreBadPayload) {
+  std::vector<std::uint8_t> bad = valid_frame();
+  bad[kHeaderSize] = 200;  // method byte
+  RequestFrame req;
+  EXPECT_EQ(decode_request(must_parse(bad), req), WireError::kBadPayload);
+
+  bad = valid_frame();
+  bad[kHeaderSize + 1] = 200;  // op byte
+  EXPECT_EQ(decode_request(must_parse(bad), req), WireError::kBadPayload);
+
+  // head >= n
+  bad = valid_frame();
+  const std::uint32_t head = 57;
+  std::memcpy(bad.data() + kHeaderSize + 6, &head, sizeof(head));
+  EXPECT_EQ(decode_request(must_parse(bad), req), WireError::kBadPayload);
+}
+
+TEST(WireCorruption, NonEmptyPayloadOnPlainRequestIsBadLength) {
+  std::vector<std::uint8_t> buf;
+  encode_plain_request(buf, MsgKind::kStatsRequest, 1);
+  // Declare one payload byte and append it.
+  buf[8] = 1;
+  buf.push_back(0xAB);
+  RequestFrame req;
+  EXPECT_EQ(decode_request(must_parse(buf), req), WireError::kBadLength);
+}
+
+TEST(WireCorruption, JunkPayloadNeverCrashesAndAlwaysTypes) {
+  // Seeded fuzz: random junk stamped with a valid header must decode to
+  // kOk or a typed error -- never a crash, never a read past the buffer
+  // (ASan enforces the latter when this suite runs in the sanitizer
+  // job). Valid decodes are possible (junk can spell a well-formed
+  // list); the property is typed-ness, not rejection.
+  Rng rng(31337);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t payload_len = rng.next_u64() % 300;
+    std::vector<std::uint8_t> buf;
+    buf.reserve(kHeaderSize + payload_len);
+    buf.push_back(kMagic0);
+    buf.push_back(kMagic1);
+    buf.push_back(kWireVersion);
+    buf.push_back(static_cast<std::uint8_t>(
+        round % 2 == 0 ? MsgKind::kRankRequest : MsgKind::kScanRequest));
+    for (int i = 0; i < 4; ++i)
+      buf.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+    const auto len32 = static_cast<std::uint32_t>(payload_len);
+    for (int i = 0; i < 4; ++i)
+      buf.push_back(static_cast<std::uint8_t>(len32 >> (8 * i)));
+    for (std::size_t i = 0; i < payload_len; ++i)
+      buf.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+
+    FrameView frame;
+    std::size_t frame_len = 0;
+    ASSERT_EQ(parse_frame(buf.data(), buf.size(), frame, frame_len),
+              WireError::kOk)
+        << "round " << round;
+    RequestFrame req;
+    const WireError e = decode_request(frame, req);
+    if (e == WireError::kOk) {
+      // Whatever decoded claims to be internally consistent.
+      EXPECT_TRUE(req.list.empty() || req.list.head < req.list.size())
+          << "round " << round;
+    } else {
+      EXPECT_TRUE(e == WireError::kBadLength || e == WireError::kBadPayload)
+          << "round " << round << ": " << wire_error_name(e);
+    }
+  }
+}
+
+TEST(WireCorruption, RandomByteFlipsStayTyped) {
+  // Flip one byte anywhere in a valid frame: parse+decode must return
+  // kOk or a typed error, with no OOB access. Seeded and exhaustive over
+  // positions for a small frame.
+  Rng rng(555);
+  const LinkedList list = random_list(23, rng);
+  std::vector<std::uint8_t> base;
+  encode_rank_request(base, 5, list, Method::kSerial);
+  for (std::size_t pos = 0; pos < base.size(); ++pos) {
+    std::vector<std::uint8_t> buf = base;
+    buf[pos] ^= static_cast<std::uint8_t>(1 + rng.next_u64() % 255);
+    FrameView frame;
+    std::size_t frame_len = 0;
+    const WireError pe = parse_frame(buf.data(), buf.size(), frame,
+                                     frame_len);
+    if (pe != WireError::kOk) continue;  // typed header rejection
+    RequestFrame req;
+    const WireError de = decode_request(frame, req);
+    if (de == WireError::kOk && !req.list.empty())
+      EXPECT_LT(req.list.head, req.list.size()) << "pos " << pos;
+  }
+}
+
+// -- the retry policy -------------------------------------------------------
+
+TEST(RetryPolicy, ColdHintScalesWithDepthAndClamps) {
+  RetryPolicy policy(/*min_ms=*/1, /*max_ms=*/500);
+  EXPECT_GE(policy.hint_ms(0), 1u);
+  EXPECT_GT(policy.hint_ms(20), policy.hint_ms(0));
+  EXPECT_EQ(policy.hint_ms(1'000'000), 500u);  // ceiling
+}
+
+TEST(RetryPolicy, HintTracksObservedDrainRate) {
+  RetryPolicy policy(1, 60'000);
+  // 100 completions per second, fed for long enough that the EWMA
+  // converges.
+  std::uint64_t completed = 0;
+  for (int i = 0; i <= 100; ++i) {
+    policy.observe(0.1 * i, completed);
+    completed += 10;
+  }
+  EXPECT_NEAR(policy.drain_rate(), 100.0, 5.0);
+  // A 50-deep queue at 100 jobs/s drains in ~0.5s.
+  const std::uint32_t hint = policy.hint_ms(50);
+  EXPECT_GE(hint, 400u);
+  EXPECT_LE(hint, 650u);
+}
+
+TEST(RetryPolicy, IgnoresNonMonotonicSamples) {
+  RetryPolicy policy;
+  policy.observe(1.0, 100);
+  policy.observe(0.5, 50);   // time went backwards: ignored
+  policy.observe(1.0, 100);  // zero dt: ignored
+  EXPECT_EQ(policy.drain_rate(), 0.0);
+  policy.observe(2.0, 300);  // 200 jobs in 1s
+  EXPECT_GT(policy.drain_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace lr90::net

@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -403,6 +405,87 @@ TEST(EngineServer, ReportsIntraRequestThreadPeak) {
   ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
   server.shutdown();
   EXPECT_EQ(server.stats().intra_threads_peak, 2u);
+}
+
+TEST(EngineServer, QueueDepthHighWaterAndPerKindCounters) {
+  // The counters the network front door surfaces on its stats endpoint:
+  // queue_depth_hwm is tracked under the queue lock at push time, so a
+  // single successful submit guarantees hwm >= 1 (deterministically --
+  // no race against the worker draining it first), and rank/scan submits
+  // are counted per kind. reset_stats() re-bases all of them.
+  Rng rng(51);
+  const LinkedList list = random_list(2000, rng);
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.workers = 1;
+  EngineServer server(opt);
+
+  ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
+  ASSERT_TRUE(server.submit(RankRequest{&list}).get().ok());
+  ASSERT_TRUE(server.submit(ScanRequest{&list, ScanOp::kXor}).get().ok());
+  ServerStats s = server.stats();
+  EXPECT_GE(s.queue_depth_hwm, 1u);
+  EXPECT_EQ(s.rank_requests, 2u);
+  EXPECT_EQ(s.scan_requests, 1u);
+
+  server.reset_stats();
+  s = server.stats();
+  EXPECT_EQ(s.queue_depth_hwm, 0u) << "reset must re-base the high water";
+  EXPECT_EQ(s.rank_requests, 0u);
+  EXPECT_EQ(s.scan_requests, 0u);
+
+  ASSERT_TRUE(server.submit(ScanRequest{&list, ScanOp::kMin}).get().ok());
+  server.shutdown();
+  s = server.stats();
+  EXPECT_GE(s.queue_depth_hwm, 1u);
+  EXPECT_EQ(s.rank_requests, 0u);
+  EXPECT_EQ(s.scan_requests, 1u);
+}
+
+TEST(EngineServer, CallbackSubmitMatchesFutureSubmit) {
+  // The callback flavour of submit() -- the event loop's integration
+  // point -- must deliver exactly the result the future flavour does,
+  // exactly once, including on the rejection paths.
+  Rng rng(52);
+  const LinkedList list = random_list(5000, rng);
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.workers = 2;
+  EngineServer server(opt);
+
+  const RunResult want = server.submit(RankRequest{&list}).get();
+  ASSERT_TRUE(want.ok());
+
+  constexpr std::size_t kJobs = 16;
+  std::mutex mu;
+  std::vector<RunResult> got;
+  std::condition_variable cv;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    server.submit(RankRequest{&list}, [&](RunResult&& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      got.push_back(std::move(r));
+      cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return got.size() == kJobs; }));
+  }
+  for (const RunResult& r : got) {
+    ASSERT_TRUE(r.ok()) << r.status.message;
+    EXPECT_EQ(r.scan, want.scan);
+  }
+
+  // Rejection after shutdown still invokes the callback (exactly once,
+  // inline) with a typed kUnavailable.
+  server.shutdown();
+  bool called = false;
+  server.submit(RankRequest{&list}, [&](RunResult&& r) {
+    called = true;
+    EXPECT_EQ(r.status.code, StatusCode::kUnavailable);
+  });
+  EXPECT_TRUE(called);
 }
 
 TEST(EngineServer, CollapsingKeysOnOperatorIdentity) {

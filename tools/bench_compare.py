@@ -189,11 +189,19 @@ def main() -> int:
     if not old_files:
         rep.warn(f"no BENCH_*.json under {args.old}")
     compared = 0
+    stale = [name for name in old_files if name not in new_files]
+    if stale:
+        # A committed baseline nobody re-measures is a gate that stopped
+        # gating: say exactly which benches went missing from the run.
+        rep.warn("baseline(s) with no matching fresh run -- these benches "
+                 "did not execute: " + ", ".join(stale))
+    for name in sorted(new_files.keys() - old_files.keys()):
+        rep.warn(f"{name}: fresh results have no committed baseline "
+                 f"(commit one under bench/trajectory/ so it is gated)")
     for name, old_path in old_files.items():
         new_path = new_files.get(name)
         if new_path is None:
-            rep.warn(f"{name}: not produced by the fresh run")
-            continue
+            continue  # already warned in the stale-baseline summary
         old_doc, new_doc = load(old_path), load(new_path)
         same_machine = provenance_matches(old_doc, new_doc, rep, name)
         if not same_machine and not args.lenient_cross_machine:
