@@ -52,6 +52,7 @@ const char* status_code_name(StatusCode c) {
     case StatusCode::kUnsupported: return "unsupported";
     case StatusCode::kWrongAnswer: return "wrong-answer";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kStaleGeneration: return "stale-generation";
   }
   return "?";
 }
@@ -67,6 +68,9 @@ Status Status::wrong_answer(std::string msg) {
 }
 Status Status::unavailable(std::string msg) {
   return Status{StatusCode::kUnavailable, std::move(msg)};
+}
+Status Status::stale_generation(std::string msg) {
+  return Status{StatusCode::kStaleGeneration, std::move(msg)};
 }
 
 namespace {
@@ -602,6 +606,9 @@ RunResult Engine::run(const Request& req) {
   // The packed-slab cache is only trusted between the runs of one batch,
   // where the caller cannot mutate the list behind the key's pointers.
   if (!in_batch_) ws_.invalidate_packed();
+  // A snapshot-keyed shared slab (if the request carries one) serves this
+  // run only; a null request slab clears any previous installation.
+  ws_.install_shared_slab(req.slab);
 
   const auto t0 = std::chrono::steady_clock::now();
   result.status = backend_->execute(req, plan, ws_, result);

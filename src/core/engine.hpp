@@ -104,6 +104,7 @@ enum class StatusCode {
   kUnsupported,   ///< method or operator the backend cannot run
   kWrongAnswer,   ///< verify_output found a mismatch with the reference
   kUnavailable,   ///< the serving layer rejected the request (shutdown/full)
+  kStaleGeneration,  ///< the addressed snapshot generation was superseded
 };
 
 /// Short stable name of `c` ("ok", "invalid-input", ...).
@@ -126,6 +127,8 @@ struct Status {
   static Status wrong_answer(std::string msg);
   /// A kUnavailable status carrying `msg`.
   static Status unavailable(std::string msg);
+  /// A kStaleGeneration status carrying `msg`.
+  static Status stale_generation(std::string msg);
 };
 
 // -- requests ---------------------------------------------------------------
@@ -161,6 +164,10 @@ struct Request {
   bool rank = true;                  ///< rank (true) or scan (false)
   ScanOp op = ScanOp::kPlus;         ///< ignored when rank
   Method method = Method::kAuto;     ///< algorithm; kAuto = Planner's pick
+  /// Optional cross-request packed slab (serve/slab_cache.hpp), installed
+  /// into the workspace for this run. Only sound when `list` is an
+  /// immutable snapshot the slab was built from; null for ordinary runs.
+  std::shared_ptr<const PackedSlab> slab;
 
   Request() = default;  ///< an empty (listless) request; run() rejects it
   /// Converts a rank request.
@@ -203,6 +210,12 @@ struct RunStats {
   /// Share of the phase wall clock spent in multi-worker phases (the
   /// Amdahl fraction); 0 when no phases were timed.
   double host_parallel_frac = 0.0;
+
+  /// For snapshot-addressed serving requests (serve/server.hpp): the
+  /// snapshot generation this result was computed against -- on a
+  /// kStaleGeneration rejection, the CURRENT generation the client should
+  /// retarget. 0 for non-snapshot runs.
+  std::uint64_t snapshot_generation = 0;
 };
 
 /// The outcome of one run: typed status, the answer, and statistics.

@@ -356,9 +356,21 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   if (want < 2 || (!packed && plan.threads <= 1)) return serial_fallback();
 
   const unsigned W = std::clamp(plan.interleave, 1u, kMaxInterleave);
+  // A shared (cross-request) slab, installed by the serving layer for
+  // immutable snapshot lists, replaces both boundary choice and the slab
+  // build outright when its shape matches this run's plan. Like the
+  // batch-cache hit below, the RNG is left undrawn -- answers are exact
+  // under any sublist decomposition.
+  const PackedSlab* ext = nullptr;
+  if (packed) {
+    const PackedSlab* s = ws.shared_slab();
+    if (s && s->n == n && s->ones == kOnes && s->heads.size() == want &&
+        !s->words.empty())
+      ext = s;
+  }
   Workspace::PackedKey key;
   bool cache_hit = false;
-  if (packed) {
+  if (packed && !ext) {
     key.next_data = list.next.data();
     key.value_data = kOnes ? nullptr : list.value.data();
     key.n = n;
@@ -376,7 +388,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   const unsigned legacy_threads =
       plan.legacy_threads > 0 ? plan.legacy_threads : plan.threads;
   const auto t_build = Clock::now();
-  if (!cache_hit) {
+  if (!ext && !cache_hit) {
     choose_boundaries(list, want - 1, ws, list.find_tail());
     // Sublist heads: the whole-list head plus each pick's successor. A
     // pick whose successor is itself a tail yields a single-vertex
@@ -402,8 +414,13 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
       ws.invalidate_packed();
     }
   }
-  const std::size_t k = ws.heads.size();
-  info.build_ns = cache_hit ? 0.0 : since_ns(t_build);
+  // Slab pointers for the packed phases: the shared slab when installed,
+  // the workspace's own otherwise. Resolved after the build section --
+  // ws.heads/ws.packed may have reallocated during it.
+  const packed_t* words = ext ? ext->words.data() : ws.packed.data();
+  const index_t* heads = ext ? ext->heads.data() : ws.heads.data();
+  const std::size_t k = ext ? ext->heads.size() : ws.heads.size();
+  info.build_ns = (ext || cache_hit) ? 0.0 : since_ns(t_build);
 
   // From here on the worker count is path-dependent: the packed kernels
   // run the (possibly lower) packed-optimal count, a runtime fallback to
@@ -429,7 +446,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   ws.fit(ws.tails, k, kNoVertex);
   if (packed) {
     interleave_sublists(
-        ws.packed.data(), ws.heads.data(), k, threads, W,
+        words, heads, k, threads, W,
         [&](std::size_t) { return Op::identity(); },
         [&](index_t, packed_t w, value_t& acc) {
           acc = op(acc, hot_value(w));
@@ -470,7 +487,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   const auto t_phase2 = Clock::now();
   ws.owner_begin(n);
   for (std::size_t j = 0; j < k; ++j)
-    ws.owner_set(ws.heads[j], static_cast<index_t>(j));
+    ws.owner_set(heads[j], static_cast<index_t>(j));
   ws.fit_uninit(ws.order, k);
   ws.order.clear();
   {
@@ -478,7 +495,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
     for (std::size_t seen = 0; seen < k; ++seen) {
       ws.order.push_back(static_cast<index_t>(j));
       const index_t t = ws.tails[j];
-      const index_t nt = packed ? hot_link(ws.packed[t]) : list.next[t];
+      const index_t nt = packed ? hot_link(words[t]) : list.next[t];
       if (nt == t) break;  // the global tail ends the chain
       const index_t owner = ws.owner_get(nt);
       if (owner == kNoVertex) break;  // defensive: malformed snapshot
@@ -529,7 +546,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   if (packed) {
     value_t* o = out.data();
     interleave_sublists(
-        ws.packed.data(), ws.heads.data(), k, threads, W,
+        words, heads, k, threads, W,
         [&](std::size_t j) { return ws.headscan[j]; },
         [&](index_t v, packed_t w, value_t& acc) {
           o[v] = acc;
@@ -553,7 +570,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   info.interleave = packed ? W : 1;
   info.threads = threads;
   info.packed = packed;
-  info.packed_cached = cache_hit;
+  info.packed_cached = cache_hit || ext != nullptr;
   info.sublists = k;
   return info;
 }

@@ -32,6 +32,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "lists/encode.hpp"
@@ -39,6 +40,27 @@
 #include "support/rng.hpp"
 
 namespace lr90 {
+
+/// An immutable, shareable copy of the packed hot-path artifacts: the
+/// single-gather slab (lists/encode.hpp hot_pack words) plus the sublist
+/// heads it was decomposed under. Exported from a Workspace after a build
+/// (export_packed_slab) and installed into any Workspace before a run
+/// (install_shared_slab), it lets a serving layer cache the dominant fixed
+/// cost of the packed path -- the O(n) slab build -- across requests and
+/// across workers. Holders share it by shared_ptr-to-const; the struct is
+/// never mutated after export.
+struct PackedSlab {
+  std::vector<index_t> heads;   ///< sublist head vertices (decomposition)
+  std::vector<packed_t> words;  ///< hot_pack word per vertex
+  std::size_t n = 0;            ///< list length the slab was built from
+  bool ones = false;            ///< value lane forced to 1 (ranking)
+
+  /// Approximate resident footprint, for byte-budget cache accounting.
+  std::size_t bytes() const {
+    return heads.capacity() * sizeof(index_t) +
+           words.capacity() * sizeof(packed_t) + sizeof(*this);
+  }
+};
 
 /// Reusable per-engine scratch memory: capacity only grows, so a warmed-up
 /// workspace serves steady-state traffic with zero allocations. Not
@@ -79,6 +101,7 @@ class Workspace {
         packed(std::move(other.packed)),
         scratch_list(std::move(other.scratch_list)),
         rng(other.rng),
+        shared_slab_(std::move(other.shared_slab_)),
         owner_stamp_(std::move(other.owner_stamp_)),
         owner_epoch_(other.owner_epoch_),
         packed_key_(other.packed_key_),
@@ -102,6 +125,7 @@ class Workspace {
     packed = std::move(other.packed);
     scratch_list = std::move(other.scratch_list);
     rng = other.rng;
+    shared_slab_ = std::move(other.shared_slab_);
     owner_stamp_ = std::move(other.owner_stamp_);
     owner_epoch_ = other.owner_epoch_;
     packed_key_ = other.packed_key_;
@@ -230,6 +254,33 @@ class Workspace {
   /// ws.heads.
   void invalidate_packed() { packed_live_ = false; }
 
+  // -- shared (cross-request) slab -------------------------------------
+
+  /// Installs an externally cached slab for the next run (null clears).
+  /// The hot path uses it -- skipping boundary choice and the slab build
+  /// entirely -- when its (n, ones, head count) match the run's plan;
+  /// a mismatch falls back to the normal build. The caller (the serving
+  /// layer) guarantees the slab outlives the run and matches the list
+  /// being ranked: slabs must only ever be keyed on immutable snapshots.
+  void install_shared_slab(std::shared_ptr<const PackedSlab> slab) {
+    shared_slab_ = std::move(slab);
+  }
+  /// The installed shared slab, or null. Read by the hot path per run.
+  const PackedSlab* shared_slab() const { return shared_slab_.get(); }
+  /// Copies the live packed slab + heads out as an immutable PackedSlab
+  /// for a cross-request cache, or returns null when no slab is live.
+  /// Copies -- rather than moves -- so the workspace keeps its warmed
+  /// capacity and steady state stays allocation-free.
+  std::shared_ptr<const PackedSlab> export_packed_slab(bool ones) const {
+    if (!packed_live_) return nullptr;
+    auto slab = std::make_shared<PackedSlab>();
+    slab->heads = heads;
+    slab->words = packed;
+    slab->n = packed.size();
+    slab->ones = ones;
+    return slab;
+  }
+
   /// Copies `src` into the scratch list, reusing its capacity. Algorithms
   /// that mutate their input (the simulated Reid-Miller path) run on this
   /// copy so the caller's list stays const without a per-call allocation.
@@ -269,6 +320,7 @@ class Workspace {
     verify = {};
     packed = {};
     scratch_list = {};
+    shared_slab_ = nullptr;
     owner_stamp_ = {};
     owner_epoch_ = 0;
     packed_live_ = false;
@@ -284,6 +336,7 @@ class Workspace {
     }
   }
 
+  std::shared_ptr<const PackedSlab> shared_slab_;  ///< cross-request slab
   std::vector<std::uint32_t> owner_stamp_;  ///< owner_of_head generations
   std::uint32_t owner_epoch_ = 0;           ///< current generation
   PackedKey packed_key_;                    ///< identity of `packed`

@@ -181,6 +181,50 @@ Status NetClient::scan(const LinkedList& list, ScanOp op,
   return round_trip(frame, id, out);
 }
 
+Status NetClient::register_snapshot(const LinkedList& list,
+                                    ResponseFrame& out) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_register_snapshot_request(frame, id, list);
+  return round_trip(frame, id, out);
+}
+
+Status NetClient::update_snapshot(std::uint64_t snapshot_id,
+                                  const LinkedList& list,
+                                  ResponseFrame& out) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_update_snapshot_request(frame, id, snapshot_id, list);
+  return round_trip(frame, id, out);
+}
+
+Status NetClient::release_snapshot(std::uint64_t snapshot_id,
+                                   ResponseFrame& out) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_release_snapshot_request(frame, id, snapshot_id);
+  return round_trip(frame, id, out);
+}
+
+Status NetClient::snapshot_rank(std::uint64_t snapshot_id,
+                                std::uint64_t generation, ResponseFrame& out,
+                                Method method) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_snapshot_rank_request(frame, id, snapshot_id, generation, method);
+  return round_trip(frame, id, out);
+}
+
+Status NetClient::snapshot_scan(std::uint64_t snapshot_id,
+                                std::uint64_t generation, ScanOp op,
+                                ResponseFrame& out, Method method) {
+  const std::uint32_t id = next_id_++;
+  std::vector<std::uint8_t> frame;
+  encode_snapshot_scan_request(frame, id, snapshot_id, generation, op,
+                               method);
+  return round_trip(frame, id, out);
+}
+
 Status NetClient::stats_text(std::string& out) {
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> frame;

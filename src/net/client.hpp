@@ -56,6 +56,27 @@ class NetClient {
   /// Fetches the plaintext liveness probe (framed kHealthRequest).
   Status health_text(std::string& out);
 
+  // -- snapshot round trips ------------------------------------------------
+  // On kOk the server's answer carries a kSnapshot body: read the handle
+  // from out.snapshot_id / out.generation. A snapshot-addressed run that
+  // names a superseded generation comes back kStaleGeneration with the
+  // CURRENT generation in out.generation -- retarget and resend.
+
+  /// Registers `list` as an immutable server-side snapshot.
+  Status register_snapshot(const LinkedList& list, ResponseFrame& out);
+  /// Replaces the list behind `snapshot_id`, bumping its generation.
+  Status update_snapshot(std::uint64_t snapshot_id, const LinkedList& list,
+                         ResponseFrame& out);
+  /// Drops the snapshot (its caches invalidate server-side).
+  Status release_snapshot(std::uint64_t snapshot_id, ResponseFrame& out);
+  /// One snapshot-addressed rank round trip. `generation` 0 = current.
+  Status snapshot_rank(std::uint64_t snapshot_id, std::uint64_t generation,
+                       ResponseFrame& out, Method method = Method::kAuto);
+  /// One snapshot-addressed scan round trip under `op`.
+  Status snapshot_scan(std::uint64_t snapshot_id, std::uint64_t generation,
+                       ScanOp op, ResponseFrame& out,
+                       Method method = Method::kAuto);
+
   // -- pipelining primitives (N sends, then N reads, one socket) ----------
 
   /// Sends a rank request without waiting; returns its request id.

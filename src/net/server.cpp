@@ -159,6 +159,18 @@ std::string NetServer::stats_text() const {
       << "rank_requests " << s.rank_requests << '\n'
       << "scan_requests " << s.scan_requests << '\n'
       << "intra_threads_peak " << s.intra_threads_peak << '\n'
+      << "packed_builds " << s.pool.packed_builds << '\n'
+      << "snapshots_live " << s.snapshots_live << '\n'
+      << "snapshot_updates " << s.snapshot_updates << '\n'
+      << "stale_rejections " << s.stale_rejections << '\n'
+      << "slab_hits " << s.slab_hits << '\n'
+      << "slab_misses " << s.slab_misses << '\n'
+      << "slab_evictions " << s.slab_evictions << '\n'
+      << "result_hits " << s.result_hits << '\n'
+      << "result_misses " << s.result_misses << '\n'
+      << "result_evictions " << s.result_evictions << '\n'
+      << "cache_resident_bytes " << s.cache_resident_bytes << '\n'
+      << "cache_resident_entries " << s.cache_resident_entries << '\n'
       << "net_accepted " << n.accepted << '\n'
       << "net_closed " << n.closed << '\n'
       << "net_idle_closed " << n.idle_closed << '\n'
@@ -171,6 +183,10 @@ std::string NetServer::stats_text() const {
       << "net_req_scan " << n.req_scan << '\n'
       << "net_req_stats " << n.req_stats << '\n'
       << "net_req_health " << n.req_health << '\n'
+      << "net_req_snapshot_admin " << n.req_snapshot_admin << '\n'
+      << "net_req_snapshot_rank " << n.req_snapshot_rank << '\n'
+      << "net_req_snapshot_scan " << n.req_snapshot_scan << '\n'
+      << "net_stale_generation_sent " << n.stale_generation_sent << '\n'
       << "net_bytes_in " << n.bytes_in << '\n'
       << "net_bytes_out " << n.bytes_out << '\n';
   return out.str();
@@ -469,6 +485,15 @@ void NetServer::dispatch(Connection& c, RequestFrame& req) {
                            health_text());
       bump(&NetStats::responses_out);
       return;
+    case MsgKind::kRegisterSnapshotRequest:
+    case MsgKind::kUpdateSnapshotRequest:
+    case MsgKind::kReleaseSnapshotRequest:
+      dispatch_snapshot_admin(c, req);
+      return;
+    case MsgKind::kSnapshotRankRequest:
+    case MsgKind::kSnapshotScanRequest:
+      dispatch_snapshot_run(c, req);
+      return;
     case MsgKind::kRankRequest:
     case MsgKind::kScanRequest:
       break;
@@ -512,6 +537,79 @@ void NetServer::dispatch(Connection& c, RequestFrame& req) {
   });
 }
 
+void NetServer::dispatch_snapshot_admin(Connection& c, RequestFrame& req) {
+  bump(&NetStats::req_snapshot_admin);
+  if (stopping_.load(std::memory_order_acquire)) {
+    encode_status_response(c.out, req.request_id,
+                           WireStatus::kShuttingDown);
+    bump(&NetStats::responses_out);
+    return;
+  }
+  // Registration is control-plane work (rare, client-paced): the O(n)
+  // validate + copy runs inline on the loop thread rather than costing a
+  // queue round trip.
+  if (req.kind == MsgKind::kReleaseSnapshotRequest) {
+    if (engine_->drop_snapshot(req.snapshot_id)) {
+      encode_snapshot_response(c.out, req.request_id, WireStatus::kOk,
+                               req.snapshot_id, 0);
+    } else {
+      encode_text_response(c.out, req.request_id, WireStatus::kInvalidInput,
+                           "unknown snapshot id\n");
+    }
+    bump(&NetStats::responses_out);
+    return;
+  }
+  serve::SnapshotHandle handle;
+  const Status s =
+      req.kind == MsgKind::kRegisterSnapshotRequest
+          ? engine_->register_snapshot(std::move(req.list), handle)
+          : engine_->update_snapshot(req.snapshot_id, std::move(req.list),
+                                     handle);
+  if (s.ok()) {
+    encode_snapshot_response(c.out, req.request_id, WireStatus::kOk,
+                             handle.snapshot_id, handle.generation);
+  } else {
+    encode_text_response(c.out, req.request_id, wire_status_of(s.code),
+                         s.message + "\n");
+  }
+  bump(&NetStats::responses_out);
+}
+
+void NetServer::dispatch_snapshot_run(Connection& c, RequestFrame& req) {
+  const bool rank = req.kind == MsgKind::kSnapshotRankRequest;
+  bump(rank ? &NetStats::req_snapshot_rank : &NetStats::req_snapshot_scan);
+  if (stopping_.load(std::memory_order_acquire)) {
+    encode_status_response(c.out, req.request_id,
+                           WireStatus::kShuttingDown);
+    bump(&NetStats::responses_out);
+    return;
+  }
+  serve::SnapshotRequest sreq;
+  sreq.snapshot_id = req.snapshot_id;
+  sreq.generation = req.generation;
+  sreq.rank = rank;
+  sreq.op = req.op;
+  sreq.method = req.method;
+
+  c.in_flight += 1;
+  const std::uint64_t conn_id = c.id;
+  const std::uint32_t request_id = req.request_id;
+  const std::uint64_t snapshot_id = req.snapshot_id;
+  // Unknown-id / stale / cache-hit answers invoke this callback inline
+  // right here; real runs invoke it from a worker. Either way the loop
+  // encodes on the next drain.
+  engine_->submit(sreq, [this, conn_id, request_id,
+                         snapshot_id](RunResult&& r) {
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(Completion{conn_id, request_id, std::move(r),
+                                        nullptr, snapshot_id});
+    }
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t rc = ::write(wake_w_, &byte, 1);
+  });
+}
+
 void NetServer::drain_completions() {
   std::vector<Completion> done;
   {
@@ -531,6 +629,14 @@ void NetServer::finish_completion(Connection& c, const Completion& done) {
   if (r.ok()) {
     encode_values_response(c.out, done.request_id, WireStatus::kOk,
                            std::span<const value_t>(r.scan));
+  } else if (r.status.code == StatusCode::kStaleGeneration) {
+    // The snapshot was superseded while the request named an old
+    // generation: the typed refusal carries the CURRENT generation so
+    // the client can retarget without a round trip to stats.
+    encode_snapshot_response(c.out, done.request_id,
+                             WireStatus::kStaleGeneration, done.snapshot_id,
+                             r.stats.snapshot_generation);
+    bump(&NetStats::stale_generation_sent);
   } else if (r.status.code == StatusCode::kUnavailable) {
     // The serving layer's back-pressure, made explicit on the wire: a
     // full queue earns a retry hint from the live depth and drain rate;

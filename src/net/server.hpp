@@ -88,6 +88,10 @@ struct NetStats {
   std::uint64_t req_scan = 0;         ///< ...
   std::uint64_t req_stats = 0;        ///< ...(plaintext STATS included)
   std::uint64_t req_health = 0;       ///< ...(plaintext HEALTH included)
+  std::uint64_t req_snapshot_admin = 0;  ///< register/update/release frames
+  std::uint64_t req_snapshot_rank = 0;   ///< snapshot-addressed rank frames
+  std::uint64_t req_snapshot_scan = 0;   ///< snapshot-addressed scan frames
+  std::uint64_t stale_generation_sent = 0;  ///< STALE_GENERATION responses
   std::uint64_t bytes_in = 0;         ///< payload bytes read
   std::uint64_t bytes_out = 0;        ///< payload bytes written
 };
@@ -137,8 +141,13 @@ class NetServer {
     std::uint32_t request_id = 0;  ///< which of its requests
     RunResult result;            ///< the engine's answer
     /// Keeps the decoded list alive until the run has completed (the
-    /// engine borrows it by pointer).
+    /// engine borrows it by pointer). Null for snapshot-addressed runs
+    /// (the registry pins the list).
     std::shared_ptr<LinkedList> list;
+    /// Nonzero for snapshot-addressed runs: lets a kStaleGeneration
+    /// result be answered with a kSnapshot body naming the snapshot and
+    /// its CURRENT generation (from RunStats::snapshot_generation).
+    std::uint64_t snapshot_id = 0;
   };
 
   void loop();
@@ -146,6 +155,8 @@ class NetServer {
   void on_writable(Connection& c);
   void parse_input(Connection& c);
   void dispatch(Connection& c, RequestFrame& req);
+  void dispatch_snapshot_admin(Connection& c, RequestFrame& req);
+  void dispatch_snapshot_run(Connection& c, RequestFrame& req);
   void handle_plaintext(Connection& c);
   void drain_completions();
   void finish_completion(Connection& c, const Completion& done);

@@ -25,6 +25,11 @@ void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
     out.push_back(static_cast<std::uint8_t>(u >> shift));
 }
 
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
 /// A strict cursor over a payload: every read checks the remaining
 /// length first, so a malformed frame can never walk past the buffer.
 class Reader {
@@ -55,6 +60,13 @@ class Reader {
       u |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
     v = static_cast<std::int64_t>(u);
     advance(8);
+    return true;
+  }
+
+  bool u64(std::uint64_t& v) {
+    std::int64_t s = 0;
+    if (!i64(s)) return false;
+    v = static_cast<std::uint64_t>(s);
     return true;
   }
 
@@ -132,6 +144,11 @@ bool valid_kind(std::uint8_t k) {
     case MsgKind::kScanRequest:
     case MsgKind::kStatsRequest:
     case MsgKind::kHealthRequest:
+    case MsgKind::kRegisterSnapshotRequest:
+    case MsgKind::kReleaseSnapshotRequest:
+    case MsgKind::kUpdateSnapshotRequest:
+    case MsgKind::kSnapshotRankRequest:
+    case MsgKind::kSnapshotScanRequest:
     case MsgKind::kResponse:
       return true;
   }
@@ -142,7 +159,7 @@ constexpr std::uint8_t kMaxMethod =
     static_cast<std::uint8_t>(Method::kReidMillerEncoded);
 constexpr std::uint8_t kMaxOp = static_cast<std::uint8_t>(ScanOp::kMaxPlus);
 constexpr std::uint8_t kMaxWireStatus =
-    static_cast<std::uint8_t>(WireStatus::kInternalError);
+    static_cast<std::uint8_t>(WireStatus::kStaleGeneration);
 
 }  // namespace
 
@@ -156,6 +173,7 @@ const char* wire_status_name(WireStatus s) {
     case WireStatus::kShuttingDown: return "shutting-down";
     case WireStatus::kBadRequest: return "bad-request";
     case WireStatus::kInternalError: return "internal-error";
+    case WireStatus::kStaleGeneration: return "stale-generation";
   }
   return "unknown";
 }
@@ -229,6 +247,36 @@ WireError decode_request(const FrameView& frame, RequestFrame& out) {
       out.op = static_cast<ScanOp>(op);
       return read_list(r, out.list);
     }
+    case MsgKind::kRegisterSnapshotRequest:
+      return read_list(r, out.list);
+    case MsgKind::kReleaseSnapshotRequest: {
+      if (!r.u64(out.snapshot_id)) return WireError::kBadLength;
+      return r.remaining() == 0 ? WireError::kOk : WireError::kBadLength;
+    }
+    case MsgKind::kUpdateSnapshotRequest: {
+      if (!r.u64(out.snapshot_id)) return WireError::kBadLength;
+      return read_list(r, out.list);
+    }
+    case MsgKind::kSnapshotRankRequest: {
+      std::uint8_t method = 0;
+      if (!r.u8(method)) return WireError::kBadLength;
+      if (method > kMaxMethod) return WireError::kBadPayload;
+      out.method = static_cast<Method>(method);
+      if (!r.u64(out.snapshot_id) || !r.u64(out.generation))
+        return WireError::kBadLength;
+      return r.remaining() == 0 ? WireError::kOk : WireError::kBadLength;
+    }
+    case MsgKind::kSnapshotScanRequest: {
+      std::uint8_t method = 0;
+      std::uint8_t op = 0;
+      if (!r.u8(method) || !r.u8(op)) return WireError::kBadLength;
+      if (method > kMaxMethod || op > kMaxOp) return WireError::kBadPayload;
+      out.method = static_cast<Method>(method);
+      out.op = static_cast<ScanOp>(op);
+      if (!r.u64(out.snapshot_id) || !r.u64(out.generation))
+        return WireError::kBadLength;
+      return r.remaining() == 0 ? WireError::kOk : WireError::kBadLength;
+    }
     case MsgKind::kResponse:
       return WireError::kBadKind;  // a response is not a request
   }
@@ -259,6 +307,53 @@ void encode_plain_request(std::vector<std::uint8_t>& out, MsgKind kind,
   put_header(out, kind, request_id, 0);
 }
 
+void encode_register_snapshot_request(std::vector<std::uint8_t>& out,
+                                      std::uint32_t request_id,
+                                      const LinkedList& list) {
+  put_header(out, MsgKind::kRegisterSnapshotRequest, request_id,
+             list_body_len(list));
+  put_list(out, list);
+}
+
+void encode_update_snapshot_request(std::vector<std::uint8_t>& out,
+                                    std::uint32_t request_id,
+                                    std::uint64_t snapshot_id,
+                                    const LinkedList& list) {
+  put_header(out, MsgKind::kUpdateSnapshotRequest, request_id,
+             8 + list_body_len(list));
+  put_u64(out, snapshot_id);
+  put_list(out, list);
+}
+
+void encode_release_snapshot_request(std::vector<std::uint8_t>& out,
+                                     std::uint32_t request_id,
+                                     std::uint64_t snapshot_id) {
+  put_header(out, MsgKind::kReleaseSnapshotRequest, request_id, 8);
+  put_u64(out, snapshot_id);
+}
+
+void encode_snapshot_rank_request(std::vector<std::uint8_t>& out,
+                                  std::uint32_t request_id,
+                                  std::uint64_t snapshot_id,
+                                  std::uint64_t generation, Method method) {
+  put_header(out, MsgKind::kSnapshotRankRequest, request_id, 1 + 16);
+  put_u8(out, static_cast<std::uint8_t>(method));
+  put_u64(out, snapshot_id);
+  put_u64(out, generation);
+}
+
+void encode_snapshot_scan_request(std::vector<std::uint8_t>& out,
+                                  std::uint32_t request_id,
+                                  std::uint64_t snapshot_id,
+                                  std::uint64_t generation, ScanOp op,
+                                  Method method) {
+  put_header(out, MsgKind::kSnapshotScanRequest, request_id, 2 + 16);
+  put_u8(out, static_cast<std::uint8_t>(method));
+  put_u8(out, static_cast<std::uint8_t>(op));
+  put_u64(out, snapshot_id);
+  put_u64(out, generation);
+}
+
 WireError decode_response(const FrameView& frame, ResponseFrame& out) {
   if (frame.kind != MsgKind::kResponse) return WireError::kBadKind;
   out.request_id = frame.request_id;
@@ -271,6 +366,8 @@ WireError decode_response(const FrameView& frame, ResponseFrame& out) {
   out.values.clear();
   out.text.clear();
   out.retry_after_ms = 0;
+  out.snapshot_id = 0;
+  out.generation = 0;
   switch (static_cast<BodyKind>(body)) {
     case BodyKind::kNone:
       out.body = BodyKind::kNone;
@@ -300,6 +397,12 @@ WireError decode_response(const FrameView& frame, ResponseFrame& out) {
     case BodyKind::kRetry: {
       out.body = BodyKind::kRetry;
       if (!r.u32(out.retry_after_ms)) return WireError::kBadLength;
+      return r.remaining() == 0 ? WireError::kOk : WireError::kBadLength;
+    }
+    case BodyKind::kSnapshot: {
+      out.body = BodyKind::kSnapshot;
+      if (!r.u64(out.snapshot_id) || !r.u64(out.generation))
+        return WireError::kBadLength;
       return r.remaining() == 0 ? WireError::kOk : WireError::kBadLength;
     }
   }
@@ -344,6 +447,17 @@ void encode_status_response(std::vector<std::uint8_t>& out,
   put_u8(out, static_cast<std::uint8_t>(BodyKind::kNone));
 }
 
+void encode_snapshot_response(std::vector<std::uint8_t>& out,
+                              std::uint32_t request_id, WireStatus status,
+                              std::uint64_t snapshot_id,
+                              std::uint64_t generation) {
+  put_header(out, MsgKind::kResponse, request_id, 2 + 16);
+  put_u8(out, static_cast<std::uint8_t>(status));
+  put_u8(out, static_cast<std::uint8_t>(BodyKind::kSnapshot));
+  put_u64(out, snapshot_id);
+  put_u64(out, generation);
+}
+
 WireStatus wire_status_of(StatusCode code) {
   switch (code) {
     case StatusCode::kOk: return WireStatus::kOk;
@@ -351,6 +465,7 @@ WireStatus wire_status_of(StatusCode code) {
     case StatusCode::kUnsupported: return WireStatus::kUnsupported;
     case StatusCode::kWrongAnswer: return WireStatus::kWrongAnswer;
     case StatusCode::kUnavailable: return WireStatus::kInternalError;
+    case StatusCode::kStaleGeneration: return WireStatus::kStaleGeneration;
   }
   return WireStatus::kInternalError;
 }

@@ -11,19 +11,28 @@
 //   8       4     payload length in bytes, little-endian, <= kMaxPayload
 //   12      len   payload    kind-specific (layouts below)
 //
-// Request payloads (all integers little-endian):
-//   kRankRequest   u8 method; u32 n; u32 head; n x u32 next; n x i64 value
-//   kScanRequest   u8 method; u8 op; u32 n; u32 head; n x u32 next;
-//                  n x i64 value
-//   kStatsRequest  (empty)
-//   kHealthRequest (empty)
+// Request payloads (all integers little-endian; "list body" =
+// u32 n; u32 head; n x u32 next; n x i64 value):
+//   kRankRequest             u8 method; list body
+//   kScanRequest             u8 method; u8 op; list body
+//   kStatsRequest            (empty)
+//   kHealthRequest           (empty)
+//   kRegisterSnapshotRequest list body
+//   kUpdateSnapshotRequest   u64 snapshot_id; list body
+//   kReleaseSnapshotRequest  u64 snapshot_id
+//   kSnapshotRankRequest     u8 method; u64 snapshot_id; u64 generation
+//   kSnapshotScanRequest     u8 method; u8 op; u64 snapshot_id;
+//                            u64 generation
 //
 // Response payload (kResponse):
 //   u8 status (WireStatus); u8 body (BodyKind); then
-//     kValues  u32 count; count x i64   -- the scan/rank answer
-//     kText    u32 len; len bytes       -- stats/health text, error detail
-//     kRetry   u32 retry_after_ms       -- back-pressure hint (kRetryAfter)
-//     kNone    (nothing)
+//     kValues   u32 count; count x i64   -- the scan/rank answer
+//     kText     u32 len; len bytes       -- stats/health text, error detail
+//     kRetry    u32 retry_after_ms       -- back-pressure hint (kRetryAfter)
+//     kSnapshot u64 snapshot_id; u64 generation -- a snapshot handle: the
+//               registered/updated handle on kOk, the CURRENT generation
+//               to retarget on kStaleGeneration
+//     kNone     (nothing)
 //
 // Decoding is strict and bounds-checked: every read is validated against
 // the remaining buffer, sizes must match the declared payload length
@@ -64,6 +73,11 @@ enum class MsgKind : std::uint8_t {
   kScanRequest = 2,    ///< exclusive list scan under any ScanOp
   kStatsRequest = 3,   ///< plaintext serving counters (body kText)
   kHealthRequest = 4,  ///< plaintext liveness probe (body kText)
+  kRegisterSnapshotRequest = 5,  ///< register an immutable list snapshot
+  kReleaseSnapshotRequest = 6,   ///< drop a registered snapshot
+  kUpdateSnapshotRequest = 7,    ///< replace a snapshot (generation bump)
+  kSnapshotRankRequest = 8,      ///< rank a registered snapshot
+  kSnapshotScanRequest = 9,      ///< scan a registered snapshot
   kResponse = 0x81,    ///< the one response kind; the id names the request
 };
 
@@ -79,6 +93,9 @@ enum class WireStatus : std::uint8_t {
   kShuttingDown = 5,  ///< server draining; do not retry here
   kBadRequest = 6,    ///< protocol error; the connection will close
   kInternalError = 7, ///< engine failure that produced no typed status
+  /// The addressed snapshot generation was superseded; the kSnapshot
+  /// body carries the current generation to retarget.
+  kStaleGeneration = 8,
 };
 
 /// Short stable name of `s` ("ok", "retry-after", ...).
@@ -107,6 +124,7 @@ enum class BodyKind : std::uint8_t {
   kValues = 1,  ///< the scan/rank vector
   kText = 2,    ///< plaintext (stats/health) or an error detail
   kRetry = 3,   ///< a retry-after hint in milliseconds
+  kSnapshot = 4,  ///< a snapshot handle (id + generation)
 };
 
 /// A parsed frame header plus a view of its payload bytes (borrowed from
@@ -131,11 +149,14 @@ WireError parse_frame(const std::uint8_t* data, std::size_t len,
 /// owned copy of the list (the wire buffer is transient; the engine run
 /// is not).
 struct RequestFrame {
-  MsgKind kind = MsgKind::kRankRequest;  ///< rank/scan/stats/health
+  MsgKind kind = MsgKind::kRankRequest;  ///< rank/scan/stats/health/...
   std::uint32_t request_id = 0;          ///< echoed in the response
   Method method = Method::kAuto;         ///< requested algorithm
   ScanOp op = ScanOp::kPlus;             ///< scan operator (kScanRequest)
-  LinkedList list;                       ///< decoded list (rank/scan)
+  LinkedList list;                       ///< decoded list (rank/scan/
+                                         ///< register/update)
+  std::uint64_t snapshot_id = 0;   ///< snapshot kinds: the addressed id
+  std::uint64_t generation = 0;    ///< snapshot rank/scan: pinned gen
 };
 
 /// Decodes a request frame's payload. Strict: the payload length must
@@ -157,6 +178,33 @@ void encode_scan_request(std::vector<std::uint8_t>& out,
 /// Appends an empty-payload request frame (stats/health) to `out`.
 void encode_plain_request(std::vector<std::uint8_t>& out, MsgKind kind,
                           std::uint32_t request_id);
+/// Appends a register-snapshot request frame for `list` to `out`.
+void encode_register_snapshot_request(std::vector<std::uint8_t>& out,
+                                      std::uint32_t request_id,
+                                      const LinkedList& list);
+/// Appends an update-snapshot request frame (new `list` under
+/// `snapshot_id`) to `out`.
+void encode_update_snapshot_request(std::vector<std::uint8_t>& out,
+                                    std::uint32_t request_id,
+                                    std::uint64_t snapshot_id,
+                                    const LinkedList& list);
+/// Appends a release-snapshot request frame to `out`.
+void encode_release_snapshot_request(std::vector<std::uint8_t>& out,
+                                     std::uint32_t request_id,
+                                     std::uint64_t snapshot_id);
+/// Appends a snapshot-addressed rank request frame to `out`
+/// (generation 0 = current).
+void encode_snapshot_rank_request(std::vector<std::uint8_t>& out,
+                                  std::uint32_t request_id,
+                                  std::uint64_t snapshot_id,
+                                  std::uint64_t generation,
+                                  Method method = Method::kAuto);
+/// Appends a snapshot-addressed scan request frame to `out`.
+void encode_snapshot_scan_request(std::vector<std::uint8_t>& out,
+                                  std::uint32_t request_id,
+                                  std::uint64_t snapshot_id,
+                                  std::uint64_t generation, ScanOp op,
+                                  Method method = Method::kAuto);
 
 // -- responses --------------------------------------------------------------
 
@@ -168,6 +216,8 @@ struct ResponseFrame {
   std::vector<value_t> values;           ///< kValues: the answer vector
   std::string text;                      ///< kText: stats/health/detail
   std::uint32_t retry_after_ms = 0;      ///< kRetry: back-pressure hint
+  std::uint64_t snapshot_id = 0;   ///< kSnapshot: the handle's id
+  std::uint64_t generation = 0;    ///< kSnapshot: the handle's generation
 };
 
 /// Decodes a response frame's payload (strict, like decode_request).
@@ -188,6 +238,13 @@ void encode_retry_response(std::vector<std::uint8_t>& out,
 /// Appends a bodyless response frame to `out`.
 void encode_status_response(std::vector<std::uint8_t>& out,
                             std::uint32_t request_id, WireStatus status);
+/// Appends a kSnapshot response frame (a handle) to `out`: the
+/// registered/updated handle on kOk, the current generation to retarget
+/// on kStaleGeneration.
+void encode_snapshot_response(std::vector<std::uint8_t>& out,
+                              std::uint32_t request_id, WireStatus status,
+                              std::uint64_t snapshot_id,
+                              std::uint64_t generation);
 
 /// Maps an engine StatusCode onto the wire. kUnavailable is deliberately
 /// absent from the mapping: the serving layer distinguishes queue-full

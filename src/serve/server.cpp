@@ -4,6 +4,8 @@
 #include <span>
 #include <utility>
 
+#include "lists/validate.hpp"
+
 namespace lr90::serve {
 
 namespace {
@@ -39,7 +41,9 @@ EngineServer::EngineServer(ServerOptions opt)
         return opt;
       }()),
       queue_(opt_.queue_capacity),
-      pool_(opt_.engine, opt_.workers) {
+      pool_(opt_.engine, opt_.workers),
+      slab_cache_(opt_.slab_cache_bytes),
+      result_cache_(opt_.result_cache_bytes) {
   threads_.reserve(opt_.workers);
   for (unsigned i = 0; i < opt_.workers; ++i)
     threads_.emplace_back([this] { worker_loop(); });
@@ -67,6 +71,140 @@ void EngineServer::submit(Request req,
   job.req = req;
   job.done = std::move(done);
   submit_job(std::move(job), /*has_future=*/false);
+}
+
+// -- snapshot-addressed serving ---------------------------------------------
+
+Status EngineServer::register_snapshot(LinkedList list, SnapshotHandle& out) {
+  if (opt_.engine.validate_input) {
+    if (const auto err = validate_list(list))
+      return Status::invalid("invalid linked list: " + *err);
+  }
+  out = registry_.register_snapshot(std::move(list));
+  return Status::success();
+}
+
+Status EngineServer::update_snapshot(std::uint64_t id, LinkedList list,
+                                     SnapshotHandle& out) {
+  if (opt_.engine.validate_input) {
+    if (const auto err = validate_list(list))
+      return Status::invalid("invalid linked list: " + *err);
+  }
+  if (!registry_.update(id, std::move(list), out))
+    return Status::invalid("unknown snapshot id");
+  snapshot_updates_.fetch_add(1, std::memory_order_relaxed);
+  // Reclaim space AFTER the generation bump: the bump alone already made
+  // every old-generation key unreachable, so a racing worker re-inserting
+  // an old-generation artifact merely wastes bytes until LRU'd.
+  slab_cache_.invalidate(id);
+  result_cache_.invalidate(id);
+  return Status::success();
+}
+
+bool EngineServer::drop_snapshot(std::uint64_t id) {
+  const bool known = registry_.drop(id);
+  if (known) {
+    slab_cache_.invalidate(id);
+    result_cache_.invalidate(id);
+  }
+  return known;
+}
+
+std::future<RunResult> EngineServer::submit(const SnapshotRequest& req) {
+  return submit_snapshot(req, nullptr, /*has_future=*/true);
+}
+
+void EngineServer::submit(const SnapshotRequest& req,
+                          std::function<void(RunResult&&)> done) {
+  submit_snapshot(req, std::move(done), /*has_future=*/false);
+}
+
+std::future<RunResult> EngineServer::submit_snapshot(
+    const SnapshotRequest& req, std::function<void(RunResult&&)> done,
+    bool has_future) {
+  Job job;
+  job.done = std::move(done);
+  std::future<RunResult> future;
+  if (has_future) future = job.result.get_future();
+
+  SnapshotHandle current;
+  const SnapshotRegistry::Resolve found =
+      registry_.resolve(req.snapshot_id, req.generation, job.pinned, current);
+  if (found == SnapshotRegistry::Resolve::kUnknown) {
+    RunResult r;
+    r.backend = opt_.engine.backend;
+    r.status = Status::invalid("unknown snapshot id");
+    job.fulfill(std::move(r));
+    return future;
+  }
+  if (found == SnapshotRegistry::Resolve::kStale) {
+    stale_rejections_.fetch_add(1, std::memory_order_relaxed);
+    RunResult r;
+    r.backend = opt_.engine.backend;
+    r.status = Status::stale_generation("snapshot generation superseded");
+    r.stats.snapshot_generation = current.generation;  // retarget hint
+    job.fulfill(std::move(r));
+    return future;
+  }
+
+  // Memoized hot keys are answered inline, without ever touching the
+  // queue or an engine: the steady state's "zero ranks".
+  const CacheKey result_key{req.snapshot_id, current.generation,
+                            request_flavor(req.rank, req.op, req.method)};
+  std::shared_ptr<const RunResult> memo;
+  if (result_cache_.lookup(result_key, memo)) {
+    job.fulfill(RunResult(*memo));
+    return future;
+  }
+
+  job.snapshot_id = req.snapshot_id;
+  job.snapshot_generation = current.generation;
+  job.req.list = job.pinned.get();
+  job.req.rank = req.rank;
+  job.req.op = req.op;
+  job.req.method = req.method;
+  // Ride a cached slab when one exists for this generation; ranking packs
+  // the constant 1 and lane-capable scans pack their values, so the two
+  // slab flavors cover every packed-capable shape.
+  if (req.rank || scan_op_lane32(req.op)) {
+    const CacheKey slab_key{
+        req.snapshot_id, current.generation,
+        req.rank ? kSlabFlavorOnes : kSlabFlavorValues};
+    std::shared_ptr<const PackedSlab> slab;
+    if (slab_cache_.lookup(slab_key, slab)) job.req.slab = std::move(slab);
+  }
+  // The future (if any) is already retrieved above -- the promise travels
+  // with the job and keeps feeding it, so submit_job must not re-retrieve.
+  submit_job(std::move(job), /*has_future=*/false);
+  return future;
+}
+
+void EngineServer::finish_snapshot_run(const Job& job, const Request& req,
+                                       RunResult& r, Engine& engine) {
+  r.stats.snapshot_generation = job.snapshot_generation;
+  if (!r.ok()) return;
+  // Freshly built slab: export a copy for every other worker. Only fresh
+  // builds export (a cached-slab or batch-cache run has nothing new), so
+  // a hot key exports once per generation.
+  const bool lane = req.rank || scan_op_lane32(req.op);
+  if (lane && r.stats.host_packed && !r.stats.host_packed_cached) {
+    if (auto slab = engine.workspace().export_packed_slab(req.rank)) {
+      const std::size_t bytes = slab->bytes();
+      slab_cache_.insert(
+          CacheKey{job.snapshot_id, job.snapshot_generation,
+                   req.rank ? kSlabFlavorOnes : kSlabFlavorValues},
+          std::move(slab), bytes);
+    }
+  }
+  // Memoize the full result for the next identical request. Keyed on the
+  // generation the run used, so a result inserted after a concurrent
+  // update() is simply unreachable -- never stale-served.
+  auto memo = std::make_shared<const RunResult>(r);
+  const std::size_t bytes = result_bytes(*memo);
+  result_cache_.insert(
+      CacheKey{job.snapshot_id, job.snapshot_generation,
+               request_flavor(req.rank, req.op, req.method)},
+      std::move(memo), bytes);
 }
 
 std::future<RunResult> EngineServer::submit_job(Job job, bool has_future) {
@@ -145,6 +283,15 @@ void EngineServer::worker_loop() {
                        peak, r.stats.host_threads,
                        std::memory_order_relaxed)) {
             }
+            // Snapshot jobs stamp the generation and feed the caches
+            // before the result fans out (jobs collapsed onto one run
+            // share a pinned list, hence one snapshot generation).
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+              if (run_of[i] == u && jobs[i].snapshot_id != 0) {
+                finish_snapshot_run(jobs[i], reqs[u], r, *lease);
+                break;
+              }
+            }
             // Fan the result out to every job this run answers: copies for
             // the duplicates, the original for the last one.
             std::size_t last = jobs.size();
@@ -220,8 +367,14 @@ void EngineServer::reset_stats() {
   intra_threads_peak_.store(0, std::memory_order_relaxed);
   rank_requests_.store(0, std::memory_order_relaxed);
   scan_requests_.store(0, std::memory_order_relaxed);
+  snapshot_updates_.store(0, std::memory_order_relaxed);
+  stale_rejections_.store(0, std::memory_order_relaxed);
   queue_.reset_size_hwm();
   pool_.reset_stats();
+  // Cumulative cache counters restart; the caches themselves stay warm
+  // (the resident gauges keep tracking the retained entries).
+  slab_cache_.reset_counters();
+  result_cache_.reset_counters();
 }
 
 ServerStats EngineServer::stats() const {
@@ -239,6 +392,20 @@ ServerStats EngineServer::stats() const {
   s.rank_requests = rank_requests_.load(std::memory_order_relaxed);
   s.scan_requests = scan_requests_.load(std::memory_order_relaxed);
   s.pool = pool_.stats();
+  const CacheStats slab = slab_cache_.stats();
+  const CacheStats result = result_cache_.stats();
+  s.slab_hits = slab.hits;
+  s.slab_misses = slab.misses;
+  s.slab_evictions = slab.evictions;
+  s.result_hits = result.hits;
+  s.result_misses = result.misses;
+  s.result_evictions = result.evictions;
+  s.cache_resident_bytes = slab.resident_bytes + result.resident_bytes;
+  s.cache_resident_entries =
+      slab.resident_entries + result.resident_entries;
+  s.snapshots_live = registry_.size();
+  s.snapshot_updates = snapshot_updates_.load(std::memory_order_relaxed);
+  s.stale_rejections = stale_rejections_.load(std::memory_order_relaxed);
   return s;
 }
 

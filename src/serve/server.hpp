@@ -41,6 +41,8 @@
 
 #include "core/engine.hpp"
 #include "serve/queue.hpp"
+#include "serve/slab_cache.hpp"
+#include "serve/snapshot.hpp"
 #include "serve/workspace_pool.hpp"
 
 namespace lr90::serve {
@@ -75,6 +77,28 @@ struct ServerOptions {
   /// clients asking about the same list) it multiplies aggregate
   /// throughput: the work runs once per batch instead of once per client.
   bool collapse_duplicates = true;
+  /// Byte budget of the shared packed-slab cache (snapshot-addressed
+  /// requests only; serve/slab_cache.hpp). 0 disables slab caching.
+  std::size_t slab_cache_bytes = std::size_t{64} << 20;
+  /// Byte budget of the memoized-result cache (snapshot-addressed
+  /// requests only). 0 disables result memoization.
+  std::size_t result_cache_bytes = std::size_t{64} << 20;
+};
+
+/// A request addressed to a server-registered immutable snapshot
+/// (EngineServer::register_snapshot) instead of a caller-owned list.
+/// Pinning `generation` requests exactly that generation -- superseded
+/// pins are rejected with StatusCode::kStaleGeneration carrying the
+/// current generation in RunStats::snapshot_generation; generation 0
+/// means "whatever is current". Snapshot requests are what the
+/// cross-request caches serve: hot keys in steady state do zero packs
+/// (slab cache) and zero engine runs (result memoization).
+struct SnapshotRequest {
+  std::uint64_t snapshot_id = 0;  ///< handle from register_snapshot()
+  std::uint64_t generation = 0;   ///< pinned generation; 0 = current
+  bool rank = true;               ///< rank (true) or scan (false)
+  ScanOp op = ScanOp::kPlus;      ///< the scan's operator; ignored for rank
+  Method method = Method::kAuto;  ///< algorithm; kAuto = Planner's pick
 };
 
 /// Serving counters, monotonic since construction (or since the last
@@ -99,6 +123,25 @@ struct ServerStats {
   /// (bench/serve_throughput reports the product).
   std::uint64_t intra_threads_peak = 0;
   PoolStats pool;                ///< aggregated workspace counters
+
+  // Snapshot / cross-request-cache counters (snapshot-addressed requests
+  // only). The hit/miss/eviction tallies are cumulative since the last
+  // reset_stats(); the resident figures are occupancy gauges that follow
+  // the caches' actual content (reset_stats does NOT flush a warmed
+  // cache). Result-cache hits are answered inline at submit() and never
+  // enter the queue, so they appear in result_hits but not in
+  // submitted/completed.
+  std::uint64_t slab_hits = 0;         ///< slab-cache lookup hits
+  std::uint64_t slab_misses = 0;       ///< slab-cache lookup misses
+  std::uint64_t slab_evictions = 0;    ///< slab entries dropped
+  std::uint64_t result_hits = 0;       ///< memoized results served
+  std::uint64_t result_misses = 0;     ///< memoization lookup misses
+  std::uint64_t result_evictions = 0;  ///< memoized entries dropped
+  std::uint64_t cache_resident_bytes = 0;    ///< both caches' bytes (gauge)
+  std::uint64_t cache_resident_entries = 0;  ///< both caches' count (gauge)
+  std::uint64_t snapshots_live = 0;     ///< registered snapshots (gauge)
+  std::uint64_t snapshot_updates = 0;   ///< update_snapshot() generations
+  std::uint64_t stale_rejections = 0;   ///< kStaleGeneration rejections
 };
 
 /// Thread-safe multi-client server over pooled Engines. All public methods
@@ -130,6 +173,36 @@ class EngineServer {
   /// result). The callback must be cheap and non-blocking (it runs on a
   /// worker's batch path); hand heavy work to another thread.
   void submit(Request req, std::function<void(RunResult&&)> done);
+
+  // -- snapshot-addressed serving (the cross-request cache path) ---------
+
+  /// Registers `list` as an immutable server-owned snapshot (generation
+  /// 1) and fills `out` with its handle. Validates the list first when
+  /// the engine options request input validation; malformed lists are
+  /// rejected with kInvalidInput and nothing is registered.
+  Status register_snapshot(LinkedList list, SnapshotHandle& out);
+  /// Replaces snapshot `id`'s list, bumps its generation, invalidates
+  /// every cached artifact of the id, and fills `out` with the new
+  /// handle. After this returns, no request observes the old bytes as
+  /// current: in-flight runs against the old generation finish coherently
+  /// on them, new requests resolve to the new generation, and pinned
+  /// old-generation requests are rejected as stale.
+  Status update_snapshot(std::uint64_t id, LinkedList list,
+                         SnapshotHandle& out);
+  /// Retires snapshot `id` and drops its cached artifacts. Returns false
+  /// if `id` is unknown. In-flight runs keep the old bytes alive.
+  bool drop_snapshot(std::uint64_t id);
+  /// Submits a snapshot-addressed request. A memoized result is answered
+  /// inline (the future is already resolved on return); otherwise the
+  /// job is queued like any other, carrying the pinned snapshot list and
+  /// any cached slab. Stale pins and unknown ids resolve immediately to
+  /// kStaleGeneration / kInvalidInput.
+  std::future<RunResult> submit(const SnapshotRequest& req);
+  /// Callback flavour of the snapshot submit (same contract as the
+  /// Request callback overload; inline resolutions invoke `done` from
+  /// this call).
+  void submit(const SnapshotRequest& req,
+              std::function<void(RunResult&&)> done);
 
   /// Stops accepting work, drains every queued job, joins the workers.
   /// Idempotent; concurrent callers all block until the drain finishes.
@@ -164,6 +237,11 @@ class EngineServer {
     Request req;                     ///< what to run
     std::promise<RunResult> result;  ///< how to answer (future flavour)
     std::function<void(RunResult&&)> done;  ///< how to answer (callback)
+    /// Snapshot jobs pin their immutable list here (req.list aliases it),
+    /// so the bytes outlive update()/drop() races.
+    std::shared_ptr<const LinkedList> pinned;
+    std::uint64_t snapshot_id = 0;  ///< 0 = not a snapshot job
+    std::uint64_t snapshot_generation = 0;  ///< generation req.list is
 
     /// Answers with `r` (consumed). Exactly one fulfil per job.
     void fulfill(RunResult&& r) {
@@ -184,12 +262,22 @@ class EngineServer {
   };
 
   std::future<RunResult> submit_job(Job job, bool has_future);
+  std::future<RunResult> submit_snapshot(const SnapshotRequest& req,
+                                         std::function<void(RunResult&&)> done,
+                                         bool has_future);
+  void finish_snapshot_run(const Job& job, const Request& req, RunResult& r,
+                           Engine& engine);
   void worker_loop();
   void join_workers(bool drain);
 
   ServerOptions opt_;            ///< resolved configuration
   BoundedQueue<Job> queue_;      ///< clients push, workers pop
   WorkspacePool pool_;           ///< one warmed engine per running batch
+  SnapshotRegistry registry_;    ///< immutable generation-stamped lists
+  /// Cross-request packed slabs per (snapshot, generation, ones-flag).
+  LruCache<std::shared_ptr<const PackedSlab>> slab_cache_;
+  /// Memoized results per (snapshot, generation, request shape).
+  LruCache<std::shared_ptr<const RunResult>> result_cache_;
   std::vector<std::thread> threads_;  ///< the worker pool
 
   std::atomic<std::uint64_t> submitted_{0};   ///< accepted jobs
@@ -202,6 +290,8 @@ class EngineServer {
   std::atomic<std::uint64_t> intra_threads_peak_{0};  ///< max host_threads
   std::atomic<std::uint64_t> rank_requests_{0};  ///< accepted rank jobs
   std::atomic<std::uint64_t> scan_requests_{0};  ///< accepted scan jobs
+  std::atomic<std::uint64_t> snapshot_updates_{0};  ///< update_snapshot()s
+  std::atomic<std::uint64_t> stale_rejections_{0};  ///< stale-pin rejects
 
   std::mutex shutdown_mu_;        ///< serializes shutdown paths
   bool joined_ = false;           ///< workers already joined
@@ -214,4 +304,6 @@ namespace lr90 {
 using serve::EngineServer;
 using serve::ServerOptions;
 using serve::ServerStats;
+using serve::SnapshotHandle;
+using serve::SnapshotRequest;
 }  // namespace lr90

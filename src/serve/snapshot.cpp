@@ -1,0 +1,50 @@
+#include "serve/snapshot.hpp"
+
+#include <utility>
+
+namespace lr90::serve {
+
+SnapshotHandle SnapshotRegistry::register_snapshot(LinkedList list) {
+  auto pinned = std::make_shared<const LinkedList>(std::move(list));
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  slots_.emplace(id, Slot{1, std::move(pinned)});
+  return SnapshotHandle{id, 1};
+}
+
+bool SnapshotRegistry::update(std::uint64_t id, LinkedList list,
+                              SnapshotHandle& out) {
+  auto pinned = std::make_shared<const LinkedList>(std::move(list));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return false;
+  ++it->second.generation;
+  it->second.list = std::move(pinned);  // old bytes live on in-flight runs
+  out = SnapshotHandle{id, it->second.generation};
+  return true;
+}
+
+bool SnapshotRegistry::drop(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.erase(id) != 0;
+}
+
+SnapshotRegistry::Resolve SnapshotRegistry::resolve(
+    std::uint64_t id, std::uint64_t generation,
+    std::shared_ptr<const LinkedList>& list, SnapshotHandle& handle) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return Resolve::kUnknown;
+  handle = SnapshotHandle{id, it->second.generation};
+  if (generation != 0 && generation != it->second.generation)
+    return Resolve::kStale;
+  list = it->second.list;
+  return Resolve::kOk;
+}
+
+std::size_t SnapshotRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace lr90::serve

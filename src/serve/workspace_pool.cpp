@@ -46,6 +46,7 @@ PoolStats WorkspacePool::stats() const {
   for (const auto& engine : engines_) {
     s.allocations += engine->workspace().allocations();
     s.reuse_hits += engine->workspace().reuse_hits();
+    s.packed_builds += engine->workspace().packed_builds();
   }
   return s;
 }

@@ -441,5 +441,97 @@ TEST(NetServer, InvalidListIsTypedNotFatal) {
   server.stop();
 }
 
+TEST(NetServer, SnapshotLifecycleOverTcp) {
+  // The whole snapshot story over a real socket: register returns a
+  // handle, runs against the handle are bit-exact and served from the
+  // shared caches on repeats, update() invalidates pinned generations
+  // with a typed answer naming the current one, and release makes the
+  // id unknown without hurting the connection.
+  NetServer server(base_options());
+  ASSERT_TRUE(server.start().ok());
+  NetClient client = connect_client(server);
+
+  Rng rng(31);
+  const LinkedList list = random_list(1500, rng);
+  Engine direct(server.options().serve.engine);
+  const std::vector<value_t> want_rank = direct.run(RankRequest{&list}).scan;
+  const std::vector<value_t> want_scan =
+      direct.run(ScanRequest{&list, ScanOp::kMin}).scan;
+
+  // Register: the handle comes back in a kSnapshot body at generation 1.
+  ResponseFrame resp;
+  ASSERT_TRUE(client.register_snapshot(list, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  ASSERT_EQ(resp.body, BodyKind::kSnapshot);
+  const std::uint64_t id = resp.snapshot_id;
+  EXPECT_EQ(resp.generation, 1u);
+
+  // Runs against the handle match a direct engine; generation 0 pins
+  // "whatever is current", an explicit 1 pins this generation.
+  ASSERT_TRUE(client.snapshot_rank(id, 0, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.values, want_rank);
+  ASSERT_TRUE(client.snapshot_scan(id, 1, ScanOp::kMin, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.values, want_scan);
+
+  // A repeat of the same shaped request is a cross-request result-cache
+  // hit -- same bytes on the wire, zero additional engine runs.
+  ASSERT_TRUE(client.snapshot_rank(id, 0, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.values, want_rank);
+  EXPECT_GE(server.serve_stats().result_hits, 1u);
+
+  // Update bumps the generation...
+  const LinkedList fresh = random_list(64, rng);
+  ASSERT_TRUE(client.update_snapshot(id, fresh, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  ASSERT_EQ(resp.body, BodyKind::kSnapshot);
+  EXPECT_EQ(resp.snapshot_id, id);
+  EXPECT_EQ(resp.generation, 2u);
+
+  // ...and a request pinned to the old generation is refused with a
+  // typed answer that names the CURRENT generation for retargeting.
+  ASSERT_TRUE(client.snapshot_rank(id, 1, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kStaleGeneration) << resp.text;
+  ASSERT_EQ(resp.body, BodyKind::kSnapshot);
+  EXPECT_EQ(resp.snapshot_id, id);
+  EXPECT_EQ(resp.generation, 2u);
+
+  // Retarget-and-resend, exactly as the header documents, lands on the
+  // new list.
+  const std::vector<value_t> want_fresh =
+      direct.run(RankRequest{&fresh}).scan;
+  ASSERT_TRUE(client.snapshot_rank(id, resp.generation, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.values, want_fresh);
+
+  // Release frees the id; a second release and any later run against it
+  // are typed rejections, not connection teardowns.
+  ASSERT_TRUE(client.release_snapshot(id, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.snapshot_id, id);
+  ASSERT_TRUE(client.release_snapshot(id, resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kInvalidInput) << resp.text;
+  ASSERT_TRUE(client.snapshot_rank(id, 0, resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kInvalidInput) << resp.text;
+
+  // The netcat-visible stats report the cache and snapshot counters.
+  std::string stats;
+  ASSERT_TRUE(client.stats_text(stats).ok());
+  EXPECT_NE(stats.find("snapshots_live "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("slab_hits "), std::string::npos) << stats;
+  EXPECT_NE(stats.find("net_req_snapshot_admin "), std::string::npos);
+  EXPECT_NE(stats.find("net_stale_generation_sent "), std::string::npos);
+
+  const NetStats net = server.net_stats();
+  EXPECT_EQ(net.stale_generation_sent, 1u);
+  EXPECT_GE(net.req_snapshot_admin, 4u);
+  EXPECT_GE(net.req_snapshot_rank, 5u);
+  EXPECT_GE(net.req_snapshot_scan, 1u);
+  EXPECT_EQ(net.protocol_errors, 0u);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace lr90::net

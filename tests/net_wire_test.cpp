@@ -144,6 +144,103 @@ TEST(WireCodec, SeededRandomRoundTrips) {
   }
 }
 
+TEST(WireCodec, SnapshotAdminRequestsRoundTrip) {
+  Rng rng(4242);
+  const LinkedList list = random_list(211, rng);
+
+  std::vector<std::uint8_t> buf;
+  encode_register_snapshot_request(buf, 21, list);
+  RequestFrame req;
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.kind, MsgKind::kRegisterSnapshotRequest);
+  EXPECT_EQ(req.request_id, 21u);
+  expect_lists_equal(req.list, list);
+
+  buf.clear();
+  encode_update_snapshot_request(buf, 22, 0xDEADBEEFCAFEF00DULL, list);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.kind, MsgKind::kUpdateSnapshotRequest);
+  EXPECT_EQ(req.snapshot_id, 0xDEADBEEFCAFEF00DULL);
+  expect_lists_equal(req.list, list);
+
+  buf.clear();
+  encode_release_snapshot_request(buf, 23, 0xFFFFFFFFFFFFFFFFULL);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.kind, MsgKind::kReleaseSnapshotRequest);
+  EXPECT_EQ(req.snapshot_id, 0xFFFFFFFFFFFFFFFFULL);
+}
+
+TEST(WireCodec, SnapshotRunRequestsRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_snapshot_rank_request(buf, 31, /*snapshot_id=*/5,
+                               /*generation=*/0, Method::kReidMiller);
+  RequestFrame req;
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.kind, MsgKind::kSnapshotRankRequest);
+  EXPECT_EQ(req.snapshot_id, 5u);
+  EXPECT_EQ(req.generation, 0u);
+  EXPECT_EQ(req.method, Method::kReidMiller);
+
+  for (const ScanOp op : kAllScanOps) {
+    buf.clear();
+    encode_snapshot_scan_request(buf, 32, /*snapshot_id=*/9,
+                                 /*generation=*/17, op);
+    ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+    EXPECT_EQ(req.kind, MsgKind::kSnapshotScanRequest);
+    EXPECT_EQ(req.snapshot_id, 9u);
+    EXPECT_EQ(req.generation, 17u);
+    EXPECT_EQ(req.op, op);
+    EXPECT_EQ(req.method, Method::kAuto);
+  }
+}
+
+TEST(WireCodec, SnapshotResponseRoundTrips) {
+  std::vector<std::uint8_t> buf;
+  encode_snapshot_response(buf, 41, WireStatus::kOk, /*snapshot_id=*/3,
+                           /*generation=*/1);
+  ResponseFrame resp;
+  ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+  EXPECT_EQ(resp.body, BodyKind::kSnapshot);
+  EXPECT_EQ(resp.snapshot_id, 3u);
+  EXPECT_EQ(resp.generation, 1u);
+
+  // The stale refusal carries the CURRENT generation for retargeting.
+  buf.clear();
+  encode_snapshot_response(buf, 42, WireStatus::kStaleGeneration, 3, 7);
+  ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+  EXPECT_EQ(resp.status, WireStatus::kStaleGeneration);
+  EXPECT_EQ(resp.generation, 7u);
+
+  // Truncated and padded snapshot bodies are typed kBadLength.
+  buf.clear();
+  encode_snapshot_response(buf, 43, WireStatus::kOk, 3, 1);
+  buf.pop_back();
+  buf[8] -= 1;  // payload_len tracks the truncation
+  EXPECT_EQ(decode_response(must_parse(buf), resp), WireError::kBadLength);
+  buf.clear();
+  encode_snapshot_response(buf, 44, WireStatus::kOk, 3, 1);
+  buf.push_back(0);
+  buf[8] += 1;
+  EXPECT_EQ(decode_response(must_parse(buf), resp), WireError::kBadLength);
+}
+
+TEST(WireCodec, SnapshotRunRequestsRejectTrailingBytes) {
+  // The fixed-size request bodies must consume their payload exactly.
+  std::vector<std::uint8_t> buf;
+  encode_snapshot_rank_request(buf, 51, 1, 1);
+  buf.push_back(0xAB);
+  buf[8] += 1;
+  RequestFrame req;
+  EXPECT_EQ(decode_request(must_parse(buf), req), WireError::kBadLength);
+
+  buf.clear();
+  encode_release_snapshot_request(buf, 52, 1);
+  buf.push_back(0xAB);
+  buf[8] += 1;
+  EXPECT_EQ(decode_request(must_parse(buf), req), WireError::kBadLength);
+}
+
 // -- the corruption harness -------------------------------------------------
 
 /// A valid medium-size scan frame the corruption cases start from.

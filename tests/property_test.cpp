@@ -23,6 +23,7 @@
 #include "core/reid_miller.hpp"
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
+#include "serve/server.hpp"
 #include "test_util.hpp"
 
 namespace lr90 {
@@ -570,6 +571,138 @@ TEST_P(SeedProperty, RanksAreAPermutationOfZeroToNMinusOne) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedProperty,
                          ::testing::Values(1, 7, 42, 1234, 99991));
+
+// ---------------------------------------------------------------------
+// Cache-coherence differential harness: seeded interleavings of
+// register / update / rank / scan / drop across two snapshots and all
+// seven operators against an EngineServer with the cross-request caches
+// live. Every successful response must be bit-exact against a FRESH
+// serial-oracle run on the generation the request resolved to -- a
+// cached answer is indistinguishable from a recomputed one, or the cache
+// is wrong. Stale pins must come back kStaleGeneration carrying the
+// current generation; dropped ids must come back kInvalidInput.
+// ---------------------------------------------------------------------
+
+/// Shadow of one registered snapshot: what the server must currently be
+/// serving for it.
+struct ShadowSnapshot {
+  serve::SnapshotHandle handle;  ///< id + the generation we last saw
+  LinkedList list;               ///< bit-for-bit the registered bytes
+};
+
+/// Small non-negative values keep every operator exact under arbitrary
+/// regrouping AND arbitrary lane interpretation (no segment-start bits,
+/// no lane overflow), so one fixed value set is a sound oracle input for
+/// all seven operators at once.
+LinkedList coherence_list(std::size_t n, Rng& rng) {
+  LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
+  for (value_t& v : l.value) v %= 100;
+  return l;
+}
+
+class SnapshotCoherence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SnapshotCoherence, InterleavedMutationsStayBitExact) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.engine.threads = 2;
+  opt.workers = 2;
+  EngineServer server(opt);
+
+  constexpr std::size_t kSnapshots = 2;
+  const std::size_t sizes[kSnapshots] = {997, 256};
+  ShadowSnapshot shadow[kSnapshots];
+  for (std::size_t i = 0; i < kSnapshots; ++i) {
+    shadow[i].list = coherence_list(sizes[i], rng);
+    ASSERT_TRUE(server
+                    .register_snapshot(shadow[i].list, shadow[i].handle)
+                    .ok());
+    EXPECT_EQ(shadow[i].handle.generation, 1u);
+  }
+
+  for (int step = 0; step < 120; ++step) {
+    const std::size_t i = rng.uniform(kSnapshots);
+    ShadowSnapshot& s = shadow[i];
+    const ScanOp op = kAllScanOps[static_cast<std::size_t>(step) %
+                                  std::size(kAllScanOps)];
+    std::ostringstream repro;
+    repro << "repro: seed=" << seed << " step=" << step << " snapshot=" << i
+          << " id=" << s.handle.snapshot_id << " gen=" << s.handle.generation
+          << " op=" << scan_op_name(op);
+    SCOPED_TRACE(repro.str());
+
+    const std::uint64_t action = rng.uniform(10);
+    if (action < 3) {
+      // Rank against whatever is current (generation 0) or our pinned
+      // current generation -- both must serve the current bytes.
+      serve::SnapshotRequest req;
+      req.snapshot_id = s.handle.snapshot_id;
+      req.generation = rng.coin() ? 0 : s.handle.generation;
+      req.rank = true;
+      const RunResult r = server.submit(req).get();
+      ASSERT_TRUE(r.ok()) << r.status.message;
+      EXPECT_EQ(r.stats.snapshot_generation, s.handle.generation);
+      testutil::expect_scan_eq(r.scan, reference_rank(s.list));
+    } else if (action < 6) {
+      serve::SnapshotRequest req;
+      req.snapshot_id = s.handle.snapshot_id;
+      req.generation = rng.coin() ? 0 : s.handle.generation;
+      req.rank = false;
+      req.op = op;
+      const RunResult r = server.submit(req).get();
+      ASSERT_TRUE(r.ok()) << r.status.message;
+      testutil::expect_scan_eq(r.scan, oracle_scan(s.list, op));
+    } else if (action < 7 && s.handle.generation >= 2) {
+      // A pin on the superseded generation: the typed stale refusal must
+      // name the generation to retarget to. Never a stale answer.
+      serve::SnapshotRequest req;
+      req.snapshot_id = s.handle.snapshot_id;
+      req.generation = s.handle.generation - 1;
+      req.rank = (step % 2) == 0;
+      req.op = op;
+      const RunResult r = server.submit(req).get();
+      ASSERT_EQ(r.status.code, StatusCode::kStaleGeneration);
+      EXPECT_EQ(r.stats.snapshot_generation, s.handle.generation);
+    } else if (action < 9) {
+      // update(): new bytes under the same id, generation bump; every
+      // later request must observe only the new list.
+      s.list = coherence_list(sizes[i], rng);
+      const std::uint64_t before = s.handle.generation;
+      ASSERT_TRUE(server
+                      .update_snapshot(s.handle.snapshot_id, s.list,
+                                       s.handle)
+                      .ok());
+      EXPECT_EQ(s.handle.generation, before + 1);
+    } else {
+      // drop() then re-register: the dropped id must refuse typed, and
+      // ids are never reused.
+      const std::uint64_t dropped = s.handle.snapshot_id;
+      ASSERT_TRUE(server.drop_snapshot(dropped));
+      serve::SnapshotRequest req;
+      req.snapshot_id = dropped;
+      const RunResult r = server.submit(req).get();
+      EXPECT_EQ(r.status.code, StatusCode::kInvalidInput);
+      s.list = coherence_list(sizes[i], rng);
+      ASSERT_TRUE(server.register_snapshot(s.list, s.handle).ok());
+      EXPECT_NE(s.handle.snapshot_id, dropped);
+      EXPECT_EQ(s.handle.generation, 1u);
+    }
+  }
+
+  server.shutdown();
+  const ServerStats stats = server.stats();
+  // The interleaving repeats (snapshot, generation, shape) keys, so the
+  // caches must have actually served -- this harness exercises hits, not
+  // just cold misses.
+  EXPECT_GT(stats.result_hits + stats.slab_hits, 0u);
+  EXPECT_EQ(stats.snapshots_live, kSnapshots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotCoherence,
+                         ::testing::Values(1, 7, 42, 1234));
 
 }  // namespace
 }  // namespace lr90

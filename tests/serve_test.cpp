@@ -529,6 +529,157 @@ TEST(EngineServer, CollapsingKeysOnOperatorIdentity) {
       << "a 64-deep two-key backlog must collapse within each key";
 }
 
+TEST(EngineServer, SnapshotHotKeySteadyStateDoesZeroPacksAndZeroRuns) {
+  // The tentpole gate at unit level: once a snapshot-addressed hot key is
+  // warm, repeats are answered from the memoized-result cache inline at
+  // submit() -- zero queue traffic, zero engine runs, zero packed-slab
+  // builds. reset_stats() must zero the cumulative cache counters while
+  // keeping the warmed entries resident (gauges follow content).
+  Rng rng(61);
+  const LinkedList list = random_list(20000, rng);
+  Engine serial({.backend = BackendKind::kSerial});
+  const RunResult want = serial.rank(list);
+  ASSERT_TRUE(want.ok());
+
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.workers = 1;
+  EngineServer server(opt);
+
+  SnapshotHandle handle;
+  ASSERT_TRUE(server.register_snapshot(list, handle).ok());
+  SnapshotRequest hot;
+  hot.snapshot_id = handle.snapshot_id;
+  hot.rank = true;
+
+  // Warm: the first request is the one real engine run.
+  const RunResult first = server.submit(hot).get();
+  ASSERT_TRUE(first.ok()) << first.status.message;
+  EXPECT_EQ(first.scan, want.scan);
+  // A resolved future precedes the worker's bookkeeping (including the
+  // post-run cache inserts); poll until the memo landed.
+  while (server.stats().completed != 1 ||
+         server.stats().cache_resident_entries == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ServerStats warm = server.stats();
+  EXPECT_EQ(warm.result_misses, 1u);
+  EXPECT_EQ(warm.result_hits, 0u);
+  EXPECT_GT(warm.cache_resident_entries, 0u);
+  EXPECT_GT(warm.cache_resident_bytes, 0u);
+  EXPECT_EQ(warm.snapshots_live, 1u);
+
+  server.reset_stats();
+  const ServerStats zeroed = server.stats();
+  EXPECT_EQ(zeroed.result_hits, 0u);
+  EXPECT_EQ(zeroed.result_misses, 0u);
+  EXPECT_EQ(zeroed.result_evictions, 0u);
+  EXPECT_EQ(zeroed.slab_hits, 0u);
+  EXPECT_EQ(zeroed.slab_misses, 0u);
+  EXPECT_EQ(zeroed.slab_evictions, 0u);
+  EXPECT_EQ(zeroed.snapshot_updates, 0u);
+  EXPECT_EQ(zeroed.stale_rejections, 0u);
+  EXPECT_EQ(zeroed.pool.packed_builds, 0u);
+  EXPECT_EQ(zeroed.cache_resident_entries, warm.cache_resident_entries)
+      << "a stats reset must not cool the warmed caches";
+  EXPECT_EQ(zeroed.cache_resident_bytes, warm.cache_resident_bytes);
+  EXPECT_EQ(zeroed.snapshots_live, 1u) << "gauges follow content";
+
+  // Steady state: every repeat is an inline memo hit.
+  constexpr std::size_t kRepeats = 16;
+  for (std::size_t i = 0; i < kRepeats; ++i) {
+    const RunResult r = server.submit(hot).get();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.scan, want.scan);
+    EXPECT_EQ(r.stats.snapshot_generation, handle.generation);
+  }
+  server.shutdown();
+  const ServerStats steady = server.stats();
+  EXPECT_EQ(steady.result_hits, kRepeats);
+  EXPECT_EQ(steady.result_misses, 0u);
+  EXPECT_EQ(steady.submitted, 0u) << "memo hits must never enter the queue";
+  EXPECT_EQ(steady.completed, 0u) << "steady state runs zero engine jobs";
+  EXPECT_EQ(steady.pool.packed_builds, 0u)
+      << "steady state builds zero packed slabs";
+}
+
+TEST(EngineServer, SnapshotUpdateRaceNeverServesAStaleGeneration) {
+  // The TSan battery: 8 clients hammer one hot snapshot key while a
+  // writer loops update(). Coherence contract under race: once update()
+  // to generation G has RETURNED, every later response is stamped >= G,
+  // and every response's payload is bit-exact for its stamped generation
+  // -- never a torn slab read, never old bytes under a new stamp. The
+  // per-generation value sets make any cross-generation mixing visible:
+  // generation g's list holds the constant value g, so its plus-scan is
+  // exactly g * rank, elementwise.
+  Rng rng(67);
+  const LinkedList base = random_list(2000, rng, ValueInit::kOnes);
+  Engine serial({.backend = BackendKind::kSerial});
+  const RunResult base_rank = serial.rank(base);
+  ASSERT_TRUE(base_rank.ok());
+
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.workers = 2;
+  EngineServer server(opt);
+
+  SnapshotHandle handle;
+  ASSERT_TRUE(server.register_snapshot(base, handle).ok());
+  const std::uint64_t id = handle.snapshot_id;
+  constexpr std::uint64_t kGenerations = 8;
+
+  // The writer publishes its floor only AFTER update() returns: readers
+  // that observe floor F must never be answered by a generation < F.
+  std::atomic<std::uint64_t> floor{1};
+  std::thread writer([&] {
+    for (std::uint64_t g = 2; g <= kGenerations; ++g) {
+      LinkedList next = base;
+      for (value_t& v : next.value) v = static_cast<value_t>(g);
+      SnapshotHandle h;
+      ASSERT_TRUE(server.update_snapshot(id, next, h).ok());
+      ASSERT_EQ(h.generation, g);
+      floor.store(g, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kRequestsPerClient = 40;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t i = 0; i < kRequestsPerClient; ++i) {
+        const std::uint64_t seen = floor.load(std::memory_order_acquire);
+        SnapshotRequest req;
+        req.snapshot_id = id;
+        req.rank = false;
+        req.op = ScanOp::kPlus;  // current generation, whatever it is
+        const RunResult r = server.submit(req).get();
+        ASSERT_TRUE(r.ok()) << r.status.message;
+        const std::uint64_t g = r.stats.snapshot_generation;
+        ASSERT_GE(g, seen) << "a generation published before the submit "
+                              "must never be un-observed";
+        ASSERT_LE(g, kGenerations);
+        ASSERT_EQ(r.scan.size(), base_rank.scan.size());
+        for (std::size_t v = 0; v < r.scan.size(); ++v) {
+          ASSERT_EQ(r.scan[v],
+                    static_cast<value_t>(g) * base_rank.scan[v])
+              << "stamped generation " << g << " with foreign bytes at "
+              << v;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  writer.join();
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.snapshot_updates, kGenerations - 1);
+  EXPECT_GT(stats.result_hits + stats.slab_hits, 0u)
+      << "the hot key must have been served from the caches at least once";
+}
+
 TEST(BoundedQueue, AdaptiveBatchPop) {
   serve::BoundedQueue<int> q(16);
   for (int i = 0; i < 10; ++i) {
