@@ -221,9 +221,17 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  // The memo is inserted by the worker after it fulfils the future; wait
-  // for residency before declaring the cache warm.
-  while (server.stats().cache_resident_entries == 0)
+  // Quiesce before zeroing: a worker bumps completed_ only AFTER it has
+  // fulfilled the batch's futures, so joining every client (and even the
+  // warmup future) does not prove the counters have settled -- a late
+  // batch epilogue (the warmup's, or the engine phase's last) would land
+  // after reset_stats() and show up as a phantom engine run in the
+  // measured window. submitted_ is bumped synchronously at accept time,
+  // so completed == submitted means every accepted job is fully
+  // accounted; the resident entry proves the memo is warm.
+  for (ServerStats s = server.stats();
+       s.cache_resident_entries == 0 || s.completed < s.submitted;
+       s = server.stats())
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   server.reset_stats();
 

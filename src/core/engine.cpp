@@ -11,6 +11,7 @@
 #include "core/host_exec.hpp"
 #include "lists/encode.hpp"
 #include "lists/validate.hpp"
+#include "shard/sharded.hpp"
 
 namespace lr90 {
 
@@ -92,6 +93,7 @@ Planner::Planner(const EngineOptions& opt)
       threads_(opt.threads),
       sublists_per_thread_(std::max(1u, opt.sublists_per_thread)),
       pinned_interleave_(opt.interleave),
+      shard_(opt.shard),
       pinned_m_(opt.reid_miller.m),
       pinned_s1_(opt.reid_miller.s1),
       sync_cycles_(opt.machine.sync_cycles),
@@ -181,6 +183,68 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
   if (rank) op = ScanOp::kPlus;  // ranking always combines by addition
 
   if (backend_ == BackendKind::kHost) {
+    // Sharding decision first: a pinned ShardOptions::shards, or
+    // auto-shard when n exceeds the packed path's 2^31 link-lane bound
+    // (lists/encode.hpp kHotMaxVertices) or the resident byte budget.
+    // This is the TYPED fallback for "too big": the request routes to the
+    // two-level sharded path -- where each shard takes the packed kernels
+    // only when IT fits the lane (the per-shard bound check in
+    // shard/sharded.cpp) -- instead of ever packing 31-bit links that
+    // cannot hold them. Explicit kSerial/kWyllie requests are honoured
+    // unsharded as before.
+    if (requested == Method::kAuto || requested == Method::kReidMiller) {
+      std::size_t shards = shard_.shards;
+      if (shards == 0 && shard_.auto_shard) {
+        const std::size_t bytes = n * (sizeof(index_t) + sizeof(value_t));
+        if (n > kHotMaxVertices)
+          shards = (n + kHotMaxVertices / 2 - 1) / (kHotMaxVertices / 2);
+        if (shard_.byte_budget > 0 && bytes > shard_.byte_budget)
+          shards = std::max<std::size_t>(
+              shards,
+              (2 * bytes + shard_.byte_budget - 1) / shard_.byte_budget);
+      }
+      if (shards > 0 && n > 0) {
+        d.shard_count = static_cast<unsigned>(std::min<std::size_t>(
+            std::min<std::size_t>(shards, n), shard::kMaxShards));
+        d.method = Method::kReidMiller;
+        // Tune the per-shard execution shape on the shard width, not n:
+        // each shard runs the ordinary (threads x W) hot path over its
+        // own slice.
+        const std::size_t width =
+            (n + d.shard_count - 1) / d.shard_count;
+        const unsigned eff = host_exec::effective_threads(threads_);
+        const double factor = op_cost_factor(op);
+        const auto breakeven =
+            static_cast<std::size_t>(std::max(1.0, 2048.0 / factor));
+        const auto useful = static_cast<unsigned>(std::min<std::size_t>(
+            eff, std::max<std::size_t>(1, width / breakeven)));
+        d.threads = useful;
+        d.legacy_threads = useful;
+        const bool lane =
+            (rank || scan_op_lane32(op)) && width <= kHotMaxVertices;
+        if (lane) {
+          const unsigned wpin =
+              pinned_interleave_ > 0
+                  ? std::min(pinned_interleave_, host_exec::kMaxInterleave)
+                  : 0;
+          const double wd = static_cast<double>(width);
+          const HostTuneResult ht =
+              threads_ > 0 || wpin > 0
+                  ? host_tune(wd, factor, eff, threads_ > 0 ? useful : 0,
+                              wpin)
+                  : host_tuned(wd, factor, eff);
+          if (threads_ == 0)
+            d.threads = std::max(1u, std::min(ht.threads, eff));
+          d.interleave =
+              d.threads == ht.threads
+                  ? ht.interleave
+                  : host_tune(wd, factor, eff, d.threads, wpin).interleave;
+        }
+        d.sublists = static_cast<double>(d.threads) *
+                     static_cast<double>(sublists_per_thread_);
+        return d;
+      }
+    }
     const unsigned eff = host_exec::effective_threads(threads_);
     const double factor = op_cost_factor(op);
     // Parallelism must amortize thread fork/join (~tens of microseconds):
@@ -337,6 +401,10 @@ class SerialBackend final : public ExecutionBackend {
 
 class HostBackend final : public ExecutionBackend {
  public:
+  /// Keeps a copy of the sharding knobs: backends must not point into the
+  /// (movable) Engine.
+  explicit HostBackend(const EngineOptions& opt) : shard_opts_(opt.shard) {}
+
   BackendKind kind() const override { return BackendKind::kHost; }
 
   Status execute(const Request& req, const Planner::Decision& plan,
@@ -349,6 +417,7 @@ class HostBackend final : public ExecutionBackend {
                       "not '") +
           method_name(plan.method) + "'");
     }
+    if (plan.shard_count > 0) return execute_sharded(req, plan, ws, out);
 
     host_exec::HostPlan hp;
     hp.threads = plan.method == Method::kSerial ? 1 : plan.threads;
@@ -405,6 +474,56 @@ class HostBackend final : public ExecutionBackend {
     out.stats.host_parallel_frac = info.parallel_frac();
     return Status::success();
   }
+
+ private:
+  /// Routes a shard-planned run through the two-level sharded executor
+  /// (shard/sharded.cpp) and folds its counters into RunStats.
+  Status execute_sharded(const Request& req, const Planner::Decision& plan,
+                         Workspace& ws, RunResult& out) {
+    shard::ShardExec exec;
+    exec.shards = plan.shard_count;
+    exec.threads = std::max(1u, plan.threads);
+    exec.interleave = plan.interleave;
+    exec.byte_budget = shard_opts_.byte_budget;
+    exec.prefetch = shard_opts_.prefetch;
+    if (!req.shard_spill_dir.empty()) {
+      // A request-pinned directory (the serving layer's per-snapshot-
+      // generation dir): reuse matching files and leave them on disk.
+      exec.spill_dir = req.shard_spill_dir;
+      exec.keep_files = true;
+    } else if (!shard_opts_.spill_dir.empty()) {
+      exec.spill_dir = shard_opts_.spill_dir;
+      exec.keep_files = true;
+    }
+    shard::ShardRunStats ss;
+    const Status st =
+        shard::sharded_scan(*req.list, req.rank, req.op, exec, ws,
+                            std::span<value_t>(out.scan), ss);
+    if (!st.ok()) return st;
+    const std::size_t n = req.list->size();
+    out.stats.algo.rounds = n == 0 ? 0 : 3;
+    out.stats.algo.link_steps = 2 * n;
+    // Per-run reduced-list arrays (~4 words per segment) plus one shard's
+    // slab resident at a time.
+    out.stats.algo.extra_words =
+        4 * ss.segments +
+        (exec.interleave > 0 && ss.shards > 0 ? (n + ss.shards - 1) /
+                                                    ss.shards
+                                              : 0);
+    out.stats.host_threads = exec.threads;
+    out.stats.host_interleave = exec.interleave;
+    out.stats.host_packed =
+        exec.interleave >= 1 && (req.rank || scan_op_lane32(req.op));
+    out.stats.shard_count = ss.shards;
+    out.stats.shard_segments = ss.segments;
+    out.stats.shard_loads = ss.store.loads;
+    out.stats.shard_spills = ss.store.spills;
+    out.stats.shard_prefetch_hits = ss.store.prefetch_hits;
+    out.stats.shard_spilled = ss.store.spilled;
+    return st;
+  }
+
+  ShardOptions shard_opts_;  ///< copied from EngineOptions at construction
 };
 
 class SimBackend final : public ExecutionBackend {
@@ -525,7 +644,7 @@ std::unique_ptr<ExecutionBackend> make_backend(const EngineOptions& opt) {
   switch (opt.backend) {
     case BackendKind::kSerial: return std::make_unique<SerialBackend>();
     case BackendKind::kSim: return std::make_unique<SimBackend>(opt);
-    case BackendKind::kHost: return std::make_unique<HostBackend>();
+    case BackendKind::kHost: return std::make_unique<HostBackend>(opt);
   }
   return std::make_unique<SerialBackend>();
 }

@@ -168,6 +168,11 @@ struct Request {
   /// into the workspace for this run. Only sound when `list` is an
   /// immutable snapshot the slab was built from; null for ordinary runs.
   std::shared_ptr<const PackedSlab> slab;
+  /// Pinned spill directory for a sharded run ("" = the engine's
+  /// ShardOptions default). Set by the serving layer to its per-snapshot-
+  /// generation directory so shard files are written once and reused
+  /// across requests; only sound for immutable snapshot lists.
+  std::string shard_spill_dir;
 
   Request() = default;  ///< an empty (listless) request; run() rejects it
   /// Converts a rank request.
@@ -211,6 +216,14 @@ struct RunStats {
   /// Amdahl fraction); 0 when no phases were timed.
   double host_parallel_frac = 0.0;
 
+  // Sharded execution (src/shard/): all zero when the run was unsharded.
+  unsigned shard_count = 0;          ///< shards the run split into
+  std::uint64_t shard_segments = 0;  ///< reduced-list length (2nd level)
+  std::uint64_t shard_loads = 0;     ///< shard-file loads (spill tier)
+  std::uint64_t shard_spills = 0;    ///< residencies evicted by the budget
+  std::uint64_t shard_prefetch_hits = 0;  ///< loads the prefetcher served
+  bool shard_spilled = false;        ///< the out-of-core tier was active
+
   /// For snapshot-addressed serving requests (serve/server.hpp): the
   /// snapshot generation this result was computed against -- on a
   /// kStaleGeneration rejection, the CURRENT generation the client should
@@ -231,6 +244,31 @@ struct RunResult {
 };
 
 // -- options ----------------------------------------------------------------
+
+/// Sharded / out-of-core execution knobs (src/shard/): splitting a run
+/// into P contiguous id-range shards ranked independently, with
+/// cross-shard cursors resolved by a second-level Reid-Miller pass, and an
+/// optional spill tier that keeps at most `byte_budget` shard bytes
+/// resident (mmapped ShardFiles + async prefetch).
+struct ShardOptions {
+  /// Let the Planner shard automatically when n exceeds the packed path's
+  /// 2^31 link-lane bound, or when the list's bytes exceed `byte_budget`.
+  bool auto_shard = true;
+  /// Pinned shard count; 0 = auto (1 forces a single-shard sharded run,
+  /// which tests use to exercise the machinery on small lists).
+  unsigned shards = 0;
+  /// Resident shard-byte budget for the spill tier; 0 = all-in-RAM (no
+  /// shard files are ever written).
+  std::size_t byte_budget = 0;
+  /// Spill directory. "" = a fresh ephemeral per-run directory under the
+  /// system temp dir, removed when the run ends. A non-empty directory is
+  /// treated as pinned: shard files whose headers match are REUSED across
+  /// runs and left on disk -- only sound for immutable lists (the serving
+  /// layer's snapshot contract).
+  std::string spill_dir;
+  /// Async prefetch depth for the spill tier (0 disables the prefetcher).
+  unsigned prefetch = 1;
+};
 
 /// Everything an Engine is configured with; value-semantic and copyable
 /// (an EngineServer stamps one per pooled worker engine).
@@ -264,6 +302,8 @@ struct EngineOptions {
   /// Check every answer against the serial reference; mismatches yield
   /// StatusCode::kWrongAnswer. Costs one serial pass per run.
   bool verify_output = false;
+  /// Sharded / out-of-core execution knobs (host backend only).
+  ShardOptions shard;
 };
 
 // -- planner ----------------------------------------------------------------
@@ -309,6 +349,12 @@ class Planner {
     /// 0 = same as `threads`.
     unsigned legacy_threads = 0;
     double predicted_cycles = 0.0;  ///< sim cost-model estimate; 0 if n/a
+    /// Shards the run splits into (src/shard/ two-level path); 0 = the
+    /// ordinary unsharded execution. Set from a pinned
+    /// ShardOptions::shards, or automatically when n exceeds the packed
+    /// path's 2^31 link-lane bound or the resident byte budget -- the
+    /// typed fallback for "too big": never a silently wrong packed run.
+    unsigned shard_count = 0;
   };
 
   /// Plans one run of length n. `requested` != kAuto is honoured verbatim
@@ -341,6 +387,7 @@ class Planner {
   unsigned threads_;
   unsigned sublists_per_thread_;
   unsigned pinned_interleave_;  ///< caller-pinned interleave (0 = auto)
+  ShardOptions shard_;          ///< sharding knobs (host backend only)
   double pinned_m_;   ///< caller-pinned reid_miller.m (<= 0 = auto)
   double pinned_s1_;  ///< caller-pinned reid_miller.s1 (<= 0 = auto)
   double contention_;

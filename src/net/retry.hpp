@@ -52,9 +52,20 @@ class RetryPolicy {
     }
     const double dt = now_s - last_t_;
     const double inst = static_cast<double>(completed - last_completed_) / dt;
+    // A degenerate dt (down at clock / double granularity, e.g. right
+    // after a counter re-baseline) can push `inst` to infinity while the
+    // EWMA weight underflows to exactly zero -- and inf * 0 would poison
+    // rate_ with NaN permanently. Such a sample carries no usable rate:
+    // treat it as a baseline only.
+    if (!std::isfinite(inst)) {
+      last_t_ = now_s;
+      last_completed_ = completed;
+      return;
+    }
     // EWMA with time constant kTauS: irregular sample spacing weighted
-    // by how much time each sample actually covers.
-    const double alpha = 1.0 - std::exp(-dt / kTauS);
+    // by how much time each sample actually covers. -expm1 keeps the
+    // weight positive for tiny dt where 1 - exp(-dt/tau) rounds to 0.
+    const double alpha = -std::expm1(-dt / kTauS);
     rate_ += (inst - rate_) * alpha;
     last_t_ = now_s;
     last_completed_ = completed;
@@ -65,13 +76,18 @@ class RetryPolicy {
   double drain_rate() const { return rate_; }
 
   /// The wait hint for a client rejected while `depth` jobs are queued.
+  /// A zero, denormal, or non-finite drain rate (cold start, counter
+  /// re-baseline, degenerate samples) never reaches the division: the
+  /// quotient would overflow -- or, for NaN, make the clamp and the
+  /// uint32 cast undefined -- so those cases take the cold fallback and
+  /// the result is always inside [min_ms, max_ms].
   std::uint32_t hint_ms(std::size_t depth) const {
     const double jobs = static_cast<double>(depth) + 1.0;
     double ms = 0.0;
-    if (rate_ > 1e-9) {
+    if (std::isfinite(rate_) && rate_ > kMinRate) {
       ms = jobs / rate_ * 1000.0;
     } else {
-      ms = jobs * kColdMsPerJob;  // no drain observed yet
+      ms = jobs * kColdMsPerJob;  // no usable drain rate observed
     }
     ms = std::min(ms, static_cast<double>(max_ms_));
     return std::max(min_ms_, static_cast<std::uint32_t>(ms));
@@ -80,6 +96,9 @@ class RetryPolicy {
  private:
   static constexpr double kTauS = 0.5;       ///< EWMA time constant
   static constexpr double kColdMsPerJob = 10.0;  ///< pre-observation guess
+  /// Smallest rate the hint will divide by: everything below (including
+  /// denormals) is indistinguishable from "no drain observed".
+  static constexpr double kMinRate = 1e-9;
   std::uint32_t min_ms_;                     ///< hint floor
   std::uint32_t max_ms_;                     ///< hint ceiling
   double rate_ = 0.0;                        ///< EWMA completions/sec

@@ -171,6 +171,9 @@ std::string NetServer::stats_text() const {
       << "result_evictions " << s.result_evictions << '\n'
       << "cache_resident_bytes " << s.cache_resident_bytes << '\n'
       << "cache_resident_entries " << s.cache_resident_entries << '\n'
+      << "sharded_runs " << s.sharded_runs << '\n'
+      << "shard_spills " << s.shard_spills << '\n'
+      << "shard_prefetch_hits " << s.shard_prefetch_hits << '\n'
       << "net_accepted " << n.accepted << '\n'
       << "net_closed " << n.closed << '\n'
       << "net_idle_closed " << n.idle_closed << '\n'

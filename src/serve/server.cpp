@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "lists/validate.hpp"
+#include "shard/shard_file.hpp"
 
 namespace lr90::serve {
 
@@ -98,6 +99,13 @@ Status EngineServer::update_snapshot(std::uint64_t id, LinkedList list,
   // an old-generation artifact merely wastes bytes until LRU'd.
   slab_cache_.invalidate(id);
   result_cache_.invalidate(id);
+  // Same lifecycle for pinned shard spill files: the generation-stamped
+  // directory name already keeps new runs off the stale bytes, so this is
+  // a disk reclaim. An in-flight old-generation run that loses the race
+  // keeps its already-mapped shards (POSIX unlink semantics) and at worst
+  // resolves a not-yet-mapped shard to a typed kUnavailable.
+  if (!opt_.shard_spill_root.empty())
+    shard::drop_snapshot_spill_dirs(opt_.shard_spill_root, id);
   return Status::success();
 }
 
@@ -106,6 +114,8 @@ bool EngineServer::drop_snapshot(std::uint64_t id) {
   if (known) {
     slab_cache_.invalidate(id);
     result_cache_.invalidate(id);
+    if (!opt_.shard_spill_root.empty())
+      shard::drop_snapshot_spill_dirs(opt_.shard_spill_root, id);
   }
   return known;
 }
@@ -163,6 +173,13 @@ std::future<RunResult> EngineServer::submit_snapshot(
   job.req.rank = req.rank;
   job.req.op = req.op;
   job.req.method = req.method;
+  // Pin the generation-stamped spill directory: a sharded run keeps its
+  // shard files there, so repeat runs against the same generation reuse
+  // them (header-validated) instead of rewriting the whole list.
+  if (!opt_.shard_spill_root.empty()) {
+    job.req.shard_spill_dir = shard::snapshot_spill_dir(
+        opt_.shard_spill_root, req.snapshot_id, current.generation);
+  }
   // Ride a cached slab when one exists for this generation; ranking packs
   // the constant 1 and lane-capable scans pack their values, so the two
   // slab flavors cover every packed-capable shape.
@@ -283,6 +300,13 @@ void EngineServer::worker_loop() {
                        peak, r.stats.host_threads,
                        std::memory_order_relaxed)) {
             }
+            if (r.stats.shard_count > 0) {
+              sharded_runs_.fetch_add(1, std::memory_order_relaxed);
+              shard_spills_.fetch_add(r.stats.shard_spills,
+                                      std::memory_order_relaxed);
+              shard_prefetch_hits_.fetch_add(r.stats.shard_prefetch_hits,
+                                             std::memory_order_relaxed);
+            }
             // Snapshot jobs stamp the generation and feed the caches
             // before the result fans out (jobs collapsed onto one run
             // share a pinned list, hence one snapshot generation).
@@ -369,6 +393,9 @@ void EngineServer::reset_stats() {
   scan_requests_.store(0, std::memory_order_relaxed);
   snapshot_updates_.store(0, std::memory_order_relaxed);
   stale_rejections_.store(0, std::memory_order_relaxed);
+  sharded_runs_.store(0, std::memory_order_relaxed);
+  shard_spills_.store(0, std::memory_order_relaxed);
+  shard_prefetch_hits_.store(0, std::memory_order_relaxed);
   queue_.reset_size_hwm();
   pool_.reset_stats();
   // Cumulative cache counters restart; the caches themselves stay warm
@@ -406,6 +433,10 @@ ServerStats EngineServer::stats() const {
   s.snapshots_live = registry_.size();
   s.snapshot_updates = snapshot_updates_.load(std::memory_order_relaxed);
   s.stale_rejections = stale_rejections_.load(std::memory_order_relaxed);
+  s.sharded_runs = sharded_runs_.load(std::memory_order_relaxed);
+  s.shard_spills = shard_spills_.load(std::memory_order_relaxed);
+  s.shard_prefetch_hits =
+      shard_prefetch_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -83,6 +83,16 @@ struct ServerOptions {
   /// Byte budget of the memoized-result cache (snapshot-addressed
   /// requests only). 0 disables result memoization.
   std::size_t result_cache_bytes = std::size_t{64} << 20;
+  /// Root directory for out-of-core shard spill files of
+  /// snapshot-addressed requests. When non-empty, every snapshot job
+  /// carries the generation-stamped spill directory
+  /// shard::snapshot_spill_dir(root, id, gen), so sharded runs KEEP their
+  /// shard files across requests (repeat runs reuse matching headers
+  /// instead of rewriting); update_snapshot()/drop_snapshot() remove
+  /// every generation's directory of the id alongside the cache
+  /// invalidation. Empty (the default) leaves sharded runs on ephemeral
+  /// per-run temp directories.
+  std::string shard_spill_root;
 };
 
 /// A request addressed to a server-registered immutable snapshot
@@ -142,6 +152,13 @@ struct ServerStats {
   std::uint64_t snapshots_live = 0;     ///< registered snapshots (gauge)
   std::uint64_t snapshot_updates = 0;   ///< update_snapshot() generations
   std::uint64_t stale_rejections = 0;   ///< kStaleGeneration rejections
+
+  // Out-of-core sharding aggregates across every completed run
+  // (RunStats::shard_*): how often the sharded tier engaged and how hard
+  // the byte budget squeezed it.
+  std::uint64_t sharded_runs = 0;        ///< runs that took the shard path
+  std::uint64_t shard_spills = 0;        ///< shard evictions under budget
+  std::uint64_t shard_prefetch_hits = 0; ///< shards consumed pre-faulted
 };
 
 /// Thread-safe multi-client server over pooled Engines. All public methods
@@ -292,6 +309,9 @@ class EngineServer {
   std::atomic<std::uint64_t> scan_requests_{0};  ///< accepted scan jobs
   std::atomic<std::uint64_t> snapshot_updates_{0};  ///< update_snapshot()s
   std::atomic<std::uint64_t> stale_rejections_{0};  ///< stale-pin rejects
+  std::atomic<std::uint64_t> sharded_runs_{0};      ///< shard-path runs
+  std::atomic<std::uint64_t> shard_spills_{0};      ///< budget evictions
+  std::atomic<std::uint64_t> shard_prefetch_hits_{0};  ///< warm shard loads
 
   std::mutex shutdown_mu_;        ///< serializes shutdown paths
   bool joined_ = false;           ///< workers already joined

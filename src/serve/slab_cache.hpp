@@ -98,8 +98,9 @@ struct CacheStats {
 /// concurrent workers rarely contend and invalidation of one snapshot
 /// walks one shard. The byte budget is split evenly across shards; an
 /// insert evicts least-recently-used entries of its shard until the shard
-/// is back under its slice (an entry larger than the slice is dropped
-/// immediately -- resident bytes never exceed the budget).
+/// is back under its slice (an entry larger than the slice is refused
+/// outright, leaving the resident set untouched -- resident bytes never
+/// exceed the budget).
 ///
 /// `Value` must be cheap to copy out under the shard lock; the serving
 /// layer instantiates it with shared_ptr-to-const artifacts.
@@ -130,11 +131,25 @@ class LruCache {
 
   /// Admits (key -> value) charged at `bytes`, replacing any previous
   /// entry under the same key, then evicts least-recently-used entries
-  /// until the shard is back under its budget slice (possibly including
-  /// the new entry itself, if it alone exceeds the slice).
+  /// until the shard is back under its budget slice. An entry that alone
+  /// exceeds the slice is refused up front (counted as one insert plus
+  /// one eviction) without touching the entries already resident.
   void insert(const CacheKey& key, Value value, std::size_t bytes) {
     Shard& s = shard_of(key.snapshot_id);
     std::lock_guard<std::mutex> lock(s.mu);
+    if (bytes > budget_per_shard_) {
+      // Admitting this entry and letting the LRU walk reclaim space would
+      // evict every innocent resident before reaching the oversized entry
+      // itself -- a cache wipe with nothing to show for it. Refuse it
+      // outright: the books record an admission and an immediate drop,
+      // and the shard's resident set and byte accounting are untouched.
+      // (Any prior entry under the same key stays: artifacts are
+      // deterministic per key, so it is the same value at a size that
+      // already fit.)
+      ++s.inserts;
+      ++s.evictions;
+      return;
+    }
     auto it = s.index.find(key);
     if (it != s.index.end()) {  // replace in place (refresh, not eviction)
       s.bytes -= it->second->bytes;

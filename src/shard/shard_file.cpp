@@ -1,0 +1,202 @@
+#include "shard/shard_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LR90_SHARD_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace lr90::shard {
+
+namespace {
+
+/// Pad to the value_t alignment boundary between the next[] and value[]
+/// payload sections.
+std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+std::size_t shard_payload_bytes(std::size_t len) {
+  return align8(len * sizeof(index_t)) + len * sizeof(value_t);
+}
+
+std::string shard_file_name(unsigned index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard_%06u.lr90", index);
+  return buf;
+}
+
+bool write_shard_file(const std::string& path, const ShardHeader& header,
+                      const index_t* next, const value_t* value) {
+  const std::size_t len = shard_header_len(header);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
+  ok = ok && (len == 0 || std::fwrite(next, sizeof(index_t), len, f) == len);
+  const std::size_t pad = align8(len * sizeof(index_t)) - len * sizeof(index_t);
+  if (ok && pad > 0) {
+    const char zeros[8] = {};
+    ok = std::fwrite(zeros, 1, pad, f) == pad;
+  }
+  ok = ok && (len == 0 || std::fwrite(value, sizeof(value_t), len, f) == len);
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) std::remove(path.c_str());
+  return ok;
+}
+
+bool read_shard_header(const std::string& path, ShardHeader& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  const bool ok = std::fread(&out, sizeof(out), 1, f) == 1;
+  std::fclose(f);
+  return ok && out.magic == kShardMagic;
+}
+
+bool shard_header_matches(const ShardHeader& h, unsigned index,
+                          std::size_t begin, std::size_t end,
+                          std::size_t total_n) {
+  return h.magic == kShardMagic && h.version == kShardFormatVersion &&
+         h.shard_index == index && h.begin == begin && h.end == end &&
+         h.total_n == total_n &&
+         h.payload_bytes == shard_payload_bytes(end - begin);
+}
+
+bool ShardMap::open(const std::string& path, unsigned index,
+                    std::size_t begin, std::size_t end, std::size_t total_n) {
+  close();
+  ShardHeader h;
+  if (!read_shard_header(path, h) ||
+      !shard_header_matches(h, index, begin, end, total_n))
+    return false;
+  const std::size_t len = shard_header_len(h);
+  const std::size_t total =
+      sizeof(ShardHeader) + static_cast<std::size_t>(h.payload_bytes);
+#if defined(LR90_SHARD_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < total) {
+    ::close(fd);
+    return false;
+  }
+  void* base = ::mmap(nullptr, total, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) return false;
+  base_ = base;
+  map_bytes_ = total;
+  const char* payload = static_cast<const char*>(base) + sizeof(ShardHeader);
+  next_ = reinterpret_cast<const index_t*>(payload);
+  value_ = reinterpret_cast<const value_t*>(
+      payload + align8(len * sizeof(index_t)));
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  heap_ = new (std::nothrow) char[total];
+  if (heap_ == nullptr || std::fread(heap_, 1, total, f) != total) {
+    std::fclose(f);
+    delete[] heap_;
+    heap_ = nullptr;
+    return false;
+  }
+  std::fclose(f);
+  map_bytes_ = total;
+  const char* payload = heap_ + sizeof(ShardHeader);
+  next_ = reinterpret_cast<const index_t*>(payload);
+  value_ = reinterpret_cast<const value_t*>(
+      payload + align8(len * sizeof(index_t)));
+#endif
+  len_ = len;
+  return true;
+}
+
+void ShardMap::close() {
+#if defined(LR90_SHARD_HAVE_MMAP)
+  if (base_ != nullptr) ::munmap(base_, map_bytes_);
+#endif
+  delete[] heap_;
+  base_ = nullptr;
+  heap_ = nullptr;
+  map_bytes_ = 0;
+  len_ = 0;
+  next_ = nullptr;
+  value_ = nullptr;
+}
+
+void ShardMap::touch_pages() const {
+  if (next_ == nullptr || map_bytes_ == 0) return;
+  const char* base =
+      base_ != nullptr ? static_cast<const char*>(base_) : heap_;
+  if (base == nullptr) return;
+#if defined(LR90_SHARD_HAVE_MMAP)
+  // Advise first so the kernel streams ahead of the touch loop.
+  ::posix_madvise(const_cast<char*>(base), map_bytes_, POSIX_MADV_WILLNEED);
+#endif
+  // One read per page is enough to fault it in; the sum keeps the loop
+  // from being optimized away.
+  volatile std::size_t sink = 0;
+  for (std::size_t off = 0; off < map_bytes_; off += 4096)
+    sink = sink + static_cast<unsigned char>(base[off]);
+  (void)sink;
+}
+
+void ShardMap::swap(ShardMap& other) noexcept {
+  std::swap(base_, other.base_);
+  std::swap(map_bytes_, other.map_bytes_);
+  std::swap(len_, other.len_);
+  std::swap(next_, other.next_);
+  std::swap(value_, other.value_);
+  std::swap(heap_, other.heap_);
+}
+
+std::size_t drop_spill_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (dir.empty() || !fs::is_directory(dir, ec)) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("shard_", 0) == 0 &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".lr90") == 0) {
+      if (fs::remove(entry.path(), ec)) ++removed;
+    }
+  }
+  fs::remove(dir, ec);  // succeeds only if now empty; foreign files keep it
+  return removed;
+}
+
+std::string snapshot_spill_dir(const std::string& root, std::uint64_t id,
+                               std::uint64_t gen) {
+  return root + "/snap" + std::to_string(id) + "_g" + std::to_string(gen);
+}
+
+std::size_t drop_snapshot_spill_dirs(const std::string& root,
+                                     std::uint64_t id) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (root.empty() || !fs::is_directory(root, ec)) return 0;
+  const std::string prefix = "snap" + std::to_string(id) + "_g";
+  std::size_t dropped = 0;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    // All generation digits after the prefix: don't match snap12_g1 when
+    // dropping snapshot 1.
+    if (name.find_first_not_of("0123456789", prefix.size()) !=
+        std::string::npos)
+      continue;
+    drop_spill_dir(entry.path().string());
+    if (!fs::exists(entry.path(), ec)) ++dropped;
+  }
+  return dropped;
+}
+
+}  // namespace lr90::shard

@@ -1,0 +1,156 @@
+// The out-of-core shard slab format (`ShardFile`) and its mmap loader.
+//
+// A shard is a contiguous vertex-id range [begin, end) of one list, stored
+// as the raw subranges of the next[] and value[] arrays behind a small
+// versioned header. The format is deliberately dumb -- a straight memcpy of
+// the structure-of-arrays representation -- so spilling a shard writes at
+// streaming bandwidth and loading one is a single mmap plus sequential page
+// faults (the Gigablast BigFile idiom: big flat files, position-addressed,
+// no record framing).
+//
+// Versioning: the header carries a magic, a format version, and the shard's
+// identity (index, range, total list length). A loader rejects anything
+// that does not match what the run expects, so a stale spill directory --
+// files from an older generation of a snapshot, or from a different shard
+// plan -- degrades to a rewrite, never to a wrong answer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lists/linked_list.hpp"
+
+namespace lr90::shard {
+
+/// Shard-file magic: "LR90SHRD" read as a little-endian 64-bit word.
+inline constexpr std::uint64_t kShardMagic =
+    (std::uint64_t{'L'}) | (std::uint64_t{'R'} << 8) |
+    (std::uint64_t{'9'} << 16) | (std::uint64_t{'0'} << 24) |
+    (std::uint64_t{'S'} << 32) | (std::uint64_t{'H'} << 40) |
+    (std::uint64_t{'R'} << 48) | (std::uint64_t{'D'} << 56);
+
+/// Current shard-file format version. Bump on any layout change; loaders
+/// reject other versions (a mismatched spill dir is rewritten, not read).
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/// Fixed 64-byte header at offset 0 of every shard file. The payload
+/// follows at offset 64: next[] (index_t each), padded to an 8-byte
+/// boundary, then value[] (value_t each). Links are GLOBAL vertex ids --
+/// exactly the source subrange -- so a loaded shard is usable without any
+/// translation pass.
+struct ShardHeader {
+  std::uint64_t magic = kShardMagic;      ///< kShardMagic
+  std::uint32_t version = kShardFormatVersion;  ///< kShardFormatVersion
+  std::uint32_t shard_index = 0;          ///< which shard of the plan
+  std::uint64_t begin = 0;                ///< first global vertex id
+  std::uint64_t end = 0;                  ///< one past the last vertex id
+  std::uint64_t total_n = 0;              ///< full list length (plan identity)
+  std::uint64_t payload_bytes = 0;        ///< bytes after the header
+  std::uint64_t reserved[2] = {0, 0};     ///< zero; future use
+};
+static_assert(sizeof(ShardHeader) == 64, "shard header is 64 bytes on disk");
+
+/// Vertices covered by `h`.
+inline std::size_t shard_header_len(const ShardHeader& h) {
+  return static_cast<std::size_t>(h.end - h.begin);
+}
+
+/// Payload bytes for a shard of `len` vertices: next[], pad to 8, value[].
+std::size_t shard_payload_bytes(std::size_t len);
+
+/// The canonical file name of shard `index` inside a spill directory.
+std::string shard_file_name(unsigned index);
+
+/// Writes one shard file (header + next/value subranges) atomically enough
+/// for our single-writer world: write to the final path, fflush, close.
+/// `next`/`value` point at `len` elements (the global subrange). Returns
+/// false on any I/O failure (caller treats the shard as unspillable).
+bool write_shard_file(const std::string& path, const ShardHeader& header,
+                      const index_t* next, const value_t* value);
+
+/// Reads just the header of `path` into `out`. Returns false when the file
+/// is missing, short, or fails the magic check.
+bool read_shard_header(const std::string& path, ShardHeader& out);
+
+/// True iff `h` identifies exactly the expected shard of the expected plan
+/// (version, index, range, total length, payload size all match).
+bool shard_header_matches(const ShardHeader& h, unsigned index,
+                          std::size_t begin, std::size_t end,
+                          std::size_t total_n);
+
+/// One mapped (or, where mmap is unavailable, heap-loaded) shard file:
+/// RAII over the mapping, exposing the next/value subranges zero-copy.
+/// Move-only; unmaps on destruction.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  ShardMap(const ShardMap&) = delete;             ///< not copyable
+  ShardMap& operator=(const ShardMap&) = delete;  ///< not copyable
+  /// Moves transfer the mapping (the source becomes empty).
+  ShardMap(ShardMap&& other) noexcept { swap(other); }
+  /// Move-assignment counterpart (the source becomes empty).
+  ShardMap& operator=(ShardMap&& other) noexcept {
+    if (this != &other) {
+      close();
+      swap(other);
+    }
+    return *this;
+  }
+  ~ShardMap() { close(); }  ///< unmaps
+
+  /// Maps `path` read-only and validates its header against the expected
+  /// shard identity. On success the next()/value() spans are live and
+  /// `touch_pages()` may be used to fault the payload in. Returns false
+  /// (and stays empty) on any mismatch or I/O failure.
+  bool open(const std::string& path, unsigned index, std::size_t begin,
+            std::size_t end, std::size_t total_n);
+
+  /// Unmaps/frees; the object returns to the empty state.
+  void close();
+
+  /// True iff a file is mapped.
+  explicit operator bool() const { return next_ != nullptr; }
+
+  /// The shard's link subrange: next()[i] is the GLOBAL successor of
+  /// global vertex begin + i.
+  const index_t* next() const { return next_; }
+  /// The shard's value subrange.
+  const value_t* value() const { return value_; }
+  /// Vertices in the shard.
+  std::size_t size() const { return len_; }
+  /// Resident footprint charged against the store's byte budget.
+  std::size_t bytes() const { return map_bytes_; }
+
+  /// Sequentially faults every payload page in (the prefetcher's whole
+  /// job: by the time the ranking pass arrives, the pages are resident).
+  void touch_pages() const;
+
+ private:
+  void swap(ShardMap& other) noexcept;
+
+  void* base_ = nullptr;         ///< mmap base (null on the heap fallback)
+  std::size_t map_bytes_ = 0;    ///< mapped / allocated length
+  std::size_t len_ = 0;          ///< vertices
+  const index_t* next_ = nullptr;
+  const value_t* value_ = nullptr;
+  char* heap_ = nullptr;         ///< non-mmap fallback buffer
+};
+
+/// Removes every shard file in `dir` and then the directory itself (only
+/// files matching the shard naming scheme are touched). Returns the number
+/// of shard files removed; 0 when the directory does not exist.
+std::size_t drop_spill_dir(const std::string& dir);
+
+/// The spill directory a server pins for snapshot `id` at generation
+/// `gen`: "<root>/snap<id>_g<gen>". Generation-stamped so an update can
+/// never reuse stale files -- the old generation's directory is dropped.
+std::string snapshot_spill_dir(const std::string& root, std::uint64_t id,
+                               std::uint64_t gen);
+
+/// Drops every generation's spill directory of snapshot `id` under `root`
+/// (the server calls this from update/drop invalidation). Returns the
+/// number of directories removed.
+std::size_t drop_snapshot_spill_dirs(const std::string& root,
+                                     std::uint64_t id);
+
+}  // namespace lr90::shard

@@ -1,0 +1,217 @@
+#include "shard/shard_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+namespace lr90::shard {
+
+ShardedList ShardedList::build(const LinkedList& list, unsigned shards) {
+  ShardedList s;
+  s.n = list.size();
+  if (s.n == 0) {
+    s.heads_of.resize(1);
+    s.seg_base.assign(1, 0);
+    return s;
+  }
+  const std::size_t cap = std::min<std::size_t>(s.n, kMaxShards);
+  s.shards = static_cast<unsigned>(
+      std::clamp<std::size_t>(shards == 0 ? 1 : shards, 1, cap));
+  s.width = (s.n + s.shards - 1) / s.shards;
+  s.heads_of.resize(s.shards);
+  // The global head always heads a segment; every other head is the target
+  // of a link that crosses shards. A valid list has in-degree <= 1 and no
+  // predecessor of head, so no vertex is pushed twice.
+  s.heads_of[s.shard_of(list.head)].push_back(list.head);
+  const index_t* nx = list.next.data();
+  for (std::size_t v = 0; v < s.n; ++v) {
+    const index_t t = nx[v];
+    if (t != static_cast<index_t>(v) &&
+        s.shard_of(t) != s.shard_of(static_cast<index_t>(v)))
+      s.heads_of[s.shard_of(t)].push_back(t);
+  }
+  s.seg_base.resize(s.shards);
+  std::size_t m = 0;
+  for (unsigned p = 0; p < s.shards; ++p) {
+    s.seg_base[p] = m;
+    m += s.heads_of[p].size();
+  }
+  s.segments = m;
+  s.seg_of_head.reserve(m);
+  for (unsigned p = 0; p < s.shards; ++p)
+    for (std::size_t i = 0; i < s.heads_of[p].size(); ++i)
+      s.seg_of_head.emplace(s.heads_of[p][i],
+                            static_cast<index_t>(s.seg_base[p] + i));
+  return s;
+}
+
+ShardStore::~ShardStore() {
+  if (prefetcher_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    prefetcher_.join();
+  }
+  resident_.clear();
+  if (spill_ && !keep_files_) drop_spill_dir(dir_);
+}
+
+bool ShardStore::prepare(const LinkedList& list, const ShardedList& sharded,
+                         std::size_t byte_budget, const std::string& dir,
+                         unsigned prefetch_depth, bool keep_files) {
+  list_ = &list;
+  sharded_ = &sharded;
+  budget_ = byte_budget;
+  spill_ = byte_budget > 0 && sharded.n > 0;
+  dir_ = dir;
+  keep_files_ = keep_files;
+  if (!spill_) return true;
+  if (dir_.empty()) return false;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  for (unsigned p = 0; p < sharded.shards; ++p) {
+    const auto [b, e] = sharded.range(p);
+    const std::string path = dir_ + "/" + shard_file_name(p);
+    ShardHeader h;
+    if (read_shard_header(path, h) &&
+        shard_header_matches(h, p, b, e, sharded.n)) {
+      ++stats_.reused_files;  // a pinned dir amortizes the write across runs
+      continue;
+    }
+    h = ShardHeader{};
+    h.shard_index = p;
+    h.begin = b;
+    h.end = e;
+    h.total_n = sharded.n;
+    h.payload_bytes = shard_payload_bytes(e - b);
+    if (!write_shard_file(path, h, list.next.data() + b,
+                          list.value.data() + b))
+      return false;
+    stats_.spill_bytes +=
+        sizeof(ShardHeader) + static_cast<std::size_t>(h.payload_bytes);
+  }
+  stats_.spilled = true;
+  if (prefetch_depth > 0 && sharded.shards > 1) {
+    prefetcher_ = std::thread([this] { prefetch_loop(); });
+    hint_next(0);  // prime: fault shard 0 in while the caller finishes setup
+  }
+  return true;
+}
+
+ShardMap ShardStore::load_shard(unsigned p) {
+  const auto [b, e] = sharded_->range(p);
+  ShardMap m;
+  m.open(dir_ + "/" + shard_file_name(p), p, b, e, sharded_->n);
+  return m;
+}
+
+void ShardStore::evict_over_budget_locked() {
+  while (resident_bytes_ > budget_) {
+    auto victim = resident_.end();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+      if (it->second.pinned) continue;
+      if (victim == resident_.end() || it->second.stamp < victim->second.stamp)
+        victim = it;
+    }
+    if (victim == resident_.end()) return;  // everything left is pinned
+    resident_bytes_ -= victim->second.map.bytes();
+    ++stats_.spills;
+    resident_.erase(victim);
+  }
+}
+
+ShardView ShardStore::acquire(unsigned p) {
+  const auto [b, e] = sharded_->range(p);
+  if (!spill_)
+    return ShardView{list_->next.data() + b, list_->value.data() + b, b, e};
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = resident_.find(p);
+    if (it == resident_.end()) {
+      if (in_flight_ == p || target_ == p) {
+        cv_.wait(lk);  // the prefetcher is on it; re-check on wake
+        continue;
+      }
+      // Synchronous load. Drop the lock for the I/O: the prefetcher may be
+      // mapping a different shard concurrently. Only this (orchestrator)
+      // thread sets target_, so nobody else can start loading p meanwhile.
+      lk.unlock();
+      ShardMap m = load_shard(p);
+      lk.lock();
+      if (!m) return ShardView{};
+      ++stats_.loads;
+      resident_bytes_ += m.bytes();
+      Resident r;
+      r.map = std::move(m);
+      it = resident_.emplace(p, std::move(r)).first;
+    }
+    Resident& res = it->second;
+    res.pinned = true;
+    res.stamp = ++clock_;
+    if (res.from_prefetch) {
+      res.from_prefetch = false;
+      ++stats_.prefetch_hits;
+    }
+    const ShardView view{res.map.next(), res.map.value(), b, e};
+    evict_over_budget_locked();
+    // Depth-1 lookahead: both ranking passes visit shards in ascending
+    // order, so the next shard is always p + 1.
+    if (prefetcher_.joinable() && p + 1 < sharded_->shards &&
+        resident_.find(p + 1) == resident_.end() && in_flight_ != p + 1) {
+      target_ = p + 1;
+      cv_.notify_all();
+    }
+    return view;
+  }
+}
+
+void ShardStore::release(unsigned p) {
+  if (!spill_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = resident_.find(p);
+  if (it != resident_.end()) it->second.pinned = false;
+}
+
+void ShardStore::hint_next(unsigned p) {
+  if (!spill_ || !prefetcher_.joinable() || p >= sharded_->shards) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (resident_.find(p) != resident_.end() || in_flight_ == p) return;
+  target_ = p;
+  cv_.notify_all();
+}
+
+StoreStats ShardStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void ShardStore::prefetch_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return shutdown_ || target_.has_value(); });
+    if (shutdown_) return;
+    const unsigned p = *target_;
+    target_.reset();
+    if (resident_.find(p) != resident_.end()) continue;
+    in_flight_ = p;
+    lk.unlock();
+    ShardMap m = load_shard(p);
+    if (m) m.touch_pages();  // the actual prefetch: pages resident on arrival
+    lk.lock();
+    in_flight_.reset();
+    if (!shutdown_ && m && resident_.find(p) == resident_.end()) {
+      ++stats_.loads;
+      resident_bytes_ += m.bytes();
+      Resident r;
+      r.map = std::move(m);
+      r.from_prefetch = true;
+      r.stamp = ++clock_;
+      resident_.emplace(p, std::move(r));
+    }
+    cv_.notify_all();  // an acquire may be blocked on this shard
+  }
+}
+
+}  // namespace lr90::shard

@@ -1,0 +1,180 @@
+// ShardedList -- the list split into P contiguous index-range shards --
+// and ShardStore, the residency manager that serves per-shard views either
+// straight out of RAM or from spilled ShardFiles under a byte budget.
+//
+// The decomposition is the paper's sublist reduction applied one level up:
+// a *segment* is a maximal run of list-order-consecutive vertices whose
+// ids fall in the same shard, so every segment lives wholly inside one
+// shard and the segments form a reduced list (one node per segment) whose
+// scan resolves all cross-shard cursors. Segment discovery is a single
+// streaming pass over next[]: vertex t = next[v] heads a segment exactly
+// when v and t land in different shards (plus the global head).
+//
+// The store's out-of-core tier follows the Gigablast RdbCache/RdbMerge
+// shape: shard files written once at streaming bandwidth, an LRU of
+// mmapped shards capped by a resident byte budget, and a single async
+// prefetch thread that faults the next shard's pages in while the current
+// one is being ranked -- the ranking passes visit shards in ascending
+// order twice, so depth-1 lookahead is the whole win.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "lists/linked_list.hpp"
+#include "shard/shard_file.hpp"
+
+namespace lr90::shard {
+
+/// Hard cap on shards per run (per-shard bookkeeping is O(P); 4096 shards
+/// of 2^30 vertices outruns the 32-bit index space many times over).
+inline constexpr unsigned kMaxShards = 4096;
+
+/// The sharded representation of one list: P contiguous id-range shards
+/// plus the discovered segment structure (see file comment). Built by one
+/// streaming pass; holds O(segments) memory, never O(n).
+struct ShardedList {
+  std::size_t n = 0;        ///< full list length
+  unsigned shards = 1;      ///< P
+  std::size_t width = 1;    ///< ceil(n / P); shard p covers [p*width, ...)
+  /// Per shard: the segment head vertices (global ids) in discovery order.
+  std::vector<std::vector<index_t>> heads_of;
+  /// Per shard: the id of its first segment (prefix sums of heads_of
+  /// sizes); segment ids are dense in [0, segments).
+  std::vector<std::size_t> seg_base;
+  /// Head vertex -> its segment id, for resolving segment exits.
+  std::unordered_map<index_t, index_t> seg_of_head;
+  std::size_t segments = 0;  ///< total segment count (reduced-list length)
+
+  /// The shard owning global vertex `v`.
+  unsigned shard_of(index_t v) const {
+    return static_cast<unsigned>(v / width);
+  }
+  /// The global id range [begin, end) of shard `p` (possibly empty for
+  /// trailing shards when width * P overshoots n).
+  std::pair<std::size_t, std::size_t> range(unsigned p) const {
+    const std::size_t b = std::min(n, static_cast<std::size_t>(p) * width);
+    return {b, std::min(n, b + width)};
+  }
+
+  /// Splits `list` into `shards` (clamped to [1, min(n, kMaxShards)]) and
+  /// discovers the segment structure. `list` must be valid (the Engine
+  /// validates upstream); n == 0 yields an empty structure.
+  static ShardedList build(const LinkedList& list, unsigned shards);
+};
+
+/// A resident shard: the next/value subranges of global vertices
+/// [begin, end). next[i] is the GLOBAL successor of vertex begin + i (the
+/// raw source subrange; no id translation).
+struct ShardView {
+  const index_t* next = nullptr;
+  const value_t* value = nullptr;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  /// Vertices in the view.
+  std::size_t size() const { return end - begin; }
+};
+
+/// Residency and I/O counters for one store lifetime.
+struct StoreStats {
+  std::uint64_t loads = 0;          ///< shard file loads (mmap/open)
+  std::uint64_t spills = 0;         ///< residencies evicted under the budget
+  std::uint64_t prefetch_hits = 0;  ///< loads the async prefetcher served
+  std::uint64_t reused_files = 0;   ///< valid pre-existing files kept as-is
+  std::uint64_t spill_bytes = 0;    ///< bytes written to shard files
+  bool spilled = false;             ///< the out-of-core tier was active
+};
+
+/// Serves per-shard views of one list for the duration of one sharded run.
+///
+/// RAM mode (byte_budget == 0): views alias the source arrays; zero copy,
+/// zero I/O. Spill mode (byte_budget > 0): prepare() writes every shard to
+/// a ShardFile in `dir` (reusing any file whose header already matches),
+/// then acquire() serves mmapped views under an LRU capped at the budget,
+/// with one async prefetch thread faulting the next shard in.
+///
+/// Thread model: one orchestrator thread calls prepare/acquire/release/
+/// hint_next; the internal prefetch thread is the only concurrency, and
+/// every shared field is guarded by one mutex. The view returned by
+/// acquire(p) stays valid until release(p).
+class ShardStore {
+ public:
+  ShardStore() = default;
+  ShardStore(const ShardStore&) = delete;             ///< not copyable
+  ShardStore& operator=(const ShardStore&) = delete;  ///< not copyable
+  /// Joins the prefetcher, unmaps everything, and removes the spill files
+  /// (and their directory) unless keep_files was set.
+  ~ShardStore();
+
+  /// Binds the store to `list` split per `sharded`. byte_budget == 0
+  /// selects RAM mode; otherwise shard files are written under `dir`
+  /// (created if needed; must be non-empty), existing matching files are
+  /// reused, and `prefetch_depth` > 0 starts the async prefetcher.
+  /// `keep_files` leaves the files on disk at destruction (a server
+  /// pinning a snapshot's spill dir); otherwise they are ephemeral.
+  /// Returns false on I/O failure (store unusable).
+  bool prepare(const LinkedList& list, const ShardedList& sharded,
+               std::size_t byte_budget, const std::string& dir,
+               unsigned prefetch_depth, bool keep_files);
+
+  /// Blocks until shard `p` is resident and returns its view, pinned until
+  /// release(p). On the spill tier this may wait for the prefetcher or
+  /// perform a synchronous load, then evicts LRU unpinned shards until the
+  /// budget holds. An all-null view signals a load failure.
+  ShardView acquire(unsigned p);
+
+  /// Unpins shard `p` (it stays resident until evicted by the budget).
+  void release(unsigned p);
+
+  /// Asks the prefetcher to start faulting shard `p` in (no-op in RAM
+  /// mode, when disabled, or when `p` is already resident or in flight).
+  /// acquire() hints p + 1 automatically; this is for callers that know a
+  /// different access order.
+  void hint_next(unsigned p);
+
+  /// Counters so far (orchestrator-thread view; the prefetcher's
+  /// contributions are folded in under the same mutex).
+  StoreStats stats() const;
+
+ private:
+  struct Resident {
+    ShardMap map;
+    bool pinned = false;
+    bool from_prefetch = false;  ///< not yet consumed by an acquire
+    std::uint64_t stamp = 0;     ///< LRU clock at last acquire
+  };
+
+  ShardMap load_shard(unsigned p);  // no lock held; pure file I/O
+  void evict_over_budget_locked();
+  void prefetch_loop();
+
+  const LinkedList* list_ = nullptr;
+  const ShardedList* sharded_ = nullptr;
+  std::size_t budget_ = 0;
+  std::string dir_;
+  bool keep_files_ = false;
+  bool spill_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<unsigned, Resident> resident_;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t clock_ = 0;
+  StoreStats stats_;
+
+  // Prefetcher handshake (all under mu_): target_ is the shard the
+  // prefetcher should fetch next (nullopt = idle), in_flight_ the one it
+  // is currently mapping outside the lock.
+  std::thread prefetcher_;
+  bool shutdown_ = false;
+  std::optional<unsigned> target_;
+  std::optional<unsigned> in_flight_;
+};
+
+}  // namespace lr90::shard

@@ -1,0 +1,273 @@
+#include "shard/sharded.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <vector>
+
+#include "core/host_exec.hpp"
+#include "lists/encode.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace lr90::shard {
+
+namespace {
+
+/// Reduced lists below this length take the serial second-level scan; the
+/// parallel sublist kernel's fork/join cannot pay off on fewer nodes.
+constexpr std::size_t kSecondLevelParallelMin = 8192;
+
+/// A fresh per-run spill directory under the system temp dir, unique per
+/// process + run (ephemeral: removed by the ShardStore when the run ends).
+std::string ephemeral_spill_dir() {
+  static std::atomic<std::uint64_t> seq{0};
+  unsigned long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+  pid = static_cast<unsigned long>(::getpid());
+#endif
+  std::error_code ec;
+  const std::string base = std::filesystem::temp_directory_path(ec).string();
+  return (base.empty() ? std::string{"."} : base) + "/lr90-shards-" +
+         std::to_string(pid) + "-" +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Builds the shard-LOCAL hot slab for `view`: word i carries the
+/// sublist-tail flag (the successor leaves the shard, or is the global
+/// tail), the LOCAL link (tails self-link), and the 32-bit value lane.
+/// Parallel over `threads` index blocks. Returns false -- slab contents
+/// unspecified -- when any value misses the signed 32-bit lane (the shard
+/// then takes the legacy scalar walks; per-shard fallback, never wrong).
+template <bool kOnes>
+bool build_shard_slab(const ShardView& view, unsigned threads,
+                      std::vector<packed_t>& words) {
+  const std::size_t len = view.size();
+  words.resize(len);
+  const std::size_t blocks = std::max<std::size_t>(1, threads);
+  std::atomic<bool> ok{true};
+  host_exec::claim_blocks(threads, blocks, [&](std::size_t blk) {
+    const auto [lo, hi] = host_exec::block_range(len, blocks, blk);
+    bool fits = true;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const index_t gn = view.next[i];
+      const auto gv = static_cast<index_t>(view.begin + i);
+      const bool tail = gn == gv || gn < view.begin || gn >= view.end;
+      const index_t link = tail ? static_cast<index_t>(i) : gn - static_cast<index_t>(view.begin);
+      const value_t val = kOnes ? value_t{1} : view.value[i];
+      fits = fits && (kOnes || hot_value_fits(val));
+      words[i] = hot_pack(tail, link,
+                          static_cast<std::uint32_t>(
+                              static_cast<std::uint64_t>(val)));
+    }
+    if (!fits) ok.store(false, std::memory_order_relaxed);
+  });
+  return ok.load(std::memory_order_relaxed);
+}
+
+/// Per-run scratch shared by passes A and C (sized to the widest shard
+/// once, reused across shards).
+struct ShardScratch {
+  std::vector<packed_t> words;   ///< shard-local hot slab
+  std::vector<index_t> lheads;   ///< shard-local segment head indices
+};
+
+/// Pass A over one shard: every segment's operator total and exit vertex.
+template <ListOp Op, bool kOnes>
+void pass_totals(const ShardView& view, const std::vector<index_t>& heads,
+                 std::size_t seg_base, const ShardExec& exec,
+                 ShardScratch& scratch, Op op, std::vector<value_t>& totals,
+                 std::vector<index_t>& exits) {
+  const std::size_t k = heads.size();
+  const bool packed =
+      exec.interleave >= 1 && (kOnes || kOpLane32<Op>) &&
+      view.size() <= kHotMaxVertices &&
+      build_shard_slab<kOnes>(view, exec.threads, scratch.words);
+  if (packed) {
+    scratch.lheads.resize(k);
+    for (std::size_t j = 0; j < k; ++j)
+      scratch.lheads[j] =
+          heads[j] - static_cast<index_t>(view.begin);
+    host_exec::interleave_sublists(
+        scratch.words.data(), scratch.lheads.data(), k, exec.threads,
+        exec.interleave, [](std::size_t) { return Op::identity(); },
+        [op](index_t, packed_t w, value_t& acc) {
+          acc = op(acc, hot_value(w));
+        },
+        [&](index_t j, index_t tv, value_t acc) {
+          const std::size_t g = seg_base + j;
+          totals[g] = acc;
+          const index_t gn = view.next[tv];
+          exits[g] =
+              gn == static_cast<index_t>(view.begin + tv) ? kNoVertex : gn;
+        });
+    return;
+  }
+  host_exec::claim_blocks(exec.threads, k, [&](std::size_t j) {
+    value_t acc = Op::identity();
+    index_t v = heads[j];
+    for (;;) {
+      const std::size_t i = v - view.begin;
+      acc = op(acc, kOnes ? value_t{1} : view.value[i]);
+      const index_t gn = view.next[i];
+      if (gn == v || gn < view.begin || gn >= view.end) {
+        totals[seg_base + j] = acc;
+        exits[seg_base + j] = gn == v ? kNoVertex : gn;
+        return;
+      }
+      v = gn;
+    }
+  });
+}
+
+/// Pass C over one shard: re-walk each segment with the accumulator seeded
+/// at its global prefix, writing the final exclusive scan.
+template <ListOp Op, bool kOnes>
+void pass_expand(const ShardView& view, const std::vector<index_t>& heads,
+                 std::size_t seg_base, const ShardExec& exec,
+                 ShardScratch& scratch, Op op,
+                 const std::vector<value_t>& seg_pref,
+                 std::span<value_t> out) {
+  const std::size_t k = heads.size();
+  const bool packed =
+      exec.interleave >= 1 && (kOnes || kOpLane32<Op>) &&
+      view.size() <= kHotMaxVertices &&
+      build_shard_slab<kOnes>(view, exec.threads, scratch.words);
+  if (packed) {
+    scratch.lheads.resize(k);
+    for (std::size_t j = 0; j < k; ++j)
+      scratch.lheads[j] =
+          heads[j] - static_cast<index_t>(view.begin);
+    value_t* o = out.data() + view.begin;
+    host_exec::interleave_sublists(
+        scratch.words.data(), scratch.lheads.data(), k, exec.threads,
+        exec.interleave,
+        [&](std::size_t j) { return seg_pref[seg_base + j]; },
+        [op, o](index_t v, packed_t w, value_t& acc) {
+          o[v] = acc;
+          acc = op(acc, hot_value(w));
+        },
+        [](index_t, index_t, value_t) {});
+    return;
+  }
+  host_exec::claim_blocks(exec.threads, k, [&](std::size_t j) {
+    value_t acc = seg_pref[seg_base + j];
+    index_t v = heads[j];
+    for (;;) {
+      const std::size_t i = v - view.begin;
+      out[v] = acc;
+      acc = op(acc, kOnes ? value_t{1} : view.value[i]);
+      const index_t gn = view.next[i];
+      if (gn == v || gn < view.begin || gn >= view.end) return;
+      v = gn;
+    }
+  });
+}
+
+template <ListOp Op, bool kOnes>
+Status run_sharded(const LinkedList& list, const ShardedList& sharded,
+                   const ShardExec& exec, Op op, Workspace& ws,
+                   std::span<value_t> out, ShardStore& store,
+                   ShardRunStats& stats) {
+  const std::size_t m = sharded.segments;
+  std::vector<value_t> totals(m);
+  std::vector<index_t> exits(m);
+  ShardScratch scratch;
+
+  // Pass A: per-shard segment totals + exits, one resident shard at a time.
+  for (unsigned p = 0; p < sharded.shards; ++p) {
+    if (sharded.heads_of[p].empty()) continue;
+    const ShardView view = store.acquire(p);
+    if (view.next == nullptr)
+      return Status::unavailable("sharded scan: shard load failed (pass A)");
+    pass_totals<Op, kOnes>(view, sharded.heads_of[p], sharded.seg_base[p],
+                           exec, scratch, op, totals, exits);
+    store.release(p);
+  }
+
+  // Pass B: the second-level Reid-Miller pass over the reduced list (one
+  // node per segment). O(m), all in RAM.
+  LinkedList reduced;
+  reduced.next.resize(m);
+  reduced.value = std::move(totals);
+  for (std::size_t s = 0; s < m; ++s) {
+    if (exits[s] == kNoVertex) {
+      reduced.next[s] = static_cast<index_t>(s);  // global tail's segment
+      reduced.tail = static_cast<index_t>(s);
+      continue;
+    }
+    const auto it = sharded.seg_of_head.find(exits[s]);
+    if (it == sharded.seg_of_head.end())
+      return Status::invalid(
+          "sharded scan: dangling cross-shard link (malformed list)");
+    reduced.next[s] = it->second;
+  }
+  const auto head_it = sharded.seg_of_head.find(list.head);
+  if (head_it == sharded.seg_of_head.end())
+    return Status::invalid("sharded scan: list head owns no segment");
+  reduced.head = head_it->second;
+  std::vector<value_t> seg_pref(m);
+  if (m >= kSecondLevelParallelMin && exec.threads > 1) {
+    const host_exec::HostPlan plan2{
+        exec.threads,
+        std::min<std::size_t>(m / 2,
+                              static_cast<std::size_t>(exec.threads) * 64),
+        exec.interleave, 0};
+    host_exec::scan_into<Op, false>(reduced, op, plan2, ws, seg_pref);
+    // The second-level scan may have rebuilt ws.packed for the (local,
+    // about-to-die) reduced list; its batch-cache identity must not
+    // survive this call.
+    ws.invalidate_packed();
+  } else {
+    host_exec::serial_scan_into(reduced, std::span<value_t>(seg_pref), op);
+  }
+
+  // Pass C: per-shard expansion from the segment prefixes.
+  for (unsigned p = 0; p < sharded.shards; ++p) {
+    if (sharded.heads_of[p].empty()) continue;
+    const ShardView view = store.acquire(p);
+    if (view.next == nullptr)
+      return Status::unavailable("sharded scan: shard load failed (pass C)");
+    pass_expand<Op, kOnes>(view, sharded.heads_of[p], sharded.seg_base[p],
+                           exec, scratch, op, seg_pref, out);
+    store.release(p);
+  }
+  stats.shards = sharded.shards;
+  stats.segments = m;
+  return Status::success();
+}
+
+}  // namespace
+
+Status sharded_scan(const LinkedList& list, bool rank, ScanOp op,
+                    const ShardExec& exec, Workspace& ws,
+                    std::span<value_t> out, ShardRunStats& stats) {
+  stats = ShardRunStats{};
+  const std::size_t n = list.size();
+  if (n == 0) return Status::success();
+  const ShardedList sharded = ShardedList::build(list, exec.shards);
+  ShardStore store;
+  const bool spill = exec.byte_budget > 0;
+  const std::string dir =
+      spill ? (exec.spill_dir.empty() ? ephemeral_spill_dir() : exec.spill_dir)
+            : std::string{};
+  if (!store.prepare(list, sharded, exec.byte_budget, dir, exec.prefetch,
+                     exec.keep_files))
+    return Status::unavailable("sharded scan: spill directory unusable: " +
+                               dir);
+  Status st;
+  if (rank) {
+    st = run_sharded<OpPlus, true>(list, sharded, exec, OpPlus{}, ws, out,
+                                   store, stats);
+  } else {
+    st = with_scan_op(op, [&](auto typed) {
+      return run_sharded<decltype(typed), false>(list, sharded, exec, typed,
+                                                 ws, out, store, stats);
+    });
+  }
+  stats.store = store.stats();
+  return st;
+}
+
+}  // namespace lr90::shard

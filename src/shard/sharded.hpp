@@ -1,0 +1,78 @@
+// The sharded list-rank/scan executor: the paper's sublist reduction
+// applied one level up (ROADMAP "Sharded + out-of-core list ranking").
+//
+// A run splits the list into P contiguous id-range shards (ShardedList),
+// then makes three passes:
+//
+//   pass A  per shard, ascending: walk every segment headed in the shard
+//           (packed (threads x W) hot path when the shard fits the 32-bit
+//           lane, legacy scalar walks otherwise) producing the segment's
+//           operator total and its exit vertex. Only ONE shard need be
+//           resident at a time.
+//   pass B  the second-level Reid-Miller pass: the segments form a reduced
+//           list (node s = segment s, value = its total, link = the
+//           segment its exit vertex heads); an exclusive scan of it yields
+//           every segment's global prefix. Runs in RAM -- the reduced list
+//           is O(segments), not O(n).
+//   pass C  per shard, ascending again: re-walk each segment with the
+//           accumulator seeded at its global prefix, writing the final
+//           exclusive scan. Associativity makes this bit-exact vs the
+//           serial oracle (the same algebra the in-core phases rely on).
+//
+// Residency between passes is the ShardStore's job: all-in-RAM views when
+// no byte budget is set, spilled ShardFiles + LRU + async prefetch when
+// one is (the out-of-core tier).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/workspace.hpp"
+#include "lists/linked_list.hpp"
+#include "lists/ops.hpp"
+#include "shard/shard_store.hpp"
+
+namespace lr90::shard {
+
+/// The fully resolved execution shape of one sharded run (the Engine's
+/// Planner fills it from its Decision + EngineOptions::shard; tests and
+/// benches construct it directly).
+struct ShardExec {
+  unsigned shards = 1;      ///< P (clamped to [1, min(n, kMaxShards)])
+  unsigned threads = 1;     ///< worker threads inside each per-shard pass
+  /// Cursors in flight per worker on each shard's packed hot path; 0
+  /// forces the legacy scalar walks for every shard.
+  unsigned interleave = 8;
+  /// Resident shard-byte budget; 0 = all-in-RAM (no spill tier).
+  std::size_t byte_budget = 0;
+  /// Spill directory; "" = a fresh per-run directory under the system
+  /// temp dir. Ignored when byte_budget == 0.
+  std::string spill_dir;
+  /// Keep (and reuse) the spill files across runs: set when the caller
+  /// pins the directory (a server's per-snapshot-generation spill dir);
+  /// unset directories are removed when the run finishes.
+  bool keep_files = false;
+  /// Async prefetch depth (0 disables the prefetch thread).
+  unsigned prefetch = 1;
+};
+
+/// What one sharded run did, for RunStats and the bench.
+struct ShardRunStats {
+  unsigned shards = 0;         ///< P the run actually used
+  std::uint64_t segments = 0;  ///< reduced-list length (cross-shard cursors)
+  StoreStats store;            ///< residency / spill / prefetch counters
+};
+
+/// Exclusive rank (rank == true) or `op`-scan of `list` into `out`
+/// (sized n), sharded per `exec`. Deterministic and bit-exact vs the
+/// serial oracle for every registered operator. `ws` supplies the
+/// second-level pass's scratch. Returns kInvalidInput on structurally
+/// broken cross-shard links, kUnavailable when the spill tier cannot
+/// write or load its files.
+Status sharded_scan(const LinkedList& list, bool rank, ScanOp op,
+                    const ShardExec& exec, Workspace& ws,
+                    std::span<value_t> out, ShardRunStats& stats);
+
+}  // namespace lr90::shard

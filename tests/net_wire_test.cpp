@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -447,6 +448,63 @@ TEST(RetryPolicy, IgnoresNonMonotonicSamples) {
   EXPECT_EQ(policy.drain_rate(), 0.0);
   policy.observe(2.0, 300);  // 200 jobs in 1s
   EXPECT_GT(policy.drain_rate(), 0.0);
+}
+
+TEST(RetryPolicy, DenormalTimestepDoesNotPoisonTheEwma) {
+  // Regression: a sample at double-granularity dt right after a baseline
+  // used to compute an infinite instantaneous rate while the EWMA weight
+  // rounded to exactly zero -- and inf * 0 poisoned the smoothed rate
+  // with NaN permanently, making the clamp and uint32 cast in hint_ms
+  // undefined. Such a sample carries no usable rate and must act as a
+  // baseline only.
+  RetryPolicy policy(/*min_ms=*/1, /*max_ms=*/2000);
+  policy.observe(0.0, 0);
+  policy.observe(1e-310, 5);  // denormal dt: inst overflows to infinity
+  EXPECT_TRUE(std::isfinite(policy.drain_rate()));
+  EXPECT_EQ(policy.drain_rate(), 0.0);
+  const std::uint32_t hint = policy.hint_ms(3);
+  EXPECT_GE(hint, 1u);
+  EXPECT_LE(hint, 2000u);
+
+  // And the policy recovers: the next honest sample derives a real rate
+  // from the re-baselined origin instead of compounding a NaN.
+  policy.observe(1.0, 105);  // ~100 jobs over ~1s
+  EXPECT_TRUE(std::isfinite(policy.drain_rate()));
+  EXPECT_GT(policy.drain_rate(), 0.0);
+  EXPECT_LT(policy.hint_ms(0), policy.hint_ms(50));
+}
+
+TEST(RetryPolicy, HintTakesColdFallbackWhenRateDecaysPastDenormal) {
+  // Regression: after a counter re-baseline (stats reset) an idle server
+  // feeds only zero-progress samples, so the EWMA decays geometrically
+  // straight through denormal territory. Dividing by a denormal pinned
+  // the hint at the ceiling -- a multi-second wait advertised by a server
+  // that is completely idle. Everything below kMinRate must read as "no
+  // drain observed" and take the cold per-job fallback instead.
+  RetryPolicy policy(/*min_ms=*/1, /*max_ms=*/2000);
+  const RetryPolicy cold(/*min_ms=*/1, /*max_ms=*/2000);
+
+  std::uint64_t completed = 0;
+  double t = 0.0;
+  for (int i = 0; i <= 50; ++i) {  // converge to ~100 jobs/s
+    policy.observe(t, completed);
+    t += 0.1;
+    completed += 10;
+  }
+  ASSERT_GT(policy.drain_rate(), 50.0);
+
+  policy.observe(t, 0);  // counter went backwards: re-baseline, no rate
+  for (int i = 0; i < 80; ++i) {
+    t += 10.0;
+    policy.observe(t, 0);  // idle: zero progress, the EWMA decays
+    EXPECT_TRUE(std::isfinite(policy.drain_rate()));
+    const std::uint32_t hint = policy.hint_ms(5);
+    EXPECT_GE(hint, 1u);
+    EXPECT_LE(hint, 2000u);
+  }
+  EXPECT_LT(policy.drain_rate(), 1e-9);
+  EXPECT_EQ(policy.hint_ms(5), cold.hint_ms(5))
+      << "a sub-threshold rate must fall back, not divide";
 }
 
 }  // namespace

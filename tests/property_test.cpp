@@ -24,6 +24,7 @@
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
 #include "serve/server.hpp"
+#include "shard/sharded.hpp"
 #include "test_util.hpp"
 
 namespace lr90 {
@@ -328,6 +329,66 @@ INSTANTIATE_TEST_SUITE_P(
     ThreadsTimesWidths, HostThreadsHarness,
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
                        ::testing::Values(1u, 4u, 16u)));
+
+// ---------------------------------------------------------------------
+// The sharded tier: P shards x every operator x every generator shape,
+// with the spill tier forced on and off -- bit-exact against the serial
+// oracle. The second-level Reid-Miller reduction over shard-boundary
+// segments must be invisible: any regrouping the shard plan induces has
+// to resolve through the operator, never through luck.
+// ---------------------------------------------------------------------
+
+class ShardHarness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ShardHarness, AllShardCountsMatchSerialOracleSpillOnAndOff) {
+  const unsigned shards = GetParam();
+  for (const bool spill : {false, true}) {
+    for (const ScanOp op : kAllScanOps) {
+      for (const Shape shape : kAllShapes) {
+        for (const std::size_t n :
+             {std::size_t{13}, std::size_t{997}, std::size_t{4096}}) {
+          const std::uint64_t seed = case_seed(shape, n, op) ^ 0x5aa5;
+          Rng rng(seed);
+          LinkedList l = make_shape(shape, n, ValueInit::kSigned, rng);
+          for (value_t& v : l.value) v = harness_value(op, v);
+
+          std::ostringstream repro;
+          repro << "repro: seed=" << seed
+                << " shape=" << static_cast<int>(shape) << " n=" << n
+                << " op=" << scan_op_name(op) << " P=" << shards
+                << " spill=" << spill;
+          SCOPED_TRACE(repro.str());
+
+          shard::ShardExec exec;
+          exec.shards = shards;
+          exec.threads = 2;
+          exec.interleave = 8;
+          // A 1-byte budget cannot hold any shard: every acquire loads
+          // from the spill file and evicts on release.
+          if (spill) exec.byte_budget = 1;
+
+          Workspace ws;
+          std::vector<value_t> out(n, 0);
+          shard::ShardRunStats st;
+          Status s = shard::sharded_scan(l, /*rank=*/false, op, exec, ws,
+                                         std::span<value_t>(out), st);
+          ASSERT_TRUE(s.ok()) << s.message;
+          testutil::expect_scan_eq(out, oracle_scan(l, op));
+
+          std::vector<value_t> ranked(n, 0);
+          s = shard::sharded_scan(l, /*rank=*/true, ScanOp::kPlus, exec, ws,
+                                  std::span<value_t>(ranked), st);
+          ASSERT_TRUE(s.ok()) << s.message;
+          testutil::expect_scan_eq(ranked, reference_rank(l));
+          if (spill) EXPECT_TRUE(st.store.spilled);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardHarness,
+                         ::testing::Values(1u, 2u, 7u, 16u));
 
 // ---------------------------------------------------------------------
 // Operator algebra: the packed operators are associative with an exact

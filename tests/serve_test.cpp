@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <filesystem>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "lists/generators.hpp"
 #include "serve/queue.hpp"
 #include "serve/workspace_pool.hpp"
+#include "shard/shard_file.hpp"
 
 namespace lr90 {
 namespace {
@@ -600,6 +602,75 @@ TEST(EngineServer, SnapshotHotKeySteadyStateDoesZeroPacksAndZeroRuns) {
   EXPECT_EQ(steady.completed, 0u) << "steady state runs zero engine jobs";
   EXPECT_EQ(steady.pool.packed_builds, 0u)
       << "steady state builds zero packed slabs";
+}
+
+TEST(EngineServer, SnapshotSpillRootPinsReusesAndDropsShardFiles) {
+  // The out-of-core serving lifecycle: with shard_spill_root set, a
+  // sharded snapshot run keeps its shard files in the generation-stamped
+  // directory (so repeat runs reuse them instead of rewriting the list),
+  // and update/drop reclaim every generation's directory of the id
+  // alongside the cache invalidation.
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "lr90-serve-spill-test";
+  fs::remove_all(root);
+
+  Rng rng(77);
+  const LinkedList list = random_list(40000, rng);
+  Engine serial({.backend = BackendKind::kSerial});
+  const RunResult want = serial.rank(list);
+  ASSERT_TRUE(want.ok());
+
+  ServerOptions opt;
+  opt.engine.backend = BackendKind::kHost;
+  opt.workers = 1;
+  opt.result_cache_bytes = 0;       // every repeat must reach the engine
+  opt.engine.shard.shards = 4;      // pin the sharded tier on
+  opt.engine.shard.byte_budget = 1; // squeeze: every shard load spills
+  opt.shard_spill_root = root.string();
+  EngineServer server(opt);
+
+  SnapshotHandle handle;
+  ASSERT_TRUE(server.register_snapshot(list, handle).ok());
+  SnapshotRequest req;
+  req.snapshot_id = handle.snapshot_id;
+  req.rank = true;
+
+  const RunResult first = server.submit(req).get();
+  ASSERT_TRUE(first.ok()) << first.status.message;
+  EXPECT_EQ(first.scan, want.scan);
+  EXPECT_EQ(first.stats.shard_count, 4u);
+  EXPECT_TRUE(first.stats.shard_spilled);
+  const fs::path gen1 = shard::snapshot_spill_dir(
+      root.string(), handle.snapshot_id, handle.generation);
+  EXPECT_TRUE(fs::exists(gen1 / shard::shard_file_name(0)))
+      << "snapshot shard files must be pinned, not ephemeral";
+
+  const RunResult repeat = server.submit(req).get();
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat.scan, want.scan);
+  const ServerStats s = server.stats();
+  EXPECT_GE(s.sharded_runs, 2u);
+  EXPECT_GT(s.shard_spills, 0u);
+
+  // Update: the old generation's directory is reclaimed; the new
+  // generation's run pins its own.
+  const LinkedList fresh = random_list(30000, rng);
+  SnapshotHandle updated;
+  ASSERT_TRUE(
+      server.update_snapshot(handle.snapshot_id, fresh, updated).ok());
+  EXPECT_FALSE(fs::exists(gen1));
+  const RunResult second = server.submit(req).get();
+  ASSERT_TRUE(second.ok()) << second.status.message;
+  EXPECT_EQ(second.scan, serial.rank(fresh).scan);
+  const fs::path gen2 = shard::snapshot_spill_dir(
+      root.string(), handle.snapshot_id, updated.generation);
+  EXPECT_TRUE(fs::exists(gen2));
+
+  EXPECT_TRUE(server.drop_snapshot(handle.snapshot_id));
+  EXPECT_FALSE(fs::exists(gen2));
+  server.shutdown();
+  fs::remove_all(root);
 }
 
 TEST(EngineServer, SnapshotUpdateRaceNeverServesAStaleGeneration) {

@@ -1,0 +1,416 @@
+// Tests for the sharded + out-of-core tier (src/shard/): the ShardFile
+// format, the ShardStore residency/spill/prefetch machinery, the two-level
+// sharded scan's bit-exactness vs the serial oracle, the Engine/Planner
+// wiring (auto-shard on the 2^31 packed bound and on the byte budget), and
+// the spill-directory lifecycle helpers the serving layer uses.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/workspace.hpp"
+#include "lists/encode.hpp"
+#include "lists/generators.hpp"
+#include "lists/ops.hpp"
+#include "shard/shard_file.hpp"
+#include "shard/shard_store.hpp"
+#include "shard/sharded.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh empty directory under the test temp root.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "lr90_shard_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Oracle exclusive scan under a runtime operator.
+std::vector<value_t> oracle(const LinkedList& list, bool rank, ScanOp op) {
+  if (rank) {
+    LinkedList ones = list;
+    for (auto& v : ones.value) v = 1;
+    return testutil::expected_scan(ones, OpPlus{});
+  }
+  return with_scan_op(
+      op, [&](auto o) { return testutil::expected_scan(list, o); });
+}
+
+/// Runs sharded_scan and asserts success + bit-exactness vs the oracle.
+shard::ShardRunStats run_and_check(const LinkedList& list, bool rank,
+                                   ScanOp op, const shard::ShardExec& exec) {
+  Workspace ws;
+  std::vector<value_t> out(list.size());
+  shard::ShardRunStats stats;
+  const Status st =
+      shard::sharded_scan(list, rank, op, exec, ws, out, stats);
+  EXPECT_TRUE(st.ok()) << st.message;
+  testutil::expect_scan_eq(out, oracle(list, rank, op));
+  return stats;
+}
+
+// -- ShardedList structure --------------------------------------------------
+
+TEST(ShardedList, SegmentsPartitionTheListAndStayInsideTheirShard) {
+  Rng rng(42);
+  const LinkedList list = random_list(1000, rng, ValueInit::kSigned);
+  const shard::ShardedList s = shard::ShardedList::build(list, 7);
+  ASSERT_EQ(s.shards, 7u);
+  // Every segment head lives in the shard whose heads_of bucket holds it,
+  // and walking all segments visits every vertex exactly once.
+  std::vector<int> seen(list.size(), 0);
+  std::size_t segs = 0;
+  for (unsigned p = 0; p < s.shards; ++p) {
+    const auto [b, e] = s.range(p);
+    for (const index_t h : s.heads_of[p]) {
+      ASSERT_GE(h, b);
+      ASSERT_LT(h, e);
+      ++segs;
+      index_t v = h;
+      for (;;) {
+        ++seen[v];
+        const index_t nx = list.next[v];
+        if (nx == v || s.shard_of(nx) != p) break;
+        v = nx;
+      }
+    }
+  }
+  EXPECT_EQ(segs, s.segments);
+  for (std::size_t v = 0; v < list.size(); ++v)
+    EXPECT_EQ(seen[v], 1) << "vertex " << v;
+}
+
+TEST(ShardedList, SequentialListHasOneSegmentPerNonemptyShard) {
+  const LinkedList list = sequential_list(100);
+  const shard::ShardedList s = shard::ShardedList::build(list, 4);
+  // Sequential order never re-enters a shard: exactly one segment each.
+  EXPECT_EQ(s.segments, 4u);
+  for (unsigned p = 0; p < 4; ++p) EXPECT_EQ(s.heads_of[p].size(), 1u);
+}
+
+TEST(ShardedList, ShardCountClampsToListLength) {
+  const LinkedList list = sequential_list(3);
+  const shard::ShardedList s = shard::ShardedList::build(list, 64);
+  EXPECT_LE(s.shards, 3u);
+  EXPECT_EQ(s.segments, static_cast<std::size_t>(s.shards));
+}
+
+// -- ShardFile format -------------------------------------------------------
+
+TEST(ShardFile, WriteReadRoundTripAndHeaderValidation) {
+  const std::string dir = fresh_dir("file_roundtrip");
+  fs::create_directories(dir);
+  const std::string path = dir + "/" + shard::shard_file_name(3);
+  std::vector<index_t> next{5, 6, 7, 8};
+  std::vector<value_t> value{-1, 2, -3, 4};
+  shard::ShardHeader h;
+  h.shard_index = 3;
+  h.begin = 4;
+  h.end = 8;
+  h.total_n = 100;
+  h.payload_bytes = shard::shard_payload_bytes(4);
+  ASSERT_TRUE(shard::write_shard_file(path, h, next.data(), value.data()));
+
+  shard::ShardHeader got;
+  ASSERT_TRUE(shard::read_shard_header(path, got));
+  EXPECT_TRUE(shard::shard_header_matches(got, 3, 4, 8, 100));
+  // Any identity mismatch is a refusal: wrong index, range, or total n.
+  EXPECT_FALSE(shard::shard_header_matches(got, 2, 4, 8, 100));
+  EXPECT_FALSE(shard::shard_header_matches(got, 3, 4, 9, 100));
+  EXPECT_FALSE(shard::shard_header_matches(got, 3, 4, 8, 99));
+
+  shard::ShardMap map;
+  ASSERT_TRUE(map.open(path, 3, 4, 8, 100));
+  ASSERT_EQ(map.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(map.next()[i], next[i]);
+    EXPECT_EQ(map.value()[i], value[i]);
+  }
+  // A loader expecting a different shard identity refuses the same file.
+  shard::ShardMap wrong;
+  EXPECT_FALSE(wrong.open(path, 3, 4, 8, 101));
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ShardFile, CorruptMagicAndVersionAreRejected) {
+  const std::string dir = fresh_dir("file_corrupt");
+  fs::create_directories(dir);
+  const std::string path = dir + "/" + shard::shard_file_name(0);
+  std::vector<index_t> next{0, 1};
+  std::vector<value_t> value{1, 1};
+  shard::ShardHeader h;
+  h.begin = 0;
+  h.end = 2;
+  h.total_n = 2;
+  h.payload_bytes = shard::shard_payload_bytes(2);
+  ASSERT_TRUE(shard::write_shard_file(path, h, next.data(), value.data()));
+
+  shard::ShardHeader bad = h;
+  bad.magic ^= 1;
+  ASSERT_TRUE(shard::write_shard_file(path, bad, next.data(), value.data()));
+  shard::ShardHeader got;
+  EXPECT_FALSE(shard::read_shard_header(path, got));  // magic check fails
+
+  bad = h;
+  bad.version = shard::kShardFormatVersion + 1;
+  ASSERT_TRUE(shard::write_shard_file(path, bad, next.data(), value.data()));
+  ASSERT_TRUE(shard::read_shard_header(path, got));
+  EXPECT_FALSE(shard::shard_header_matches(got, 0, 0, 2, 2));
+  shard::ShardMap map;
+  EXPECT_FALSE(map.open(path, 0, 0, 2, 2));
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ShardFile, SnapshotSpillDirLifecycle) {
+  const std::string root = fresh_dir("snap_root");
+  fs::create_directories(root);
+  // Two generations of snapshot 1, one of snapshot 12: dropping snapshot 1
+  // must not touch snapshot 12 (prefix "snap1_g" vs "snap12_g3").
+  for (const auto& [id, gen] :
+       {std::pair<std::uint64_t, std::uint64_t>{1, 1}, {1, 2}, {12, 3}}) {
+    const std::string dir = shard::snapshot_spill_dir(root, id, gen);
+    fs::create_directories(dir);
+    std::vector<index_t> next{0};
+    std::vector<value_t> value{1};
+    shard::ShardHeader h;
+    h.end = 1;
+    h.total_n = 1;
+    h.payload_bytes = shard::shard_payload_bytes(1);
+    ASSERT_TRUE(shard::write_shard_file(
+        dir + "/" + shard::shard_file_name(0), h, next.data(), value.data()));
+  }
+  EXPECT_EQ(shard::drop_snapshot_spill_dirs(root, 1), 2u);
+  EXPECT_FALSE(fs::exists(shard::snapshot_spill_dir(root, 1, 1)));
+  EXPECT_FALSE(fs::exists(shard::snapshot_spill_dir(root, 1, 2)));
+  EXPECT_TRUE(fs::exists(shard::snapshot_spill_dir(root, 12, 3)));
+  EXPECT_EQ(shard::drop_snapshot_spill_dirs(root, 12), 1u);
+  fs::remove_all(root);
+}
+
+// -- sharded_scan correctness ----------------------------------------------
+
+TEST(ShardedScan, RankMatchesOracleAcrossShardCountsAndShapes) {
+  Rng rng(7);
+  for (const std::size_t n : {0ul, 1ul, 2ul, 13ul, 997ul, 4096ul}) {
+    for (const unsigned p : {1u, 2u, 7u, 16u}) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " P=" + std::to_string(p));
+      const LinkedList list = random_list(n, rng, ValueInit::kSigned);
+      shard::ShardExec exec;
+      exec.shards = p;
+      run_and_check(list, /*rank=*/true, ScanOp::kPlus, exec);
+    }
+  }
+}
+
+TEST(ShardedScan, LaneOpsMatchOracleUnderShardedPackedKernels) {
+  Rng rng(11);
+  for (const ScanOp op :
+       {ScanOp::kPlus, ScanOp::kMin, ScanOp::kMax, ScanOp::kXor}) {
+    const LinkedList list = random_list(2000, rng, ValueInit::kSigned);
+    shard::ShardExec exec;
+    exec.shards = 5;
+    SCOPED_TRACE(scan_op_name(op));
+    run_and_check(list, /*rank=*/false, op, exec);
+  }
+}
+
+TEST(ShardedScan, LaneOverflowFallsBackPerShardAndStaysExact) {
+  // Values missing the signed 32-bit lane poison the per-shard slab build;
+  // the shard must take the legacy walks and still be bit-exact.
+  Rng rng(13);
+  LinkedList list = random_list(500, rng, ValueInit::kSigned);
+  list.value[123] = (value_t{1} << 40);
+  list.value[400] = -(value_t{1} << 41);
+  shard::ShardExec exec;
+  exec.shards = 4;
+  run_and_check(list, /*rank=*/false, ScanOp::kPlus, exec);
+}
+
+TEST(ShardedScan, LegacyLaneForcedByZeroInterleaveMatchesOracle) {
+  Rng rng(17);
+  const LinkedList list = random_list(1500, rng, ValueInit::kSigned);
+  shard::ShardExec exec;
+  exec.shards = 3;
+  exec.interleave = 0;  // force the scalar walks on every shard
+  run_and_check(list, /*rank=*/true, ScanOp::kPlus, exec);
+}
+
+TEST(ShardedScan, SpillTierIsBitExactAndCountsSpillsLoadsPrefetch) {
+  Rng rng(19);
+  const std::size_t n = 50000;
+  const unsigned P = 8;
+  const LinkedList list = blocked_list(n, 512, rng, ValueInit::kSigned);
+  shard::ShardExec exec;
+  exec.shards = P;
+  exec.spill_dir = fresh_dir("spill_counts");
+  // Budget for two resident shards: both passes thrash the LRU.
+  const std::size_t width = (n + P - 1) / P;
+  exec.byte_budget =
+      2 * (shard::shard_payload_bytes(width) + sizeof(shard::ShardHeader));
+  const shard::ShardRunStats stats =
+      run_and_check(list, /*rank=*/true, ScanOp::kPlus, exec);
+  EXPECT_EQ(stats.shards, P);
+  EXPECT_TRUE(stats.store.spilled);
+  EXPECT_GE(stats.store.loads, static_cast<std::uint64_t>(P));
+  EXPECT_GE(stats.store.spills, 4u);
+  EXPECT_GE(stats.store.prefetch_hits, 1u);
+  // Ephemeral directory: removed when the run ended.
+  EXPECT_FALSE(fs::exists(exec.spill_dir));
+}
+
+TEST(ShardedScan, PinnedSpillDirIsReusedAcrossRunsAndDroppable) {
+  Rng rng(23);
+  const LinkedList list = random_list(20000, rng, ValueInit::kSigned);
+  shard::ShardExec exec;
+  exec.shards = 4;
+  exec.spill_dir = fresh_dir("spill_reuse");
+  exec.keep_files = true;
+  exec.byte_budget = 1;  // tiny: every acquire loads from file
+  const shard::ShardRunStats first =
+      run_and_check(list, /*rank=*/false, ScanOp::kMax, exec);
+  EXPECT_EQ(first.store.reused_files, 0u);
+  EXPECT_TRUE(fs::exists(exec.spill_dir));  // pinned: files persist
+  const shard::ShardRunStats second =
+      run_and_check(list, /*rank=*/false, ScanOp::kMax, exec);
+  EXPECT_EQ(second.store.reused_files, 4u);  // written once, reused after
+  EXPECT_EQ(shard::drop_spill_dir(exec.spill_dir), 4u);
+  EXPECT_FALSE(fs::exists(exec.spill_dir));
+}
+
+TEST(ShardedScan, PrefetchDisabledStillCorrect) {
+  Rng rng(29);
+  const LinkedList list = random_list(10000, rng, ValueInit::kSigned);
+  shard::ShardExec exec;
+  exec.shards = 6;
+  exec.spill_dir = fresh_dir("spill_noprefetch");
+  exec.byte_budget = 1;
+  exec.prefetch = 0;
+  const shard::ShardRunStats stats =
+      run_and_check(list, /*rank=*/true, ScanOp::kPlus, exec);
+  EXPECT_EQ(stats.store.prefetch_hits, 0u);
+  EXPECT_GE(stats.store.loads, 12u);  // both passes load every shard
+}
+
+// -- Engine / Planner wiring ------------------------------------------------
+
+TEST(ShardPlanner, AutoShardsBeyondThePackedLinkLaneBound) {
+  // Satellite bugfix: the packed hot word's 31-bit link lane bounds n at
+  // 2^31. decide() must answer "too big" with a TYPED route -- a sharded
+  // plan whose per-shard width fits the lane -- never a packed plan that
+  // would silently truncate links.
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  const Planner planner(opt);
+  const std::size_t big = kHotMaxVertices + 5;
+  const auto d = planner.decide(big, Method::kAuto, /*rank=*/true);
+  ASSERT_GT(d.shard_count, 0u);
+  EXPECT_EQ(d.method, Method::kReidMiller);
+  const std::size_t width = (big + d.shard_count - 1) / d.shard_count;
+  EXPECT_LE(width, kHotMaxVertices);  // per-shard bound, not global
+}
+
+TEST(ShardPlanner, AutoShardOffStillNeverPlansPackedPastTheBound) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.shard.auto_shard = false;
+  const Planner planner(opt);
+  const auto d =
+      planner.decide(kHotMaxVertices + 5, Method::kAuto, /*rank=*/true);
+  EXPECT_EQ(d.shard_count, 0u);
+  // Whatever method it picks, the packed kernels (interleave >= 1) must
+  // not be planned for links that cannot fit the 31-bit lane.
+  EXPECT_EQ(d.interleave, 0u);
+}
+
+TEST(ShardPlanner, BelowTheBoundStaysUnsharded) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  const Planner planner(opt);
+  const auto d = planner.decide(1 << 20, Method::kAuto, /*rank=*/true);
+  EXPECT_EQ(d.shard_count, 0u);
+}
+
+TEST(ShardPlanner, ByteBudgetTriggersAutoShard) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.shard.byte_budget = 64 * 1024;
+  const Planner planner(opt);
+  const std::size_t n = 100000;  // 1.2 MB of list > 64 KB budget
+  const auto d = planner.decide(n, Method::kAuto, /*rank=*/true);
+  ASSERT_GT(d.shard_count, 1u);
+  // Enough shards that ~two fit the budget (current + prefetched).
+  const std::size_t width = (n + d.shard_count - 1) / d.shard_count;
+  EXPECT_LE(width * (sizeof(index_t) + sizeof(value_t)),
+            opt.shard.byte_budget);
+}
+
+TEST(ShardEngine, PinnedShardsRunShardedAndVerify) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.shard.shards = 4;
+  opt.verify_output = true;  // engine checks vs the serial reference
+  Engine engine(opt);
+  Rng rng(31);
+  const LinkedList list = random_list(5000, rng, ValueInit::kSigned);
+  const RunResult r = engine.scan(list, ScanOp::kMin);
+  ASSERT_TRUE(r.ok()) << r.status.message;
+  EXPECT_EQ(r.stats.shard_count, 4u);
+  EXPECT_GT(r.stats.shard_segments, 0u);
+  EXPECT_FALSE(r.stats.shard_spilled);  // no budget: all-in-RAM sharding
+  testutil::expect_scan_eq(r.scan, oracle(list, false, ScanOp::kMin));
+}
+
+TEST(ShardEngine, ByteBudgetSpillsAndStaysBitExact) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.shard.shards = 6;
+  opt.shard.byte_budget = 40000;  // < one 20k-vertex list: forces spills
+  opt.verify_output = true;
+  Engine engine(opt);
+  Rng rng(37);
+  const LinkedList list = random_list(20000, rng, ValueInit::kOnes);
+  const RunResult r = engine.rank(list);
+  ASSERT_TRUE(r.ok()) << r.status.message;
+  EXPECT_EQ(r.stats.shard_count, 6u);
+  EXPECT_TRUE(r.stats.shard_spilled);
+  EXPECT_GE(r.stats.shard_spills, 4u);
+  EXPECT_GE(r.stats.shard_loads, 6u);
+  testutil::expect_scan_eq(r.scan, oracle(list, true, ScanOp::kPlus));
+}
+
+TEST(ShardEngine, ExplicitSerialRequestIsHonouredUnsharded) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.shard.shards = 4;
+  Engine engine(opt);
+  Rng rng(41);
+  const LinkedList list = random_list(1000, rng);
+  const RunResult r = engine.rank(list, Method::kSerial);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.stats.shard_count, 0u);
+}
+
+TEST(ShardEngine, SixtyFourBitOperatorRunsShardedViaLegacyLanes) {
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.shard.shards = 3;
+  opt.verify_output = true;
+  Engine engine(opt);
+  Rng rng(43);
+  const LinkedList list = random_list(3000, rng, ValueInit::kUniformSmall);
+  const RunResult r = engine.scan(list, ScanOp::kMaxPlus);
+  ASSERT_TRUE(r.ok()) << r.status.message;
+  EXPECT_EQ(r.stats.shard_count, 3u);
+  EXPECT_FALSE(r.stats.host_packed);  // 64-bit lanes: legacy walks
+}
+
+}  // namespace
+}  // namespace lr90

@@ -127,7 +127,7 @@ TEST(LruCache, ReplaceInPlaceIsAnInsertNotAnEviction) {
 
 TEST(LruCache, EntryLargerThanShardSliceIsRefusedResidency) {
   // A single entry above the per-shard budget slice must not pin the
-  // cache over budget: it is admitted and immediately evicted.
+  // cache over budget: it is refused outright (one insert, one eviction).
   IntCache cache(/*byte_budget=*/100, /*shards=*/1);
   cache.insert(key(1, 1, 0), 10, 150);
   const CacheStats s = cache.stats();
@@ -137,6 +137,40 @@ TEST(LruCache, EntryLargerThanShardSliceIsRefusedResidency) {
   EXPECT_EQ(s.resident_bytes, 0u);
   int got = 0;
   EXPECT_FALSE(cache.lookup(key(1, 1, 0), got));
+}
+
+TEST(LruCache, OverSliceInsertLeavesResidentEntriesUntouched) {
+  // Regression: the over-slice refusal used to be implemented by admitting
+  // the entry and then evicting from the LRU back until under budget --
+  // which flushed every innocent resident before reaching the oversized
+  // entry itself. The refusal must not perturb the resident set or its
+  // byte accounting.
+  IntCache cache(/*byte_budget=*/100, /*shards=*/1);
+  cache.insert(key(1, 1, 0), 10, 30);
+  cache.insert(key(1, 1, 1), 11, 30);
+  cache.insert(key(1, 1, 2), 12, 30);
+
+  cache.insert(key(1, 1, 3), 13, 150);  // over-slice: refused, not admitted
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.inserts, 4u);
+  EXPECT_EQ(s.evictions, 1u) << "only the oversized entry is dropped";
+  EXPECT_EQ(s.resident_entries, 3u) << "innocent residents must survive";
+  EXPECT_EQ(s.resident_bytes, 90u) << "byte accounting must be unperturbed";
+  int got = 0;
+  EXPECT_TRUE(cache.lookup(key(1, 1, 0), got));
+  EXPECT_EQ(got, 10);
+  EXPECT_TRUE(cache.lookup(key(1, 1, 1), got));
+  EXPECT_TRUE(cache.lookup(key(1, 1, 2), got));
+  EXPECT_FALSE(cache.lookup(key(1, 1, 3), got));
+
+  // A refused re-insert of an existing key keeps the prior (fitting)
+  // value resident -- artifacts are deterministic per key.
+  cache.insert(key(1, 1, 0), 99, 500);
+  ASSERT_TRUE(cache.lookup(key(1, 1, 0), got));
+  EXPECT_EQ(got, 10);
+  s = cache.stats();
+  EXPECT_EQ(s.resident_bytes, 90u);
 }
 
 TEST(LruCache, ResetCountersKeepsResidentEntries) {
@@ -163,10 +197,11 @@ TEST(LruCache, ResetCountersKeepsResidentEntries) {
   EXPECT_EQ(s.misses, 0u);
 }
 
-// Shadow LRU with the cache's exact semantics (single shard): replace in
-// place on a duplicate key, push-front on insert/hit, evict from the back
-// while over budget. The seeded sweep below compares every lookup outcome
-// and the final occupancy against it.
+// Shadow LRU with the cache's exact semantics (single shard): refuse an
+// over-budget entry outright, replace in place on a duplicate key,
+// push-front on insert/hit, evict from the back while over budget. The
+// seeded sweep below compares every lookup outcome and the final
+// occupancy against it.
 class ShadowLru {
  public:
   explicit ShadowLru(std::size_t budget) : budget_(budget) {}
@@ -183,6 +218,7 @@ class ShadowLru {
   }
 
   void insert(const CacheKey& k, int value, std::size_t bytes) {
+    if (bytes > budget_) return;  // over-slice refusal, residents untouched
     for (auto it = lru_.begin(); it != lru_.end(); ++it) {
       if (it->first == k) {
         bytes_ -= it->second.second;
@@ -231,7 +267,9 @@ TEST_P(LruCacheSweep, SeededOpsMatchShadowModelAndConserveCounters) {
       if (hit) ASSERT_EQ(got, want);
     } else {
       const int value = static_cast<int>(rng.uniform(1 << 20));
-      const std::size_t bytes = rng.uniform(120) + 1;
+      // Occasionally above the 500-byte budget, so the sweep also
+      // exercises the over-slice refusal path against the model.
+      const std::size_t bytes = rng.uniform(600) + 1;
       cache.insert(k, value, bytes);
       shadow.insert(k, value, bytes);
     }

@@ -153,7 +153,17 @@ def compare_doc(name: str, old: dict, new: dict, threshold: float,
                 continue
             if not compare_perf:
                 continue
-            if not (isinstance(new_val, (int, float)) and old_val > 0):
+            if not isinstance(new_val, (int, float)) or isinstance(
+                    new_val, bool):
+                rep.warn(f"{name}: {field} is not numeric in fresh "
+                         f"results ({new_val!r}) ({ident})")
+                continue
+            if not old_val > 0:
+                # A zero or negative baseline cannot anchor a ratio; the
+                # old silent skip here meant such a field was never gated
+                # again. Say so -- under --strict that is a failure.
+                rep.warn(f"{name}: {field} baseline is {old_val!r}, "
+                         f"ratio gate skipped ({ident})")
                 continue
             ratio = new_val / old_val
             if kind == "lower" and ratio > 1.0 + threshold:
