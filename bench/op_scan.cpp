@@ -20,6 +20,13 @@
 // noisy shared runners). Also prints the ns/vertex of every registered
 // operator through the engine -- the new workloads the layer opens.
 //
+// A fourth tier gates the fault-injection framework's disabled fast path
+// (support/faultpoint.hpp): the dispatched scan plus one disabled
+// FaultSite::fire() check per 1024 vertices -- a deliberately generous
+// model of the I/O-edge density a spill-tier run pays -- must stay
+// within 1% of the plain dispatched tier, so production binaries carry
+// the chaos hooks for free.
+//
 //   $ ./op_scan [n] [reps]
 #include <algorithm>
 #include <chrono>
@@ -32,11 +39,17 @@
 #include "lists/generators.hpp"
 #include "lists/ops.hpp"
 #include "support/bench_json.hpp"
+#include "support/faultpoint.hpp"
 
 namespace {
 
 using namespace lr90;
 using Clock = std::chrono::steady_clock;
+
+/// Never armed: measures exactly what every production fault site costs
+/// while injection is globally disabled.
+fault::FaultSite g_probe{"bench.op_scan.probe",
+                         "disabled-overhead probe (never armed)"};
 
 double median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
@@ -59,6 +72,10 @@ int main(int argc, char** argv) {
   const std::size_t reps = std::max<std::size_t>(
       1, argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9);
   const bool lenient = std::getenv("OP_SCAN_LENIENT") != nullptr;
+  // Keeps the faultpoint 1% gate hard even under OP_SCAN_LENIENT: the
+  // faulted and dispatched tiers run the same kernel interleaved, so
+  // their ratio is robust where the machine-relative 5% gates are not.
+  const bool fault_strict = std::getenv("OP_SCAN_FAULT_STRICT") != nullptr;
 
   Rng rng(41);
   const LinkedList list = random_list(n, rng, ValueInit::kSigned);
@@ -100,19 +117,41 @@ int main(int argc, char** argv) {
     }
     sink = r.scan[list.head];
   };
+  auto run_faulted = [&] {
+    std::vector<value_t> res(n);
+    with_scan_op(ScanOp::kPlus, [&](auto op) {
+      host_exec::scan_into(list, op, plan, ws, std::span<value_t>(res));
+    });
+    // The disabled fast path, at spill-run I/O-edge density.
+    bool fired = false;
+    for (std::size_t i = 0; i < n; i += 1024) fired |= g_probe.fire();
+    if (fired) std::exit(2);  // unreachable: the probe is never armed
+    sink = res[list.head];
+  };
 
   // Warm every path (page-in, workspace growth), then interleave the reps
   // so drift hits all tiers equally.
   run_hard();
   run_dispatched();
   run_engine();
-  std::vector<double> hard, dispatched, eng;
+  run_faulted();
+  std::vector<double> hard, dispatched, eng, faulted;
   for (std::size_t i = 0; i < reps; ++i) {
     hard.push_back(time_once(run_hard));
     dispatched.push_back(time_once(run_dispatched));
     eng.push_back(time_once(run_engine));
+    faulted.push_back(time_once(run_faulted));
   }
   const double h = median(hard), d = median(dispatched), e = median(eng);
+  const double f = median(faulted);
+
+  // Micro-cost of one disabled fire(): a relaxed load plus a branch.
+  constexpr std::size_t kFireCalls = 1u << 24;
+  const double fire_ms = time_once([&] {
+    bool any = false;
+    for (std::size_t i = 0; i < kFireCalls; ++i) any |= g_probe.fire();
+    if (any) std::exit(2);
+  });
 
   std::printf("sum scan over %zu vertices, %zu reps (median ms):\n", n,
               reps);
@@ -122,6 +161,10 @@ int main(int argc, char** argv) {
               "with_scan_op dispatch", d, (d / h - 1.0) * 100.0);
   std::printf("  %-22s %8.2f ms  %+6.2f%% vs hard-coded\n",
               "Engine OpRequest", e, (e / h - 1.0) * 100.0);
+  std::printf("  %-22s %8.2f ms  %+6.2f%% vs dispatch\n",
+              "dispatch + faultpoints", f, (f / d - 1.0) * 100.0);
+  std::printf("  disabled fire(): %.2f ns/call over %zu calls\n",
+              fire_ms * 1e6 / static_cast<double>(kFireCalls), kFireCalls);
 
   BenchJson json("op_scan");
   stamp_provenance(json);
@@ -138,6 +181,12 @@ int main(int argc, char** argv) {
   tier_row("hard-coded", h);
   tier_row("with_scan_op", d);
   tier_row("engine", e);
+  json.row();
+  json.field("tier", "faultpoint");
+  json.field("median_ms", f);
+  json.field("vs_dispatched", f / d);
+  json.field("fire_ns_per_call",
+             fire_ms * 1e6 / static_cast<double>(kFireCalls));
 
   // The new workloads: every registered operator through the same engine.
   std::printf("\nevery operator via OpRequest (median ms):\n");
@@ -186,12 +235,20 @@ int main(int argc, char** argv) {
                 (e / h - 1.0) * 100.0);
     ok = false;
   }
+  bool fault_miss = false;
+  if (f > d * 1.01) {
+    std::printf("\nGATE MISS: disabled faultpoints cost %.2f%% over the "
+                "dispatch tier (limit 1%%)\n",
+                (f / d - 1.0) * 100.0);
+    ok = false;
+    fault_miss = true;
+  }
   if (ok) {
     std::printf("\ngate ok: generic paths within 5%% of the hard-coded "
-                "sum scan\n");
+                "sum scan, disabled faultpoints within 1%% of dispatch\n");
     return 0;
   }
-  if (lenient) {
+  if (lenient && !(fault_miss && fault_strict)) {
     std::printf("OP_SCAN_LENIENT set: reporting only, not failing\n");
     return 0;
   }

@@ -54,6 +54,9 @@ const char* status_code_name(StatusCode c) {
     case StatusCode::kWrongAnswer: return "wrong-answer";
     case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kStaleGeneration: return "stale-generation";
+    case StatusCode::kCorruptSlab: return "corrupt-slab";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "?";
 }
@@ -72,6 +75,15 @@ Status Status::unavailable(std::string msg) {
 }
 Status Status::stale_generation(std::string msg) {
   return Status{StatusCode::kStaleGeneration, std::move(msg)};
+}
+Status Status::corrupt_slab(std::string msg) {
+  return Status{StatusCode::kCorruptSlab, std::move(msg)};
+}
+Status Status::resource_exhausted(std::string msg) {
+  return Status{StatusCode::kResourceExhausted, std::move(msg)};
+}
+Status Status::deadline_exceeded(std::string msg) {
+  return Status{StatusCode::kDeadlineExceeded, std::move(msg)};
 }
 
 namespace {
@@ -486,6 +498,7 @@ class HostBackend final : public ExecutionBackend {
     exec.interleave = plan.interleave;
     exec.byte_budget = shard_opts_.byte_budget;
     exec.prefetch = shard_opts_.prefetch;
+    exec.degrade = shard_opts_.degrade;
     if (!req.shard_spill_dir.empty()) {
       // A request-pinned directory (the serving layer's per-snapshot-
       // generation dir): reuse matching files and leave them on disk.
@@ -499,6 +512,11 @@ class HostBackend final : public ExecutionBackend {
     const Status st =
         shard::sharded_scan(*req.list, req.rank, req.op, exec, ws,
                             std::span<value_t>(out.scan), ss);
+    // Fold the store's failure/recovery counters even when the run failed
+    // -- a typed kCorruptSlab answer should still report what was seen.
+    out.stats.shard_corrupt_slabs = ss.store.corrupt_slabs;
+    out.stats.shard_repacks = ss.store.repacks;
+    out.stats.shard_degraded = ss.store.degraded;
     if (!st.ok()) return st;
     const std::size_t n = req.list->size();
     out.stats.algo.rounds = n == 0 ? 0 : 3;

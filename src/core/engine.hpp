@@ -105,6 +105,9 @@ enum class StatusCode {
   kWrongAnswer,   ///< verify_output found a mismatch with the reference
   kUnavailable,   ///< the serving layer rejected the request (shutdown/full)
   kStaleGeneration,  ///< the addressed snapshot generation was superseded
+  kCorruptSlab,   ///< a spilled shard slab failed its integrity check
+  kResourceExhausted,  ///< disk/RAM could not hold the run (ENOSPC, alloc)
+  kDeadlineExceeded,   ///< the request's deadline passed before it ran
 };
 
 /// Short stable name of `c` ("ok", "invalid-input", ...).
@@ -129,6 +132,12 @@ struct Status {
   static Status unavailable(std::string msg);
   /// A kStaleGeneration status carrying `msg`.
   static Status stale_generation(std::string msg);
+  /// A kCorruptSlab status carrying `msg`.
+  static Status corrupt_slab(std::string msg);
+  /// A kResourceExhausted status carrying `msg`.
+  static Status resource_exhausted(std::string msg);
+  /// A kDeadlineExceeded status carrying `msg`.
+  static Status deadline_exceeded(std::string msg);
 };
 
 // -- requests ---------------------------------------------------------------
@@ -173,6 +182,10 @@ struct Request {
   /// generation directory so shard files are written once and reused
   /// across requests; only sound for immutable snapshot lists.
   std::string shard_spill_dir;
+  /// Relative deadline in milliseconds (0 = none). Carried through the
+  /// wire header and the EngineServer queue: a request still queued when
+  /// its deadline passes is answered kDeadlineExceeded without running.
+  std::uint32_t deadline_ms = 0;
 
   Request() = default;  ///< an empty (listless) request; run() rejects it
   /// Converts a rank request.
@@ -223,6 +236,9 @@ struct RunStats {
   std::uint64_t shard_spills = 0;    ///< residencies evicted by the budget
   std::uint64_t shard_prefetch_hits = 0;  ///< loads the prefetcher served
   bool shard_spilled = false;        ///< the out-of-core tier was active
+  std::uint64_t shard_corrupt_slabs = 0;  ///< slabs failing integrity checks
+  std::uint64_t shard_repacks = 0;   ///< slabs rewritten from the source
+  std::uint64_t shard_degraded = 0;  ///< shards served resident (spill down)
 
   /// For snapshot-addressed serving requests (serve/server.hpp): the
   /// snapshot generation this result was computed against -- on a
@@ -268,6 +284,12 @@ struct ShardOptions {
   std::string spill_dir;
   /// Async prefetch depth for the spill tier (0 disables the prefetcher).
   unsigned prefetch = 1;
+  /// Allow the spill tier's counted degraded mode: shards whose spill
+  /// files cannot be written (ENOSPC/EIO) or reloaded (after a failed
+  /// repack) are served from the always-resident source arrays and
+  /// counted (RunStats::shard_degraded). Off = strict: those failures
+  /// become typed kResourceExhausted / kCorruptSlab run errors instead.
+  bool degrade = true;
 };
 
 /// Everything an Engine is configured with; value-semantic and copyable

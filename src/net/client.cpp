@@ -166,18 +166,19 @@ Status NetClient::send_scan(const LinkedList& list, ScanOp op,
 }
 
 Status NetClient::rank(const LinkedList& list, ResponseFrame& out,
-                       Method method) {
+                       Method method, std::uint32_t deadline_ms) {
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> frame;
-  encode_rank_request(frame, id, list, method);
+  encode_rank_request(frame, id, list, method, deadline_ms);
   return round_trip(frame, id, out);
 }
 
 Status NetClient::scan(const LinkedList& list, ScanOp op,
-                       ResponseFrame& out, Method method) {
+                       ResponseFrame& out, Method method,
+                       std::uint32_t deadline_ms) {
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> frame;
-  encode_scan_request(frame, id, list, op, method);
+  encode_scan_request(frame, id, list, op, method, deadline_ms);
   return round_trip(frame, id, out);
 }
 
@@ -208,20 +209,22 @@ Status NetClient::release_snapshot(std::uint64_t snapshot_id,
 
 Status NetClient::snapshot_rank(std::uint64_t snapshot_id,
                                 std::uint64_t generation, ResponseFrame& out,
-                                Method method) {
+                                Method method, std::uint32_t deadline_ms) {
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> frame;
-  encode_snapshot_rank_request(frame, id, snapshot_id, generation, method);
+  encode_snapshot_rank_request(frame, id, snapshot_id, generation, method,
+                               deadline_ms);
   return round_trip(frame, id, out);
 }
 
 Status NetClient::snapshot_scan(std::uint64_t snapshot_id,
                                 std::uint64_t generation, ScanOp op,
-                                ResponseFrame& out, Method method) {
+                                ResponseFrame& out, Method method,
+                                std::uint32_t deadline_ms) {
   const std::uint32_t id = next_id_++;
   std::vector<std::uint8_t> frame;
   encode_snapshot_scan_request(frame, id, snapshot_id, generation, op,
-                               method);
+                               method, deadline_ms);
   return round_trip(frame, id, out);
 }
 

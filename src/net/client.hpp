@@ -46,11 +46,14 @@ class NetClient {
   bool connected() const { return fd_ >= 0; }
 
   /// One rank round trip: encodes, sends, waits for the response.
+  /// `deadline_ms` > 0 rides the wire header: a job still queued when
+  /// the budget expires is answered kDeadlineExceeded without running,
+  /// and a back-pressure RETRY_AFTER hint is clamped to the remainder.
   Status rank(const LinkedList& list, ResponseFrame& out,
-              Method method = Method::kAuto);
+              Method method = Method::kAuto, std::uint32_t deadline_ms = 0);
   /// One scan round trip under `op`.
   Status scan(const LinkedList& list, ScanOp op, ResponseFrame& out,
-              Method method = Method::kAuto);
+              Method method = Method::kAuto, std::uint32_t deadline_ms = 0);
   /// Fetches the plaintext serving counters (framed kStatsRequest).
   Status stats_text(std::string& out);
   /// Fetches the plaintext liveness probe (framed kHealthRequest).
@@ -71,11 +74,13 @@ class NetClient {
   Status release_snapshot(std::uint64_t snapshot_id, ResponseFrame& out);
   /// One snapshot-addressed rank round trip. `generation` 0 = current.
   Status snapshot_rank(std::uint64_t snapshot_id, std::uint64_t generation,
-                       ResponseFrame& out, Method method = Method::kAuto);
+                       ResponseFrame& out, Method method = Method::kAuto,
+                       std::uint32_t deadline_ms = 0);
   /// One snapshot-addressed scan round trip under `op`.
   Status snapshot_scan(std::uint64_t snapshot_id, std::uint64_t generation,
                        ScanOp op, ResponseFrame& out,
-                       Method method = Method::kAuto);
+                       Method method = Method::kAuto,
+                       std::uint32_t deadline_ms = 0);
 
   // -- pipelining primitives (N sends, then N reads, one socket) ----------
 

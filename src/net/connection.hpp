@@ -36,6 +36,10 @@ struct Connection {
   bool plaintext = false;
 
   std::chrono::steady_clock::time_point last_activity;  ///< idle clock
+  /// When queued response bytes first stalled (epoch = not stalled). The
+  /// loop arms it while pending_out() > 0, any send() progress clears
+  /// it, and a stall older than write_timeout_s closes the connection.
+  std::chrono::steady_clock::time_point write_stalled_since{};
 
   /// Bytes still queued for writing.
   std::size_t pending_out() const { return out.size() - out_off; }

@@ -93,6 +93,19 @@ class RetryPolicy {
     return std::max(min_ms_, static_cast<std::uint32_t>(ms));
   }
 
+  /// Deadline-aware hint: like hint_ms(depth), additionally clamped to
+  /// the client's remaining deadline budget. A hint telling the client
+  /// to come back after its own deadline would guarantee the retry is
+  /// wasted, so the budget caps the wait -- but never below min_ms (a
+  /// zero hint reads as "retry immediately" and stampedes the queue).
+  /// A zero budget means "no deadline": the plain hint is returned.
+  std::uint32_t hint_ms(std::size_t depth,
+                        std::uint32_t deadline_budget_ms) const {
+    const std::uint32_t base = hint_ms(depth);
+    if (deadline_budget_ms == 0) return base;
+    return std::max(min_ms_, std::min(base, deadline_budget_ms));
+  }
+
  private:
   static constexpr double kTauS = 0.5;       ///< EWMA time constant
   static constexpr double kColdMsPerJob = 10.0;  ///< pre-observation guess

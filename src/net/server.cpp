@@ -12,8 +12,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <sstream>
 #include <utility>
+
+#include "support/faultpoint.hpp"
 
 namespace lr90::net {
 
@@ -37,6 +40,15 @@ constexpr std::size_t kMaxPlainLine = 64;
 /// Hard cap on buffered-but-unparsed input: one maximal frame plus its
 /// header. More than this without a parsable frame is a protocol error.
 constexpr std::size_t kMaxInBuffer = kHeaderSize + kMaxPayload;
+
+// Fault-injection sites at the socket edges (tests/fault_test.cpp).
+fault::FaultSite f_recv_io{"net.recv.io",
+                           "recv() fails with EIO: connection torn down"};
+fault::FaultSite f_send_io{"net.send.io",
+                           "send() fails with EIO: connection torn down"};
+fault::FaultSite f_send_stall{
+    "net.send.stall",
+    "peer stops draining its socket: queued bytes make no progress"};
 
 }  // namespace
 
@@ -174,6 +186,11 @@ std::string NetServer::stats_text() const {
       << "sharded_runs " << s.sharded_runs << '\n'
       << "shard_spills " << s.shard_spills << '\n'
       << "shard_prefetch_hits " << s.shard_prefetch_hits << '\n'
+      << "shard_corrupt_slabs " << s.shard_corrupt_slabs << '\n'
+      << "shard_repacks " << s.shard_repacks << '\n'
+      << "shard_degraded " << s.shard_degraded << '\n'
+      << "spill_reclaim_failures " << s.spill_reclaim_failures << '\n'
+      << "deadline_expired " << s.deadline_expired << '\n'
       << "net_accepted " << n.accepted << '\n'
       << "net_closed " << n.closed << '\n'
       << "net_idle_closed " << n.idle_closed << '\n'
@@ -191,7 +208,10 @@ std::string NetServer::stats_text() const {
       << "net_req_snapshot_scan " << n.req_snapshot_scan << '\n'
       << "net_stale_generation_sent " << n.stale_generation_sent << '\n'
       << "net_bytes_in " << n.bytes_in << '\n'
-      << "net_bytes_out " << n.bytes_out << '\n';
+      << "net_bytes_out " << n.bytes_out << '\n'
+      << "net_write_timeouts " << n.write_timeouts << '\n'
+      << "net_partial_frame_aborts " << n.partial_frame_aborts << '\n'
+      << "net_deadline_exceeded_sent " << n.deadline_exceeded_sent << '\n';
   return out.str();
 }
 
@@ -331,10 +351,22 @@ void NetServer::loop() {
     }
 
     // Closing connections with nothing left to say close now; idle ones
-    // time out.
+    // time out; connections whose queued response bytes stall (peer
+    // stopped draining its socket) are cut off after write_timeout_s so
+    // a dead reader can never pin loop-side buffer memory forever.
     std::vector<std::uint64_t> to_close;
     const auto now = Clock::now();
     for (auto& [id, c] : conns_) {
+      if (opt_.write_timeout_s > 0 && c.pending_out() > 0) {
+        if (c.write_stalled_since == Clock::time_point{}) {
+          c.write_stalled_since = now;  // arm: bytes queued, none moving
+        } else if (std::chrono::duration<double>(now - c.write_stalled_since)
+                       .count() > opt_.write_timeout_s) {
+          bump(&NetStats::write_timeouts);
+          to_close.push_back(id);
+          continue;
+        }
+      }
       if (c.closing && c.drained()) {
         to_close.push_back(id);
       } else if (!draining && opt_.idle_timeout_s > 0 && c.drained() &&
@@ -352,7 +384,16 @@ void NetServer::loop() {
 void NetServer::close_connection(std::uint64_t id, bool counted_reset) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
-  ::close(it->second.fd);
+  Connection& c = it->second;
+  // A teardown holding an unconsumed partial request frame means the
+  // peer died mid-frame (e.g. halfway through a snapshot REGISTER body).
+  // Count it and free the half-parsed bytes explicitly: nothing of the
+  // partial body was dispatched, so the registry and the engine never
+  // saw it -- the frame either parsed completely or not at all.
+  if (!c.plaintext && !c.in.empty() && c.in[0] == kMagic0)
+    bump(&NetStats::partial_frame_aborts);
+  std::vector<std::uint8_t>().swap(c.in);
+  ::close(c.fd);
   conns_.erase(it);
   if (counted_reset) bump(&NetStats::peer_resets);
   bump(&NetStats::closed);
@@ -363,6 +404,10 @@ void NetServer::on_readable(Connection& c) {
     char buf[4096];
     while (::recv(c.fd, buf, sizeof(buf), 0) > 0) {
     }
+    return;
+  }
+  if (f_recv_io.fire()) {  // injected read-side I/O failure
+    close_connection(c.id, /*counted_reset=*/true);
     return;
   }
   char buf[64 * 1024];
@@ -521,19 +566,24 @@ void NetServer::dispatch(Connection& c, RequestFrame& req) {
   engine_req.rank = rank;
   engine_req.op = req.op;
   engine_req.method = req.method;
+  engine_req.deadline_ms = req.deadline_ms;
 
   c.in_flight += 1;
   const std::uint64_t conn_id = c.id;
   const std::uint32_t request_id = req.request_id;
+  const Clock::time_point deadline =
+      req.deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(req.deadline_ms)
+          : Clock::time_point::max();
   // The callback runs on an EngineServer worker thread (or inline right
   // here on a queue-full rejection): enqueue the completion and poke the
   // wake pipe; the loop does the encoding.
-  engine_->submit(engine_req, [this, conn_id, request_id,
-                               list](RunResult&& r) {
+  engine_->submit(engine_req, [this, conn_id, request_id, list,
+                               deadline](RunResult&& r) {
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(
-          Completion{conn_id, request_id, std::move(r), list});
+          Completion{conn_id, request_id, std::move(r), list, 0, deadline});
     }
     const char byte = 0;
     [[maybe_unused]] const ssize_t rc = ::write(wake_w_, &byte, 1);
@@ -593,20 +643,25 @@ void NetServer::dispatch_snapshot_run(Connection& c, RequestFrame& req) {
   sreq.rank = rank;
   sreq.op = req.op;
   sreq.method = req.method;
+  sreq.deadline_ms = req.deadline_ms;
 
   c.in_flight += 1;
   const std::uint64_t conn_id = c.id;
   const std::uint32_t request_id = req.request_id;
   const std::uint64_t snapshot_id = req.snapshot_id;
+  const Clock::time_point deadline =
+      req.deadline_ms > 0
+          ? Clock::now() + std::chrono::milliseconds(req.deadline_ms)
+          : Clock::time_point::max();
   // Unknown-id / stale / cache-hit answers invoke this callback inline
   // right here; real runs invoke it from a worker. Either way the loop
   // encodes on the next drain.
-  engine_->submit(sreq, [this, conn_id, request_id,
-                         snapshot_id](RunResult&& r) {
+  engine_->submit(sreq, [this, conn_id, request_id, snapshot_id,
+                         deadline](RunResult&& r) {
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(Completion{conn_id, request_id, std::move(r),
-                                        nullptr, snapshot_id});
+                                        nullptr, snapshot_id, deadline});
     }
     const char byte = 0;
     [[maybe_unused]] const ssize_t rc = ::write(wake_w_, &byte, 1);
@@ -643,17 +698,43 @@ void NetServer::finish_completion(Connection& c, const Completion& done) {
   } else if (r.status.code == StatusCode::kUnavailable) {
     // The serving layer's back-pressure, made explicit on the wire: a
     // full queue earns a retry hint from the live depth and drain rate;
-    // a shutdown tells the client not to bother.
+    // a shutdown tells the client not to bother. A request with a wire
+    // deadline clamps the hint to its remaining budget -- and a budget
+    // already spent gets DEADLINE_EXCEEDED: telling that client to
+    // retry would only buy a second guaranteed failure.
     if (engine_->accepting() &&
         !stopping_.load(std::memory_order_acquire)) {
-      encode_retry_response(c.out, done.request_id,
-                            retry_.hint_ms(engine_->queue_depth()));
-      bump(&NetStats::retry_after_sent);
+      std::uint32_t budget_ms = 0;  // 0 = no deadline
+      bool expired = false;
+      if (done.deadline != Clock::time_point::max()) {
+        const auto left = done.deadline - Clock::now();
+        const auto left_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(left)
+                .count();
+        if (left_ms <= 0) {
+          expired = true;
+        } else {
+          budget_ms = static_cast<std::uint32_t>(std::min<long long>(
+              left_ms, std::numeric_limits<std::uint32_t>::max()));
+        }
+      }
+      if (expired) {
+        encode_status_response(c.out, done.request_id,
+                               WireStatus::kDeadlineExceeded);
+        bump(&NetStats::deadline_exceeded_sent);
+      } else {
+        encode_retry_response(
+            c.out, done.request_id,
+            retry_.hint_ms(engine_->queue_depth(), budget_ms));
+        bump(&NetStats::retry_after_sent);
+      }
     } else {
       encode_status_response(c.out, done.request_id,
                              WireStatus::kShuttingDown);
     }
   } else {
+    if (r.status.code == StatusCode::kDeadlineExceeded)
+      bump(&NetStats::deadline_exceeded_sent);
     encode_text_response(c.out, done.request_id,
                          wire_status_of(r.status.code),
                          r.status.message + "\n");
@@ -663,13 +744,20 @@ void NetServer::finish_completion(Connection& c, const Completion& done) {
 }
 
 void NetServer::on_writable(Connection& c) {
+  if (f_send_stall.fire()) return;  // injected stall: bytes stay queued
   while (c.pending_out() > 0) {
+    if (f_send_io.fire()) {  // injected write-side I/O failure
+      close_connection(c.id, /*counted_reset=*/true);
+      return;
+    }
     const ssize_t k =
         ::send(c.fd, c.out.data() + c.out_off, c.pending_out(),
                MSG_NOSIGNAL);
     if (k > 0) {
       c.out_off += static_cast<std::size_t>(k);
       bump(&NetStats::bytes_out, static_cast<std::uint64_t>(k));
+      // Progress re-arms the stalled-write clock.
+      c.write_stalled_since = Clock::time_point{};
       continue;
     }
     if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -67,6 +68,11 @@ struct NetServerOptions {
   /// Bound on how long stop() waits for in-flight responses to flush
   /// before closing connections anyway.
   double drain_timeout_s = 5.0;
+  /// A connection whose queued response bytes make no progress for this
+  /// long (peer stopped draining its socket) is closed and counted
+  /// (write_timeouts); <= 0 disables the timeout. Progress -- any send()
+  /// that moves bytes -- re-arms the clock.
+  double write_timeout_s = 10.0;
   /// RETRY_AFTER hint clamp (RetryPolicy min/max milliseconds).
   std::uint32_t retry_min_ms = 1;
   std::uint32_t retry_max_ms = 2000;  ///< hint ceiling
@@ -94,6 +100,13 @@ struct NetStats {
   std::uint64_t stale_generation_sent = 0;  ///< STALE_GENERATION responses
   std::uint64_t bytes_in = 0;         ///< payload bytes read
   std::uint64_t bytes_out = 0;        ///< payload bytes written
+  // Failure-model counters (docs/ARCHITECTURE.md, "Failure model").
+  std::uint64_t write_timeouts = 0;   ///< closes by stalled-write timeout
+  /// Connections torn down holding a partial request frame (peer died
+  /// mid-frame); the half-parsed body is freed with the connection and
+  /// nothing of it reaches the registry or the engine.
+  std::uint64_t partial_frame_aborts = 0;
+  std::uint64_t deadline_exceeded_sent = 0;  ///< DEADLINE_EXCEEDED answers
 };
 
 /// The event-loop TCP server. start()/stop() and the stats accessors may
@@ -148,6 +161,13 @@ class NetServer {
     /// result be answered with a kSnapshot body naming the snapshot and
     /// its CURRENT generation (from RunStats::snapshot_generation).
     std::uint64_t snapshot_id = 0;
+    /// Absolute deadline carried from the wire header (max() = none):
+    /// lets a queue-full RETRY_AFTER hint be clamped to the remaining
+    /// budget -- a hint past the client's own deadline guarantees a
+    /// wasted retry -- and an already-spent budget answer
+    /// DEADLINE_EXCEEDED instead.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
   };
 
   void loop();

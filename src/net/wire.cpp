@@ -89,13 +89,15 @@ class Reader {
 };
 
 void put_header(std::vector<std::uint8_t>& out, MsgKind kind,
-                std::uint32_t request_id, std::uint32_t payload_len) {
+                std::uint32_t request_id, std::uint32_t payload_len,
+                std::uint32_t deadline_ms = 0) {
   put_u8(out, kMagic0);
   put_u8(out, kMagic1);
   put_u8(out, kWireVersion);
   put_u8(out, static_cast<std::uint8_t>(kind));
   put_u32(out, request_id);
   put_u32(out, payload_len);
+  put_u32(out, deadline_ms);
 }
 
 /// Payload bytes of a list body: n, head, next[], value[].
@@ -159,7 +161,7 @@ constexpr std::uint8_t kMaxMethod =
     static_cast<std::uint8_t>(Method::kReidMillerEncoded);
 constexpr std::uint8_t kMaxOp = static_cast<std::uint8_t>(ScanOp::kMaxPlus);
 constexpr std::uint8_t kMaxWireStatus =
-    static_cast<std::uint8_t>(WireStatus::kStaleGeneration);
+    static_cast<std::uint8_t>(WireStatus::kDeadlineExceeded);
 
 }  // namespace
 
@@ -174,6 +176,9 @@ const char* wire_status_name(WireStatus s) {
     case WireStatus::kBadRequest: return "bad-request";
     case WireStatus::kInternalError: return "internal-error";
     case WireStatus::kStaleGeneration: return "stale-generation";
+    case WireStatus::kCorruptSlab: return "corrupt-slab";
+    case WireStatus::kResourceExhausted: return "resource-exhausted";
+    case WireStatus::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -196,7 +201,7 @@ WireError parse_frame(const std::uint8_t* data, std::size_t len,
                       FrameView& out, std::size_t& frame_len) {
   // Reject garbage as early as the bytes allow: magic and version are
   // checked on whatever prefix has arrived, so a misdirected HTTP client
-  // is refused after one byte instead of after a 12-byte header.
+  // is refused after one byte instead of after a 16-byte header.
   if (len >= 1 && data[0] != kMagic0) return WireError::kBadMagic;
   if (len >= 2 && data[1] != kMagic1) return WireError::kBadMagic;
   if (len >= 3 && data[2] != kWireVersion) return WireError::kBadVersion;
@@ -207,16 +212,19 @@ WireError parse_frame(const std::uint8_t* data, std::size_t len,
   std::uint8_t b = 0;
   std::uint32_t request_id = 0;
   std::uint32_t payload_len = 0;
+  std::uint32_t deadline_ms = 0;
   r.u8(b); r.u8(b); r.u8(b);  // magic + version, already validated
   r.u8(b);
   const auto kind = static_cast<MsgKind>(b);
   r.u32(request_id);
   r.u32(payload_len);
+  r.u32(deadline_ms);
   if (payload_len > kMaxPayload) return WireError::kOversized;
   if (r.remaining() < payload_len) return WireError::kNeedMore;
 
   out.kind = kind;
   out.request_id = request_id;
+  out.deadline_ms = deadline_ms;
   out.payload = std::span<const std::uint8_t>(data + kHeaderSize,
                                               payload_len);
   frame_len = kHeaderSize + payload_len;
@@ -226,6 +234,7 @@ WireError parse_frame(const std::uint8_t* data, std::size_t len,
 WireError decode_request(const FrameView& frame, RequestFrame& out) {
   out.kind = frame.kind;
   out.request_id = frame.request_id;
+  out.deadline_ms = frame.deadline_ms;
   Reader r(frame.payload.data(), frame.payload.size());
   switch (frame.kind) {
     case MsgKind::kStatsRequest:
@@ -285,18 +294,19 @@ WireError decode_request(const FrameView& frame, RequestFrame& out) {
 
 void encode_rank_request(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const LinkedList& list,
-                         Method method) {
+                         Method method, std::uint32_t deadline_ms) {
   put_header(out, MsgKind::kRankRequest, request_id,
-             1 + list_body_len(list));
+             1 + list_body_len(list), deadline_ms);
   put_u8(out, static_cast<std::uint8_t>(method));
   put_list(out, list);
 }
 
 void encode_scan_request(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const LinkedList& list,
-                         ScanOp op, Method method) {
+                         ScanOp op, Method method,
+                         std::uint32_t deadline_ms) {
   put_header(out, MsgKind::kScanRequest, request_id,
-             2 + list_body_len(list));
+             2 + list_body_len(list), deadline_ms);
   put_u8(out, static_cast<std::uint8_t>(method));
   put_u8(out, static_cast<std::uint8_t>(op));
   put_list(out, list);
@@ -335,8 +345,10 @@ void encode_release_snapshot_request(std::vector<std::uint8_t>& out,
 void encode_snapshot_rank_request(std::vector<std::uint8_t>& out,
                                   std::uint32_t request_id,
                                   std::uint64_t snapshot_id,
-                                  std::uint64_t generation, Method method) {
-  put_header(out, MsgKind::kSnapshotRankRequest, request_id, 1 + 16);
+                                  std::uint64_t generation, Method method,
+                                  std::uint32_t deadline_ms) {
+  put_header(out, MsgKind::kSnapshotRankRequest, request_id, 1 + 16,
+             deadline_ms);
   put_u8(out, static_cast<std::uint8_t>(method));
   put_u64(out, snapshot_id);
   put_u64(out, generation);
@@ -346,8 +358,10 @@ void encode_snapshot_scan_request(std::vector<std::uint8_t>& out,
                                   std::uint32_t request_id,
                                   std::uint64_t snapshot_id,
                                   std::uint64_t generation, ScanOp op,
-                                  Method method) {
-  put_header(out, MsgKind::kSnapshotScanRequest, request_id, 2 + 16);
+                                  Method method,
+                                  std::uint32_t deadline_ms) {
+  put_header(out, MsgKind::kSnapshotScanRequest, request_id, 2 + 16,
+             deadline_ms);
   put_u8(out, static_cast<std::uint8_t>(method));
   put_u8(out, static_cast<std::uint8_t>(op));
   put_u64(out, snapshot_id);
@@ -466,6 +480,11 @@ WireStatus wire_status_of(StatusCode code) {
     case StatusCode::kWrongAnswer: return WireStatus::kWrongAnswer;
     case StatusCode::kUnavailable: return WireStatus::kInternalError;
     case StatusCode::kStaleGeneration: return WireStatus::kStaleGeneration;
+    case StatusCode::kCorruptSlab: return WireStatus::kCorruptSlab;
+    case StatusCode::kResourceExhausted:
+      return WireStatus::kResourceExhausted;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
   }
   return WireStatus::kInternalError;
 }

@@ -5,11 +5,17 @@
 //
 //   offset  size  field
 //   0       2     magic      "LR" (0x4C 0x52)
-//   2       1     version    kWireVersion (1)
+//   2       1     version    kWireVersion (2)
 //   3       1     kind       MsgKind
 //   4       4     request id little-endian; echoed verbatim in the response
 //   8       4     payload length in bytes, little-endian, <= kMaxPayload
-//   12      len   payload    kind-specific (layouts below)
+//   12      4     deadline   relative deadline in ms, little-endian; 0 =
+//                            none. On requests: the client's remaining
+//                            budget, carried into Request::deadline_ms
+//                            (expired-in-queue jobs answer
+//                            kDeadlineExceeded without running). On
+//                            responses: 0.
+//   16      len   payload    kind-specific (layouts below)
 //
 // Request payloads (all integers little-endian; "list body" =
 // u32 n; u32 head; n x u32 next; n x i64 value):
@@ -60,8 +66,10 @@ namespace lr90::net {
 
 inline constexpr std::uint8_t kMagic0 = 0x4C;  ///< 'L'
 inline constexpr std::uint8_t kMagic1 = 0x52;  ///< 'R'
-inline constexpr std::uint8_t kWireVersion = 1;  ///< current frame version
-inline constexpr std::size_t kHeaderSize = 12;   ///< bytes before payload
+/// Current frame version. v2 widened the header with the deadline field
+/// (v1 peers are refused with kBadVersion -- no silent misparse).
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderSize = 16;   ///< bytes before payload
 /// Largest accepted payload (64 MiB, ~5.6M-vertex lists): a declared
 /// length beyond this is rejected before any allocation, so a corrupt or
 /// hostile length prefix cannot balloon server memory.
@@ -96,6 +104,9 @@ enum class WireStatus : std::uint8_t {
   /// The addressed snapshot generation was superseded; the kSnapshot
   /// body carries the current generation to retarget.
   kStaleGeneration = 8,
+  kCorruptSlab = 9,         ///< spilled slab failed integrity, unrecovered
+  kResourceExhausted = 10,  ///< disk/RAM could not hold the run
+  kDeadlineExceeded = 11,   ///< deadline passed before the work ran
 };
 
 /// Short stable name of `s` ("ok", "retry-after", ...).
@@ -132,6 +143,7 @@ enum class BodyKind : std::uint8_t {
 struct FrameView {
   MsgKind kind = MsgKind::kResponse;  ///< what the frame is
   std::uint32_t request_id = 0;       ///< correlation id (echoed back)
+  std::uint32_t deadline_ms = 0;      ///< relative deadline; 0 = none
   std::span<const std::uint8_t> payload;  ///< kind-specific bytes
 };
 
@@ -157,6 +169,7 @@ struct RequestFrame {
                                          ///< register/update)
   std::uint64_t snapshot_id = 0;   ///< snapshot kinds: the addressed id
   std::uint64_t generation = 0;    ///< snapshot rank/scan: pinned gen
+  std::uint32_t deadline_ms = 0;   ///< header deadline field; 0 = none
 };
 
 /// Decodes a request frame's payload. Strict: the payload length must
@@ -170,11 +183,13 @@ WireError decode_request(const FrameView& frame, RequestFrame& out);
 /// Appends a rank-request frame for `list` to `out`.
 void encode_rank_request(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const LinkedList& list,
-                         Method method = Method::kAuto);
+                         Method method = Method::kAuto,
+                         std::uint32_t deadline_ms = 0);
 /// Appends a scan-request frame for `list` under `op` to `out`.
 void encode_scan_request(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const LinkedList& list,
-                         ScanOp op, Method method = Method::kAuto);
+                         ScanOp op, Method method = Method::kAuto,
+                         std::uint32_t deadline_ms = 0);
 /// Appends an empty-payload request frame (stats/health) to `out`.
 void encode_plain_request(std::vector<std::uint8_t>& out, MsgKind kind,
                           std::uint32_t request_id);
@@ -198,13 +213,15 @@ void encode_snapshot_rank_request(std::vector<std::uint8_t>& out,
                                   std::uint32_t request_id,
                                   std::uint64_t snapshot_id,
                                   std::uint64_t generation,
-                                  Method method = Method::kAuto);
+                                  Method method = Method::kAuto,
+                                  std::uint32_t deadline_ms = 0);
 /// Appends a snapshot-addressed scan request frame to `out`.
 void encode_snapshot_scan_request(std::vector<std::uint8_t>& out,
                                   std::uint32_t request_id,
                                   std::uint64_t snapshot_id,
                                   std::uint64_t generation, ScanOp op,
-                                  Method method = Method::kAuto);
+                                  Method method = Method::kAuto,
+                                  std::uint32_t deadline_ms = 0);
 
 // -- responses --------------------------------------------------------------
 

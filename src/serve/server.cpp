@@ -6,10 +6,17 @@
 
 #include "lists/validate.hpp"
 #include "shard/shard_file.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lr90::serve {
 
 namespace {
+
+// Stalls a worker between popping a batch and running it: the chaos
+// harness's deterministic way to make queued jobs outlive their deadline
+// (a slow engine run is timing-dependent; a fault-site sleep is not).
+fault::FaultSite f_batch_stall{"serve.batch.stall",
+                               "worker stalls 50ms before running a batch"};
 
 /// Number of workers actually started for a requested count.
 unsigned resolve_workers(unsigned requested) {
@@ -104,8 +111,15 @@ Status EngineServer::update_snapshot(std::uint64_t id, LinkedList list,
   // a disk reclaim. An in-flight old-generation run that loses the race
   // keeps its already-mapped shards (POSIX unlink semantics) and at worst
   // resolves a not-yet-mapped shard to a typed kUnavailable.
-  if (!opt_.shard_spill_root.empty())
-    shard::drop_snapshot_spill_dirs(opt_.shard_spill_root, id);
+  if (!opt_.shard_spill_root.empty()) {
+    // ENOENT is the normal "already reclaimed" answer; anything else is
+    // leaked spill space, surfaced as a counter an operator can alarm on.
+    shard::ReclaimStats rs;
+    shard::drop_snapshot_spill_dirs(opt_.shard_spill_root, id, &rs);
+    if (rs.failed > 0)
+      spill_reclaim_failures_.fetch_add(rs.failed,
+                                        std::memory_order_relaxed);
+  }
   return Status::success();
 }
 
@@ -114,8 +128,13 @@ bool EngineServer::drop_snapshot(std::uint64_t id) {
   if (known) {
     slab_cache_.invalidate(id);
     result_cache_.invalidate(id);
-    if (!opt_.shard_spill_root.empty())
-      shard::drop_snapshot_spill_dirs(opt_.shard_spill_root, id);
+    if (!opt_.shard_spill_root.empty()) {
+      shard::ReclaimStats rs;
+      shard::drop_snapshot_spill_dirs(opt_.shard_spill_root, id, &rs);
+      if (rs.failed > 0)
+        spill_reclaim_failures_.fetch_add(rs.failed,
+                                          std::memory_order_relaxed);
+    }
   }
   return known;
 }
@@ -173,6 +192,7 @@ std::future<RunResult> EngineServer::submit_snapshot(
   job.req.rank = req.rank;
   job.req.op = req.op;
   job.req.method = req.method;
+  job.req.deadline_ms = req.deadline_ms;
   // Pin the generation-stamped spill directory: a sharded run keeps its
   // shard files there, so repeat runs against the same generation reuse
   // them (header-validated) instead of rewriting the whole list.
@@ -228,6 +248,12 @@ std::future<RunResult> EngineServer::submit_job(Job job, bool has_future) {
   std::future<RunResult> future;
   if (has_future) future = job.result.get_future();
   const bool rank = job.req.rank;
+  // Stamp the absolute expiry now: queueing time counts against the
+  // client's budget (that is the point of a deadline under congestion).
+  if (job.req.deadline_ms > 0) {
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(job.req.deadline_ms);
+  }
   const bool accepted =
       opt_.reject_when_full ? queue_.try_push(job) : queue_.push(job);
   if (!accepted) {
@@ -268,6 +294,33 @@ void EngineServer::worker_loop() {
     if (queue_.pop_batch(jobs, opt_.batch_threshold, opt_.max_batch) == 0)
       break;  // closed and drained
 
+    if (f_batch_stall.fire())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    // Deadline filter: a job whose deadline passed while it queued is
+    // answered kDeadlineExceeded without running -- under overload this
+    // sheds exactly the work whose answer nobody is waiting for anymore.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (jobs[i].deadline < now) {
+          deadline_expired_.fetch_add(1, std::memory_order_relaxed);
+          completed_.fetch_add(1, std::memory_order_relaxed);
+          RunResult r;
+          r.backend = opt_.engine.backend;
+          r.status =
+              Status::deadline_exceeded("deadline expired in queue");
+          jobs[i].fulfill(std::move(r));
+          continue;
+        }
+        if (kept != i) jobs[kept] = std::move(jobs[i]);
+        ++kept;
+      }
+      jobs.resize(kept);
+      if (jobs.empty()) continue;
+    }
+
     // Request collapsing: map every job onto a unique work item. The scan
     // is quadratic in the batch size, which is bounded by max_batch and
     // in the common case terminates on the first element (hot key).
@@ -306,6 +359,12 @@ void EngineServer::worker_loop() {
                                       std::memory_order_relaxed);
               shard_prefetch_hits_.fetch_add(r.stats.shard_prefetch_hits,
                                              std::memory_order_relaxed);
+              shard_corrupt_slabs_.fetch_add(r.stats.shard_corrupt_slabs,
+                                             std::memory_order_relaxed);
+              shard_repacks_.fetch_add(r.stats.shard_repacks,
+                                       std::memory_order_relaxed);
+              shard_degraded_.fetch_add(r.stats.shard_degraded,
+                                        std::memory_order_relaxed);
             }
             // Snapshot jobs stamp the generation and feed the caches
             // before the result fans out (jobs collapsed onto one run
@@ -396,6 +455,11 @@ void EngineServer::reset_stats() {
   sharded_runs_.store(0, std::memory_order_relaxed);
   shard_spills_.store(0, std::memory_order_relaxed);
   shard_prefetch_hits_.store(0, std::memory_order_relaxed);
+  shard_corrupt_slabs_.store(0, std::memory_order_relaxed);
+  shard_repacks_.store(0, std::memory_order_relaxed);
+  shard_degraded_.store(0, std::memory_order_relaxed);
+  spill_reclaim_failures_.store(0, std::memory_order_relaxed);
+  deadline_expired_.store(0, std::memory_order_relaxed);
   queue_.reset_size_hwm();
   pool_.reset_stats();
   // Cumulative cache counters restart; the caches themselves stay warm
@@ -437,6 +501,13 @@ ServerStats EngineServer::stats() const {
   s.shard_spills = shard_spills_.load(std::memory_order_relaxed);
   s.shard_prefetch_hits =
       shard_prefetch_hits_.load(std::memory_order_relaxed);
+  s.shard_corrupt_slabs =
+      shard_corrupt_slabs_.load(std::memory_order_relaxed);
+  s.shard_repacks = shard_repacks_.load(std::memory_order_relaxed);
+  s.shard_degraded = shard_degraded_.load(std::memory_order_relaxed);
+  s.spill_reclaim_failures =
+      spill_reclaim_failures_.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired_.load(std::memory_order_relaxed);
   return s;
 }
 

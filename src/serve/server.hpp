@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -109,6 +110,7 @@ struct SnapshotRequest {
   bool rank = true;               ///< rank (true) or scan (false)
   ScanOp op = ScanOp::kPlus;      ///< the scan's operator; ignored for rank
   Method method = Method::kAuto;  ///< algorithm; kAuto = Planner's pick
+  std::uint32_t deadline_ms = 0;  ///< relative deadline; 0 = none
 };
 
 /// Serving counters, monotonic since construction (or since the last
@@ -159,6 +161,19 @@ struct ServerStats {
   std::uint64_t sharded_runs = 0;        ///< runs that took the shard path
   std::uint64_t shard_spills = 0;        ///< shard evictions under budget
   std::uint64_t shard_prefetch_hits = 0; ///< shards consumed pre-faulted
+
+  // Failure-model counters (the hardened paths; see ARCHITECTURE.md
+  // "Failure model"). All are degradations or typed rejections the server
+  // survived, never aborts.
+  std::uint64_t shard_corrupt_slabs = 0;  ///< slabs failing integrity
+  std::uint64_t shard_repacks = 0;        ///< slabs rewritten from source
+  std::uint64_t shard_degraded = 0;       ///< shards served resident (spill down)
+  /// Spill-dir unlink/rmdir failures other than ENOENT during snapshot
+  /// update/drop reclamation (leaked spill space an operator should see).
+  std::uint64_t spill_reclaim_failures = 0;
+  /// Jobs answered kDeadlineExceeded because their deadline passed while
+  /// they were still queued (the work never ran).
+  std::uint64_t deadline_expired = 0;
 };
 
 /// Thread-safe multi-client server over pooled Engines. All public methods
@@ -259,6 +274,11 @@ class EngineServer {
     std::shared_ptr<const LinkedList> pinned;
     std::uint64_t snapshot_id = 0;  ///< 0 = not a snapshot job
     std::uint64_t snapshot_generation = 0;  ///< generation req.list is
+    /// Absolute expiry stamped at submit from req.deadline_ms (time_point
+    /// max = no deadline). Workers answer kDeadlineExceeded without
+    /// running when a popped job is already past it.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
 
     /// Answers with `r` (consumed). Exactly one fulfil per job.
     void fulfill(RunResult&& r) {
@@ -312,6 +332,11 @@ class EngineServer {
   std::atomic<std::uint64_t> sharded_runs_{0};      ///< shard-path runs
   std::atomic<std::uint64_t> shard_spills_{0};      ///< budget evictions
   std::atomic<std::uint64_t> shard_prefetch_hits_{0};  ///< warm shard loads
+  std::atomic<std::uint64_t> shard_corrupt_slabs_{0};  ///< integrity misses
+  std::atomic<std::uint64_t> shard_repacks_{0};        ///< slab rewrites
+  std::atomic<std::uint64_t> shard_degraded_{0};       ///< resident fallbacks
+  std::atomic<std::uint64_t> spill_reclaim_failures_{0};  ///< leaked spills
+  std::atomic<std::uint64_t> deadline_expired_{0};  ///< expired in queue
 
   std::mutex shutdown_mu_;        ///< serializes shutdown paths
   bool joined_ = false;           ///< workers already joined

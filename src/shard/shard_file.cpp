@@ -1,9 +1,12 @@
 #include "shard/shard_file.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
+
+#include "support/faultpoint.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define LR90_SHARD_HAVE_MMAP 1
@@ -17,6 +20,28 @@ namespace lr90::shard {
 
 namespace {
 
+// The I/O edges of the slab format, one fault site each (chaos coverage:
+// tests/fault_test.cpp arms every site and asserts a typed outcome).
+fault::FaultSite f_write_open{"shard.write.open",
+                              "temp-file fopen fails (EACCES)"};
+fault::FaultSite f_write_io{"shard.write.io", "fwrite fails mid-slab (EIO)"};
+fault::FaultSite f_write_nospc{"shard.write.nospc",
+                               "fwrite fails mid-slab (ENOSPC)"};
+fault::FaultSite f_write_short{"shard.write.short",
+                               "fwrite writes a short count (torn slab)"};
+fault::FaultSite f_write_rename{"shard.write.rename",
+                                "rename of the flushed temp file fails"};
+fault::FaultSite f_map_open{"shard.map.open",
+                            "slab open/fstat fails on reload (EIO)"};
+fault::FaultSite f_map_mmap{"shard.map.mmap",
+                            "mmap fails (address-space pressure)"};
+fault::FaultSite f_map_read{"shard.map.read",
+                            "heap-fallback fread fails (EIO)"};
+fault::FaultSite f_map_checksum{"shard.map.checksum",
+                                "payload checksum mismatch (bit rot)"};
+fault::FaultSite f_reclaim_unlink{"shard.reclaim.unlink",
+                                  "spill-file unlink fails (EBUSY)"};
+
 /// Pad to the value_t alignment boundary between the next[] and value[]
 /// payload sections.
 std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
@@ -25,6 +50,64 @@ std::size_t align8(std::size_t x) { return (x + 7) & ~std::size_t{7}; }
 
 std::size_t shard_payload_bytes(std::size_t len) {
   return align8(len * sizeof(index_t)) + len * sizeof(value_t);
+}
+
+void Checksum64::update(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  total_ += len;
+  auto mix = [this](std::uint64_t word) {
+    state_ ^= word * 0x9ddfea08eb382d69ull;
+    state_ = (state_ << 31) | (state_ >> 33);
+    state_ *= 0x9e3779b97f4a7c15ull;
+  };
+  // Top up the carry buffer first so chunk boundaries are split-invariant.
+  if (carry_len_ > 0) {
+    const std::size_t take = std::min(len, 8 - carry_len_);
+    std::memcpy(carry_ + carry_len_, p, take);
+    carry_len_ += take;
+    p += take;
+    len -= take;
+    if (carry_len_ < 8) return;
+    std::uint64_t word;
+    std::memcpy(&word, carry_, 8);
+    mix(word);
+    carry_len_ = 0;
+  }
+  for (; len >= 8; p += 8, len -= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    mix(word);
+  }
+  if (len > 0) {
+    std::memcpy(carry_, p, len);
+    carry_len_ = len;
+  }
+}
+
+std::uint64_t Checksum64::digest() const {
+  // Fold the tail (zero-padded) and the total length without consuming
+  // the running state, so digest() can be called mid-stream.
+  std::uint64_t s = state_;
+  if (carry_len_ > 0) {
+    unsigned char tail[8] = {};
+    std::memcpy(tail, carry_, carry_len_);
+    std::uint64_t word;
+    std::memcpy(&word, tail, 8);
+    s ^= word * 0x9ddfea08eb382d69ull;
+    s = (s << 31) | (s >> 33);
+    s *= 0x9e3779b97f4a7c15ull;
+  }
+  s ^= total_;
+  s ^= s >> 33;
+  s *= 0xff51afd7ed558ccdull;
+  s ^= s >> 29;
+  return s;
+}
+
+std::uint64_t checksum64(const void* data, std::size_t len) {
+  Checksum64 c;
+  c.update(data, len);
+  return c.digest();
 }
 
 std::string shard_file_name(unsigned index) {
@@ -36,19 +119,54 @@ std::string shard_file_name(unsigned index) {
 bool write_shard_file(const std::string& path, const ShardHeader& header,
                       const index_t* next, const value_t* value) {
   const std::size_t len = shard_header_len(header);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
-  bool ok = std::fwrite(&header, sizeof(header), 1, f) == 1;
-  ok = ok && (len == 0 || std::fwrite(next, sizeof(index_t), len, f) == len);
-  const std::size_t pad = align8(len * sizeof(index_t)) - len * sizeof(index_t);
-  if (ok && pad > 0) {
-    const char zeros[8] = {};
-    ok = std::fwrite(zeros, 1, pad, f) == pad;
+  const std::size_t pad =
+      align8(len * sizeof(index_t)) - len * sizeof(index_t);
+  const char zeros[8] = {};
+
+  // The writer owns the checksum: whatever the caller put in the header's
+  // checksum slot is recomputed from the actual payload bytes.
+  ShardHeader h = header;
+  {
+    Checksum64 sum;
+    if (len > 0) sum.update(next, len * sizeof(index_t));
+    if (pad > 0) sum.update(zeros, pad);
+    if (len > 0) sum.update(value, len * sizeof(value_t));
+    h.payload_checksum = sum.digest();
   }
+
+  // Write-to-temp + rename: the final path only ever holds a complete,
+  // flushed slab, so a crash mid-write can never leave a valid-header
+  // torn file under the name a reload would trust.
+  const std::string tmp = path + ".tmp";
+  if (f_write_open.fire()) {
+    errno = EACCES;
+    return false;
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(&h, sizeof(h), 1, f) == 1;
+  if (ok && (f_write_io.fire() || f_write_nospc.fire())) {
+    errno = f_write_nospc.armed() ? ENOSPC : EIO;
+    ok = false;
+  }
+  if (ok && f_write_short.fire() && len > 0) {
+    // A torn write: half the links land, then the device gives up. The
+    // temp+rename discipline keeps this out of the final path; the site
+    // exists so the recovery path is testable end to end.
+    (void)std::fwrite(next, sizeof(index_t), len / 2, f);
+    ok = false;
+  }
+  ok = ok && (len == 0 || std::fwrite(next, sizeof(index_t), len, f) == len);
+  if (ok && pad > 0) ok = std::fwrite(zeros, 1, pad, f) == pad;
   ok = ok && (len == 0 || std::fwrite(value, sizeof(value_t), len, f) == len);
   ok = std::fflush(f) == 0 && ok;
   ok = std::fclose(f) == 0 && ok;
-  if (!ok) std::remove(path.c_str());
+  if (ok && f_write_rename.fire()) {
+    errno = EIO;
+    ok = false;
+  }
+  ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp.c_str());
   return ok;
 }
 
@@ -69,51 +187,107 @@ bool shard_header_matches(const ShardHeader& h, unsigned index,
          h.payload_bytes == shard_payload_bytes(end - begin);
 }
 
+const char* shard_load_error_name(ShardLoadError e) {
+  switch (e) {
+    case ShardLoadError::kOk: return "ok";
+    case ShardLoadError::kNotFound: return "not-found";
+    case ShardLoadError::kHeaderMismatch: return "header-mismatch";
+    case ShardLoadError::kCorrupt: return "corrupt";
+    case ShardLoadError::kIoError: return "io-error";
+  }
+  return "?";
+}
+
 bool ShardMap::open(const std::string& path, unsigned index,
                     std::size_t begin, std::size_t end, std::size_t total_n) {
   close();
   ShardHeader h;
-  if (!read_shard_header(path, h) ||
-      !shard_header_matches(h, index, begin, end, total_n))
+  if (!read_shard_header(path, h)) {
+    error_ = ShardLoadError::kNotFound;
     return false;
+  }
+  if (!shard_header_matches(h, index, begin, end, total_n)) {
+    error_ = ShardLoadError::kHeaderMismatch;
+    return false;
+  }
   const std::size_t len = shard_header_len(h);
   const std::size_t total =
       sizeof(ShardHeader) + static_cast<std::size_t>(h.payload_bytes);
 #if defined(LR90_SHARD_HAVE_MMAP)
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return false;
-  struct stat st{};
-  if (::fstat(fd, &st) != 0 || static_cast<std::size_t>(st.st_size) < total) {
-    ::close(fd);
-    return false;
+  if (base_ == nullptr && heap_ == nullptr) {
+    if (f_map_open.fire()) {
+      error_ = ShardLoadError::kIoError;
+      return false;
+    }
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      error_ = ShardLoadError::kIoError;
+      return false;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      error_ = ShardLoadError::kIoError;
+      return false;
+    }
+    if (static_cast<std::size_t>(st.st_size) < total) {
+      // Shorter than the header promises: a torn slab (the header made it
+      // to disk but the payload did not).
+      ::close(fd);
+      error_ = ShardLoadError::kCorrupt;
+      return false;
+    }
+    void* base = f_map_mmap.fire()
+                     ? MAP_FAILED
+                     : ::mmap(nullptr, total, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // on success the mapping keeps its own reference
+    if (base != MAP_FAILED) {
+      base_ = base;
+      map_bytes_ = total;
+    }
+    // mmap failure (address-space pressure, filesystem without mmap)
+    // falls through to the heap read below rather than failing the load.
   }
-  void* base = ::mmap(nullptr, total, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping keeps its own reference
-  if (base == MAP_FAILED) return false;
-  base_ = base;
-  map_bytes_ = total;
-  const char* payload = static_cast<const char*>(base) + sizeof(ShardHeader);
-  next_ = reinterpret_cast<const index_t*>(payload);
-  value_ = reinterpret_cast<const value_t*>(
-      payload + align8(len * sizeof(index_t)));
-#else
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return false;
-  heap_ = new (std::nothrow) char[total];
-  if (heap_ == nullptr || std::fread(heap_, 1, total, f) != total) {
-    std::fclose(f);
-    delete[] heap_;
-    heap_ = nullptr;
-    return false;
-  }
-  std::fclose(f);
-  map_bytes_ = total;
-  const char* payload = heap_ + sizeof(ShardHeader);
-  next_ = reinterpret_cast<const index_t*>(payload);
-  value_ = reinterpret_cast<const value_t*>(
-      payload + align8(len * sizeof(index_t)));
 #endif
+  if (base_ == nullptr) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+      error_ = ShardLoadError::kIoError;
+      return false;
+    }
+    heap_ = new (std::nothrow) char[total];
+    const bool read_ok = heap_ != nullptr && !f_map_read.fire() &&
+                         std::fread(heap_, 1, total, f) == total;
+    std::fclose(f);
+    if (!read_ok) {
+      delete[] heap_;
+      heap_ = nullptr;
+      // A short fread here could also be a torn slab, but it is not
+      // distinguishable from a device error; report the I/O class and
+      // let the store's repack path decide.
+      error_ = ShardLoadError::kIoError;
+      return false;
+    }
+    map_bytes_ = total;
+  }
+  const char* payload =
+      (base_ != nullptr ? static_cast<const char*>(base_) : heap_) +
+      sizeof(ShardHeader);
+  // Verify the payload against the header's checksum. This reads every
+  // payload byte, which doubles as the page fault-in touch_pages() would
+  // otherwise do on first access.
+  const std::uint64_t sum =
+      checksum64(payload, static_cast<std::size_t>(h.payload_bytes));
+  if (sum != h.payload_checksum || f_map_checksum.fire()) {
+    close();
+    error_ = ShardLoadError::kCorrupt;
+    return false;
+  }
+  next_ = reinterpret_cast<const index_t*>(payload);
+  value_ = reinterpret_cast<const value_t*>(
+      payload + align8(len * sizeof(index_t)));
   len_ = len;
+  error_ = ShardLoadError::kOk;
   return true;
 }
 
@@ -154,21 +328,48 @@ void ShardMap::swap(ShardMap& other) noexcept {
   std::swap(next_, other.next_);
   std::swap(value_, other.value_);
   std::swap(heap_, other.heap_);
+  std::swap(error_, other.error_);
 }
 
-std::size_t drop_spill_dir(const std::string& dir) {
+std::size_t drop_spill_dir(const std::string& dir, ReclaimStats* out) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (dir.empty() || !fs::is_directory(dir, ec)) return 0;
   std::size_t removed = 0;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
     const std::string name = entry.path().filename().string();
-    if (name.rfind("shard_", 0) == 0 &&
-        name.size() > 5 && name.compare(name.size() - 5, 5, ".lr90") == 0) {
-      if (fs::remove(entry.path(), ec)) ++removed;
+    const bool is_shard =
+        (name.rfind("shard_", 0) == 0 &&
+         name.size() > 5 && name.compare(name.size() - 5, 5, ".lr90") == 0);
+    // Reclaim leftover temp files of interrupted writes too.
+    const bool is_tmp =
+        (name.rfind("shard_", 0) == 0 && name.size() > 4 &&
+         name.compare(name.size() - 4, 4, ".tmp") == 0);
+    if (!is_shard && !is_tmp) continue;
+    if (f_reclaim_unlink.fire()) {
+      if (out != nullptr) ++out->failed;
+      continue;
+    }
+    if (fs::remove(entry.path(), ec)) {
+      if (is_shard) ++removed;
+    } else if (ec && fs::exists(entry.path())) {
+      // remove() returning false without the file going away is a real
+      // unlink failure (EBUSY, EACCES, EROFS); ENOENT lands in the
+      // "already gone" branch and is not counted.
+      if (out != nullptr) ++out->failed;
     }
   }
+  ec.clear();
   fs::remove(dir, ec);  // succeeds only if now empty; foreign files keep it
+  if (out != nullptr) {
+    // An empty directory that refused to die is a real rmdir failure; a
+    // directory kept alive by foreign (or unlink-failed, counted above)
+    // files is not double-counted here.
+    std::error_code probe;
+    if (fs::is_directory(dir, probe) && fs::is_empty(dir, probe) && !probe)
+      ++out->failed;
+    out->removed += removed;
+  }
   return removed;
 }
 
@@ -178,7 +379,7 @@ std::string snapshot_spill_dir(const std::string& root, std::uint64_t id,
 }
 
 std::size_t drop_snapshot_spill_dirs(const std::string& root,
-                                     std::uint64_t id) {
+                                     std::uint64_t id, ReclaimStats* out) {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (root.empty() || !fs::is_directory(root, ec)) return 0;
@@ -193,8 +394,14 @@ std::size_t drop_snapshot_spill_dirs(const std::string& root,
     if (name.find_first_not_of("0123456789", prefix.size()) !=
         std::string::npos)
       continue;
-    drop_spill_dir(entry.path().string());
-    if (!fs::exists(entry.path(), ec)) ++dropped;
+    drop_spill_dir(entry.path().string(), out);
+    if (!fs::exists(entry.path(), ec)) {
+      ++dropped;
+    } else if (out != nullptr) {
+      // The directory survived the drop: some file inside refused to die
+      // (counted above) or the rmdir itself failed.
+      ++out->failed;
+    }
   }
   return dropped;
 }

@@ -31,7 +31,8 @@ inline constexpr std::uint64_t kShardMagic =
 
 /// Current shard-file format version. Bump on any layout change; loaders
 /// reject other versions (a mismatched spill dir is rewritten, not read).
-inline constexpr std::uint32_t kShardFormatVersion = 1;
+/// v2 added the payload checksum (v1 files are rewritten on sight).
+inline constexpr std::uint32_t kShardFormatVersion = 2;
 
 /// Fixed 64-byte header at offset 0 of every shard file. The payload
 /// follows at offset 64: next[] (index_t each), padded to an 8-byte
@@ -46,7 +47,11 @@ struct ShardHeader {
   std::uint64_t end = 0;                  ///< one past the last vertex id
   std::uint64_t total_n = 0;              ///< full list length (plan identity)
   std::uint64_t payload_bytes = 0;        ///< bytes after the header
-  std::uint64_t reserved[2] = {0, 0};     ///< zero; future use
+  /// checksum64 of the payload bytes (next + pad + value), filled by the
+  /// writer; loaders verify it so a torn or bit-flipped slab is detected
+  /// before any of its links are walked.
+  std::uint64_t payload_checksum = 0;
+  std::uint64_t reserved = 0;             ///< zero; future use
 };
 static_assert(sizeof(ShardHeader) == 64, "shard header is 64 bytes on disk");
 
@@ -58,13 +63,39 @@ inline std::size_t shard_header_len(const ShardHeader& h) {
 /// Payload bytes for a shard of `len` vertices: next[], pad to 8, value[].
 std::size_t shard_payload_bytes(std::size_t len);
 
+/// Streaming 64-bit integrity checksum (not cryptographic): 8-byte-chunk
+/// multiply-rotate mixer with the total length folded into the digest.
+/// update() accepts arbitrary spans in any split -- a carry buffer keeps
+/// the chunking split-invariant, so writer (three spans) and loader (one
+/// contiguous payload) agree.
+class Checksum64 {
+ public:
+  /// Folds `len` bytes at `data` into the running state.
+  void update(const void* data, std::size_t len);
+  /// The digest of everything updated so far (state is not consumed).
+  std::uint64_t digest() const;
+
+ private:
+  std::uint64_t state_ = 0x243f6a8885a308d3ull;  ///< running hash state
+  std::uint64_t total_ = 0;                      ///< bytes folded in
+  unsigned char carry_[8] = {};                  ///< sub-chunk tail bytes
+  std::size_t carry_len_ = 0;                    ///< valid bytes in carry_
+};
+
+/// One-shot Checksum64 over a single span.
+std::uint64_t checksum64(const void* data, std::size_t len);
+
 /// The canonical file name of shard `index` inside a spill directory.
 std::string shard_file_name(unsigned index);
 
-/// Writes one shard file (header + next/value subranges) atomically enough
-/// for our single-writer world: write to the final path, fflush, close.
-/// `next`/`value` point at `len` elements (the global subrange). Returns
-/// false on any I/O failure (caller treats the shard as unspillable).
+/// Writes one shard file (header + next/value subranges) atomically: the
+/// bytes land in "<path>.tmp" first and only a fully flushed temp file is
+/// renamed over `path`, so a crash or mid-write failure can never leave a
+/// valid-header half slab under the final name. The payload checksum is
+/// computed here and stamped into the written header (the caller's
+/// `header.payload_checksum` is ignored). `next`/`value` point at `len`
+/// elements (the global subrange). Returns false on any I/O failure, with
+/// the temp file removed (caller treats the shard as unspillable).
 bool write_shard_file(const std::string& path, const ShardHeader& header,
                       const index_t* next, const value_t* value);
 
@@ -77,6 +108,22 @@ bool read_shard_header(const std::string& path, ShardHeader& out);
 bool shard_header_matches(const ShardHeader& h, unsigned index,
                           std::size_t begin, std::size_t end,
                           std::size_t total_n);
+
+/// Why a ShardMap::open failed (kOk on success). kCorrupt is the typed
+/// "this slab is torn or bit-flipped" signal: header and identity match
+/// but the payload fails its checksum (or the file is shorter than the
+/// header promises) -- the store re-packs the shard from the source list
+/// instead of serving garbage.
+enum class ShardLoadError {
+  kOk,              ///< the map is live
+  kNotFound,        ///< the file is missing / unreadable
+  kHeaderMismatch,  ///< wrong magic/version/identity (stale spill dir)
+  kCorrupt,         ///< identity matches but the payload is torn/corrupt
+  kIoError,         ///< open/fstat/mmap/read failed
+};
+
+/// Short stable name of `e` ("ok", "not-found", ...).
+const char* shard_load_error_name(ShardLoadError e);
 
 /// One mapped (or, where mmap is unavailable, heap-loaded) shard file:
 /// RAII over the mapping, exposing the next/value subranges zero-copy.
@@ -98,12 +145,16 @@ class ShardMap {
   }
   ~ShardMap() { close(); }  ///< unmaps
 
-  /// Maps `path` read-only and validates its header against the expected
-  /// shard identity. On success the next()/value() spans are live and
-  /// `touch_pages()` may be used to fault the payload in. Returns false
-  /// (and stays empty) on any mismatch or I/O failure.
+  /// Maps `path` read-only, validates its header against the expected
+  /// shard identity, and verifies the payload checksum (which also faults
+  /// every payload page in). On success the next()/value() spans are
+  /// live. Returns false (and stays empty) on any mismatch, corruption,
+  /// or I/O failure; error() says which.
   bool open(const std::string& path, unsigned index, std::size_t begin,
             std::size_t end, std::size_t total_n);
+
+  /// Why the last open() failed (kOk after a successful open).
+  ShardLoadError error() const { return error_; }
 
   /// Unmaps/frees; the object returns to the empty state.
   void close();
@@ -134,12 +185,25 @@ class ShardMap {
   const index_t* next_ = nullptr;
   const value_t* value_ = nullptr;
   char* heap_ = nullptr;         ///< non-mmap fallback buffer
+  ShardLoadError error_ = ShardLoadError::kOk;  ///< last open() outcome
+};
+
+/// Outcome counters of a spill-dir reclamation pass. A missing directory
+/// or file is NOT a failure (ENOENT is the normal "already reclaimed"
+/// answer); `failed` counts files/directories that still exist after a
+/// remove was attempted and refused -- the serving layer surfaces these
+/// in ServerStats instead of leaking spill space silently.
+struct ReclaimStats {
+  std::size_t removed = 0;  ///< shard files (or directories) removed
+  std::size_t failed = 0;   ///< unlink/rmdir failures other than ENOENT
 };
 
 /// Removes every shard file in `dir` and then the directory itself (only
 /// files matching the shard naming scheme are touched). Returns the number
-/// of shard files removed; 0 when the directory does not exist.
-std::size_t drop_spill_dir(const std::string& dir);
+/// of shard files removed; 0 when the directory does not exist. When
+/// `out` is non-null its counters accumulate (not reset) across calls.
+std::size_t drop_spill_dir(const std::string& dir,
+                           ReclaimStats* out = nullptr);
 
 /// The spill directory a server pins for snapshot `id` at generation
 /// `gen`: "<root>/snap<id>_g<gen>". Generation-stamped so an update can
@@ -149,8 +213,10 @@ std::string snapshot_spill_dir(const std::string& root, std::uint64_t id,
 
 /// Drops every generation's spill directory of snapshot `id` under `root`
 /// (the server calls this from update/drop invalidation). Returns the
-/// number of directories removed.
+/// number of directories removed. ENOENT is ignored; other unlink/rmdir
+/// failures accumulate into `out` when non-null.
 std::size_t drop_snapshot_spill_dirs(const std::string& root,
-                                     std::uint64_t id);
+                                     std::uint64_t id,
+                                     ReclaimStats* out = nullptr);
 
 }  // namespace lr90::shard

@@ -60,15 +60,18 @@ ShardStore::~ShardStore() {
 
 bool ShardStore::prepare(const LinkedList& list, const ShardedList& sharded,
                          std::size_t byte_budget, const std::string& dir,
-                         unsigned prefetch_depth, bool keep_files) {
+                         unsigned prefetch_depth, bool keep_files,
+                         bool allow_degraded) {
   list_ = &list;
   sharded_ = &sharded;
   budget_ = byte_budget;
   spill_ = byte_budget > 0 && sharded.n > 0;
   dir_ = dir;
   keep_files_ = keep_files;
+  allow_degraded_ = allow_degraded;
   if (!spill_) return true;
   if (dir_.empty()) return false;
+  degraded_.assign(sharded.shards, 0);
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   for (unsigned p = 0; p < sharded.shards; ++p) {
@@ -87,8 +90,20 @@ bool ShardStore::prepare(const LinkedList& list, const ShardedList& sharded,
     h.total_n = sharded.n;
     h.payload_bytes = shard_payload_bytes(e - b);
     if (!write_shard_file(path, h, list.next.data() + b,
-                          list.value.data() + b))
-      return false;
+                          list.value.data() + b)) {
+      // ENOSPC/EIO mid-spill. The source list is resident by contract,
+      // so the shard can always be served from RAM: degrade it (counted)
+      // instead of failing the whole run -- unless the caller asked for
+      // a hard failure, which surfaces as kResourceExhausted upstream.
+      ++stats_.write_errors;
+      if (!allow_degraded_) {
+        last_error_ = StoreError::kIo;
+        return false;
+      }
+      degraded_[p] = 1;
+      ++stats_.degraded;
+      continue;
+    }
     stats_.spill_bytes +=
         sizeof(ShardHeader) + static_cast<std::size_t>(h.payload_bytes);
   }
@@ -100,11 +115,33 @@ bool ShardStore::prepare(const LinkedList& list, const ShardedList& sharded,
   return true;
 }
 
-ShardMap ShardStore::load_shard(unsigned p) {
+ShardStore::LoadOutcome ShardStore::load_shard(unsigned p) {
   const auto [b, e] = sharded_->range(p);
-  ShardMap m;
-  m.open(dir_ + "/" + shard_file_name(p), p, b, e, sharded_->n);
-  return m;
+  const std::string path = dir_ + "/" + shard_file_name(p);
+  LoadOutcome out;
+  if (out.map.open(path, p, b, e, sharded_->n)) return out;
+  if (out.map.error() == ShardLoadError::kCorrupt) out.corrupt = true;
+  // Recovery: whatever broke the slab (torn write, bit rot, a stale or
+  // vanished file), the source arrays are resident -- re-pack and retry
+  // once. A second failure falls through empty; the caller degrades or
+  // surfaces the typed error.
+  ShardHeader h;
+  h.shard_index = p;
+  h.begin = b;
+  h.end = e;
+  h.total_n = sharded_->n;
+  h.payload_bytes = shard_payload_bytes(e - b);
+  if (write_shard_file(path, h, list_->next.data() + b,
+                       list_->value.data() + b)) {
+    out.repacked = true;
+    out.map.open(path, p, b, e, sharded_->n);
+  }
+  return out;
+}
+
+ShardView ShardStore::resident_view(unsigned p) const {
+  const auto [b, e] = sharded_->range(p);
+  return ShardView{list_->next.data() + b, list_->value.data() + b, b, e};
 }
 
 void ShardStore::evict_over_budget_locked() {
@@ -124,10 +161,25 @@ void ShardStore::evict_over_budget_locked() {
 
 ShardView ShardStore::acquire(unsigned p) {
   const auto [b, e] = sharded_->range(p);
-  if (!spill_)
-    return ShardView{list_->next.data() + b, list_->value.data() + b, b, e};
+  if (!spill_) return resident_view(p);
   std::unique_lock<std::mutex> lk(mu_);
+  // Depth-1 lookahead: both ranking passes visit shards in ascending
+  // order, so the next shard is always p + 1.
+  const auto hint_next_locked = [&] {
+    if (prefetcher_.joinable() && p + 1 < sharded_->shards &&
+        !degraded_[p + 1] &&
+        resident_.find(p + 1) == resident_.end() && in_flight_ != p + 1) {
+      target_ = p + 1;
+      cv_.notify_all();
+    }
+  };
   for (;;) {
+    if (degraded_[p]) {
+      // The spill tier is broken for this shard; serve it straight from
+      // the resident source arrays (over budget, by design).
+      hint_next_locked();
+      return resident_view(p);
+    }
     auto it = resident_.find(p);
     if (it == resident_.end()) {
       if (in_flight_ == p || target_ == p) {
@@ -138,13 +190,23 @@ ShardView ShardStore::acquire(unsigned p) {
       // mapping a different shard concurrently. Only this (orchestrator)
       // thread sets target_, so nobody else can start loading p meanwhile.
       lk.unlock();
-      ShardMap m = load_shard(p);
+      LoadOutcome lo = load_shard(p);
       lk.lock();
-      if (!m) return ShardView{};
+      if (lo.corrupt) ++stats_.corrupt_slabs;
+      if (lo.repacked) ++stats_.repacks;
+      if (!lo.map) {
+        if (!allow_degraded_) {
+          last_error_ = lo.corrupt ? StoreError::kCorrupt : StoreError::kIo;
+          return ShardView{};
+        }
+        degraded_[p] = 1;
+        ++stats_.degraded;
+        continue;  // served by the degraded branch above
+      }
       ++stats_.loads;
-      resident_bytes_ += m.bytes();
+      resident_bytes_ += lo.map.bytes();
       Resident r;
-      r.map = std::move(m);
+      r.map = std::move(lo.map);
       it = resident_.emplace(p, std::move(r)).first;
     }
     Resident& res = it->second;
@@ -156,13 +218,7 @@ ShardView ShardStore::acquire(unsigned p) {
     }
     const ShardView view{res.map.next(), res.map.value(), b, e};
     evict_over_budget_locked();
-    // Depth-1 lookahead: both ranking passes visit shards in ascending
-    // order, so the next shard is always p + 1.
-    if (prefetcher_.joinable() && p + 1 < sharded_->shards &&
-        resident_.find(p + 1) == resident_.end() && in_flight_ != p + 1) {
-      target_ = p + 1;
-      cv_.notify_all();
-    }
+    hint_next_locked();
     return view;
   }
 }
@@ -187,6 +243,11 @@ StoreStats ShardStore::stats() const {
   return stats_;
 }
 
+StoreError ShardStore::last_error() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return last_error_;
+}
+
 void ShardStore::prefetch_loop() {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -194,18 +255,24 @@ void ShardStore::prefetch_loop() {
     if (shutdown_) return;
     const unsigned p = *target_;
     target_.reset();
-    if (resident_.find(p) != resident_.end()) continue;
+    if (resident_.find(p) != resident_.end() || degraded_[p]) continue;
     in_flight_ = p;
     lk.unlock();
-    ShardMap m = load_shard(p);
-    if (m) m.touch_pages();  // the actual prefetch: pages resident on arrival
+    LoadOutcome lo = load_shard(p);
+    // The actual prefetch: pages resident on arrival (the checksum pass
+    // in open() already faulted them; this keeps them warm).
+    if (lo.map) lo.map.touch_pages();
     lk.lock();
     in_flight_.reset();
-    if (!shutdown_ && m && resident_.find(p) == resident_.end()) {
+    if (lo.corrupt) ++stats_.corrupt_slabs;
+    if (lo.repacked) ++stats_.repacks;
+    // A failed prefetch is NOT degraded here: the acquire path retries
+    // synchronously and owns the degrade/refuse decision.
+    if (!shutdown_ && lo.map && resident_.find(p) == resident_.end()) {
       ++stats_.loads;
-      resident_bytes_ += m.bytes();
+      resident_bytes_ += lo.map.bytes();
       Resident r;
-      r.map = std::move(m);
+      r.map = std::move(lo.map);
       r.from_prefetch = true;
       r.stamp = ++clock_;
       resident_.emplace(p, std::move(r));

@@ -89,6 +89,18 @@ struct StoreStats {
   std::uint64_t reused_files = 0;   ///< valid pre-existing files kept as-is
   std::uint64_t spill_bytes = 0;    ///< bytes written to shard files
   bool spilled = false;             ///< the out-of-core tier was active
+  std::uint64_t corrupt_slabs = 0;  ///< loads failing the integrity check
+  std::uint64_t repacks = 0;        ///< slabs rewritten from the source list
+  std::uint64_t degraded = 0;       ///< shards downgraded to resident serving
+  std::uint64_t write_errors = 0;   ///< shard-file writes that failed
+};
+
+/// Why the store refused a shard (acquire returned an all-null view) or
+/// prepare() failed. kNone while everything has been served.
+enum class StoreError {
+  kNone,     ///< no failure so far
+  kCorrupt,  ///< a slab failed integrity and could not be re-packed
+  kIo,       ///< spill I/O failed (write or load) with degradation off
 };
 
 /// Serves per-shard views of one list for the duration of one sharded run.
@@ -118,16 +130,34 @@ class ShardStore {
   /// reused, and `prefetch_depth` > 0 starts the async prefetcher.
   /// `keep_files` leaves the files on disk at destruction (a server
   /// pinning a snapshot's spill dir); otherwise they are ephemeral.
-  /// Returns false on I/O failure (store unusable).
+  ///
+  /// Failure model: with `allow_degraded` (the default) a shard whose
+  /// spill write fails (ENOSPC, EIO) is put in DEGRADED mode -- served
+  /// straight from the always-resident source arrays, over budget,
+  /// counted in StoreStats::degraded -- and prepare() still succeeds.
+  /// With `allow_degraded == false` any write failure fails prepare()
+  /// (last_error() == kIo; the caller surfaces kResourceExhausted).
   bool prepare(const LinkedList& list, const ShardedList& sharded,
                std::size_t byte_budget, const std::string& dir,
-               unsigned prefetch_depth, bool keep_files);
+               unsigned prefetch_depth, bool keep_files,
+               bool allow_degraded = true);
 
   /// Blocks until shard `p` is resident and returns its view, pinned until
   /// release(p). On the spill tier this may wait for the prefetcher or
   /// perform a synchronous load, then evicts LRU unpinned shards until the
-  /// budget holds. An all-null view signals a load failure.
+  /// budget holds.
+  ///
+  /// Failure ladder: a slab failing its integrity check is counted
+  /// (corrupt_slabs), re-packed from the source list (repacks) and
+  /// re-loaded; if the slab still cannot be served and degradation is
+  /// allowed, the shard is served resident from the source arrays
+  /// (degraded). Only with `allow_degraded == false` can acquire return
+  /// an all-null view -- last_error() then carries the typed cause.
   ShardView acquire(unsigned p);
+
+  /// The typed cause of the last refused shard / failed prepare (kNone
+  /// when everything was served, possibly degraded).
+  StoreError last_error() const;
 
   /// Unpins shard `p` (it stays resident until evicted by the budget).
   void release(unsigned p);
@@ -150,9 +180,18 @@ class ShardStore {
     std::uint64_t stamp = 0;     ///< LRU clock at last acquire
   };
 
-  ShardMap load_shard(unsigned p);  // no lock held; pure file I/O
+  /// One load attempt plus its recovery bookkeeping (no lock held; pure
+  /// file I/O). The caller folds the flags into stats_ under mu_.
+  struct LoadOutcome {
+    ShardMap map;           ///< empty on unrecoverable failure
+    bool corrupt = false;   ///< the first load failed integrity
+    bool repacked = false;  ///< the slab was rewritten from the source
+  };
+
+  LoadOutcome load_shard(unsigned p);
   void evict_over_budget_locked();
   void prefetch_loop();
+  ShardView resident_view(unsigned p) const;  ///< degraded/RAM-mode view
 
   const LinkedList* list_ = nullptr;
   const ShardedList* sharded_ = nullptr;
@@ -160,6 +199,11 @@ class ShardStore {
   std::string dir_;
   bool keep_files_ = false;
   bool spill_ = false;
+  bool allow_degraded_ = true;
+  /// Per-shard degraded flag: spill for this shard is broken; serve it
+  /// from the source arrays (guarded by mu_ once the prefetcher runs).
+  std::vector<char> degraded_;
+  StoreError last_error_ = StoreError::kNone;  ///< guarded by mu_
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

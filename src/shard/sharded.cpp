@@ -4,8 +4,11 @@
 #include <filesystem>
 #include <vector>
 
+#include <new>
+
 #include "core/host_exec.hpp"
 #include "lists/encode.hpp"
+#include "support/faultpoint.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -14,6 +17,12 @@
 namespace lr90::shard {
 
 namespace {
+
+// The allocation edge of a sharded run: the O(m) reduced-list scratch
+// (totals, exits, prefixes) plus the per-shard packed slab. Firing here
+// simulates std::bad_alloc without depending on the allocator.
+fault::FaultSite f_scratch_alloc{"shard.scratch.alloc",
+                                 "reduced-list scratch allocation fails"};
 
 /// Reduced lists below this length take the serial second-level scan; the
 /// parallel sublist kernel's fork/join cannot pay off on fewer nodes.
@@ -180,7 +189,11 @@ Status run_sharded(const LinkedList& list, const ShardedList& sharded,
     if (sharded.heads_of[p].empty()) continue;
     const ShardView view = store.acquire(p);
     if (view.next == nullptr)
-      return Status::unavailable("sharded scan: shard load failed (pass A)");
+      return store.last_error() == StoreError::kCorrupt
+                 ? Status::corrupt_slab(
+                       "sharded scan: unrecoverable slab (pass A)")
+                 : Status::resource_exhausted(
+                       "sharded scan: shard load failed (pass A)");
     pass_totals<Op, kOnes>(view, sharded.heads_of[p], sharded.seg_base[p],
                            exec, scratch, op, totals, exits);
     store.release(p);
@@ -228,7 +241,11 @@ Status run_sharded(const LinkedList& list, const ShardedList& sharded,
     if (sharded.heads_of[p].empty()) continue;
     const ShardView view = store.acquire(p);
     if (view.next == nullptr)
-      return Status::unavailable("sharded scan: shard load failed (pass C)");
+      return store.last_error() == StoreError::kCorrupt
+                 ? Status::corrupt_slab(
+                       "sharded scan: unrecoverable slab (pass C)")
+                 : Status::resource_exhausted(
+                       "sharded scan: shard load failed (pass C)");
     pass_expand<Op, kOnes>(view, sharded.heads_of[p], sharded.seg_base[p],
                            exec, scratch, op, seg_pref, out);
     store.release(p);
@@ -253,18 +270,31 @@ Status sharded_scan(const LinkedList& list, bool rank, ScanOp op,
       spill ? (exec.spill_dir.empty() ? ephemeral_spill_dir() : exec.spill_dir)
             : std::string{};
   if (!store.prepare(list, sharded, exec.byte_budget, dir, exec.prefetch,
-                     exec.keep_files))
-    return Status::unavailable("sharded scan: spill directory unusable: " +
-                               dir);
+                     exec.keep_files, exec.degrade)) {
+    stats.store = store.stats();
+    return store.last_error() == StoreError::kIo
+               ? Status::resource_exhausted(
+                     "sharded scan: spill write failed under " + dir)
+               : Status::unavailable(
+                     "sharded scan: spill directory unusable: " + dir);
+  }
   Status st;
-  if (rank) {
-    st = run_sharded<OpPlus, true>(list, sharded, exec, OpPlus{}, ws, out,
-                                   store, stats);
-  } else {
-    st = with_scan_op(op, [&](auto typed) {
-      return run_sharded<decltype(typed), false>(list, sharded, exec, typed,
-                                                 ws, out, store, stats);
-    });
+  try {
+    if (f_scratch_alloc.fire()) throw std::bad_alloc{};
+    if (rank) {
+      st = run_sharded<OpPlus, true>(list, sharded, exec, OpPlus{}, ws, out,
+                                     store, stats);
+    } else {
+      st = with_scan_op(op, [&](auto typed) {
+        return run_sharded<decltype(typed), false>(list, sharded, exec, typed,
+                                                   ws, out, store, stats);
+      });
+    }
+  } catch (const std::bad_alloc&) {
+    // The O(m) scratch (or a per-shard slab) did not fit: a typed answer,
+    // not a crash -- the caller can retry smaller or shed load.
+    st = Status::resource_exhausted(
+        "sharded scan: scratch allocation failed");
   }
   stats.store = store.stats();
   return st;

@@ -56,6 +56,12 @@ struct ShardExec {
   bool keep_files = false;
   /// Async prefetch depth (0 disables the prefetch thread).
   unsigned prefetch = 1;
+  /// Allow the store's counted degraded mode: shards whose spill tier
+  /// fails (ENOSPC, EIO, unrecoverable corruption) are served resident
+  /// from the source arrays instead of failing the run. false turns
+  /// every such failure into a typed error (kCorruptSlab /
+  /// kResourceExhausted) -- the chaos harness's strict knob.
+  bool degrade = true;
 };
 
 /// What one sharded run did, for RunStats and the bench.
@@ -69,8 +75,9 @@ struct ShardRunStats {
 /// (sized n), sharded per `exec`. Deterministic and bit-exact vs the
 /// serial oracle for every registered operator. `ws` supplies the
 /// second-level pass's scratch. Returns kInvalidInput on structurally
-/// broken cross-shard links, kUnavailable when the spill tier cannot
-/// write or load its files.
+/// broken cross-shard links; with `exec.degrade` off, kCorruptSlab for
+/// an unrecoverable slab and kResourceExhausted when the spill tier
+/// cannot write (with it on, those are counted degradations instead).
 Status sharded_scan(const LinkedList& list, bool rank, ScanOp op,
                     const ShardExec& exec, Workspace& ws,
                     std::span<value_t> out, ShardRunStats& stats);

@@ -1,0 +1,120 @@
+// FaultSite registry and the armed slow path. See faultpoint.hpp.
+#include "support/faultpoint.hpp"
+
+#include <algorithm>
+
+namespace lr90::fault {
+
+namespace {
+
+// Registry mutex: guards the site vector during static-init registration
+// and the harness-facing enumeration calls. Meyers singletons so sites
+// constructed before this TU's statics still register safely.
+std::mutex& registry_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+// splitmix64: tiny, seedable, passes the statistical bar a fault coin
+// needs. Advances the state in place.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<FaultSite*>& mutable_registry() {
+  static std::vector<FaultSite*> sites;
+  return sites;
+}
+
+std::atomic<bool>& FaultSite::enabled_flag() {
+  static std::atomic<bool> enabled{false};
+  return enabled;
+}
+
+FaultSite::FaultSite(const char* name, const char* effect)
+    : name_(name), effect_(effect) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  mutable_registry().push_back(this);
+}
+
+bool FaultSite::fire_slow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.hits;
+  if (!armed_ || stats_.fires >= trigger_.max_fires) return false;
+  bool hit = trigger_.fail_nth != 0 && stats_.hits == trigger_.fail_nth;
+  if (!hit && trigger_.probability > 0.0) {
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(splitmix64(rng_) >> 11) * 0x1.0p-53;
+    hit = u < trigger_.probability;
+  }
+  if (hit) ++stats_.fires;
+  return hit;
+}
+
+void FaultSite::arm(const Trigger& trigger) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = true;
+    trigger_ = trigger;
+    rng_ = trigger.seed;
+    stats_ = SiteStats{};
+  }
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void FaultSite::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+}
+
+bool FaultSite::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+SiteStats FaultSite::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<FaultSite*> registered_sites() {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  return mutable_registry();
+}
+
+FaultSite* find_site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mu());
+  auto& sites = mutable_registry();
+  const auto it = std::find_if(sites.begin(), sites.end(), [&](FaultSite* s) {
+    return name == s->name();
+  });
+  return it == sites.end() ? nullptr : *it;
+}
+
+void disarm_all() {
+  for (FaultSite* site : registered_sites()) site->disarm();
+  FaultSite::enabled_flag().store(false, std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  FaultSite::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+bool enabled() {
+  return FaultSite::enabled_flag().load(std::memory_order_relaxed);
+}
+
+void reset_stats() {
+  for (FaultSite* site : registered_sites()) {
+    std::lock_guard<std::mutex> lock(site->mu_);
+    site->stats_ = SiteStats{};
+  }
+}
+
+}  // namespace lr90::fault

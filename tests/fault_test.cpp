@@ -1,0 +1,574 @@
+// Chaos harness for the fault-injection framework (support/faultpoint.hpp)
+// and the end-to-end failure hardening of the spill/serve/net path:
+//
+//   * the registry + trigger contract: every site is enumerable, the
+//     disabled fast path observes nothing, fail-Nth / probability / budget
+//     triggers are deterministic under a fixed seed;
+//   * the spill tier's degradation ladder: on-disk corruption (bit flips
+//     and torn writes) is detected by the per-slab checksum, repacked from
+//     the source list, and the rerun is bit-exact; write failures
+//     (ENOSPC/EIO/short write/rename) degrade counted when allowed and
+//     come back typed kResourceExhausted when strict; unrecoverable
+//     corruption types kCorruptSlab;
+//   * the full sweep: every registered site armed in turn under 8-client
+//     concurrent load through a real NetServer -- no crash, every answer
+//     kOk-and-bit-exact or a typed failure status, and full recovery
+//     (bit-exact answers) once the fault is disarmed. The sweep also IS
+//     the coverage check CI relies on: each site must record >= 1
+//     injected fire during its round.
+#include "support/faultpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iterator>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/workspace.hpp"
+#include "lists/generators.hpp"
+#include "lists/ops.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "shard/shard_file.hpp"
+#include "shard/sharded.hpp"
+#include "support/rng.hpp"
+#include "test_util.hpp"
+
+namespace lr90 {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+/// Every fault site this binary is expected to register, by layer.
+const char* const kExpectedSites[] = {
+    "shard.write.open",   "shard.write.io",    "shard.write.nospc",
+    "shard.write.short",  "shard.write.rename", "shard.map.open",
+    "shard.map.mmap",     "shard.map.read",    "shard.map.checksum",
+    "shard.reclaim.unlink", "shard.scratch.alloc", "serve.batch.stall",
+    "net.recv.io",        "net.send.io",       "net.send.stall",
+};
+
+/// A fresh empty directory under the test temp root.
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "lr90_fault_" + tag;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Oracle exclusive scan under a runtime operator.
+std::vector<value_t> oracle(const LinkedList& list, bool rank, ScanOp op) {
+  if (rank) {
+    LinkedList ones = list;
+    for (auto& v : ones.value) v = 1;
+    return testutil::expected_scan(ones, OpPlus{});
+  }
+  return with_scan_op(
+      op, [&](auto o) { return testutil::expected_scan(list, o); });
+}
+
+/// Arms `name` (which must exist) with `t`; returns the site.
+fault::FaultSite* arm(const std::string& name, const fault::Trigger& t) {
+  fault::FaultSite* site = fault::find_site(name);
+  EXPECT_NE(site, nullptr) << name;
+  if (site != nullptr) site->arm(t);
+  return site;
+}
+
+/// RAII guard: whatever a test armed is disarmed on every exit path.
+struct DisarmGuard {
+  ~DisarmGuard() { fault::disarm_all(); }
+};
+
+// -- the registry and trigger contract --------------------------------------
+
+TEST(FaultRegistry, EverySiteIsRegisteredAndSilentWhenDisabled) {
+  DisarmGuard guard;
+  fault::disarm_all();
+  fault::reset_stats();
+  for (const char* name : kExpectedSites) {
+    fault::FaultSite* site = fault::find_site(name);
+    ASSERT_NE(site, nullptr) << name << " is not registered";
+    EXPECT_STREQ(site->name(), name);
+    EXPECT_NE(site->effect()[0], '\0') << name << " has no effect doc";
+    EXPECT_FALSE(site->armed());
+  }
+  EXPECT_GE(fault::registered_sites().size(),
+            std::size(kExpectedSites));
+  EXPECT_FALSE(fault::enabled());
+
+  // The disabled fast path injects nothing and observes nothing.
+  fault::FaultSite* site = fault::find_site(kExpectedSites[0]);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(site->fire());
+  EXPECT_EQ(site->stats().hits, 0u);
+  EXPECT_EQ(site->stats().fires, 0u);
+}
+
+TEST(FaultRegistry, FailNthFiresExactlyOnTheNthHit) {
+  DisarmGuard guard;
+  fault::FaultSite* site = fault::find_site("shard.write.io");
+  ASSERT_NE(site, nullptr);
+  fault::Trigger t;
+  t.fail_nth = 3;
+  t.max_fires = 1;
+  site->arm(t);
+  EXPECT_TRUE(site->armed());
+  EXPECT_TRUE(fault::enabled());
+  for (int i = 1; i <= 10; ++i)
+    EXPECT_EQ(site->fire(), i == 3) << "hit " << i;
+  EXPECT_EQ(site->stats().hits, 10u);
+  EXPECT_EQ(site->stats().fires, 1u);
+  // An unarmed sibling never fires even while the global gate is up.
+  fault::FaultSite* other = fault::find_site("shard.map.open");
+  EXPECT_FALSE(other->fire());
+  EXPECT_EQ(other->stats().fires, 0u);
+}
+
+TEST(FaultRegistry, SeededProbabilityIsDeterministicAndBudgeted) {
+  DisarmGuard guard;
+  fault::FaultSite* site = fault::find_site("shard.map.checksum");
+  ASSERT_NE(site, nullptr);
+  fault::Trigger t;
+  t.probability = 0.5;
+  t.seed = 20260809;
+
+  auto pattern = [&] {
+    site->arm(t);  // arm() resets the stream: identical every time
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(site->fire());
+    return fired;
+  };
+  const std::vector<bool> a = pattern();
+  const std::vector<bool> b = pattern();
+  EXPECT_EQ(a, b) << "same seed must replay the same coin flips";
+  const auto fires = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 50u);  // a fair-ish coin over 200 flips
+  EXPECT_LT(fires, 150u);
+
+  // The fire budget caps injections regardless of the coin.
+  t.probability = 1.0;
+  t.max_fires = 2;
+  site->arm(t);
+  int count = 0;
+  for (int i = 0; i < 10; ++i) count += site->fire() ? 1 : 0;
+  EXPECT_EQ(count, 2);
+
+  site->disarm();
+  EXPECT_FALSE(site->armed());
+}
+
+// -- the spill tier's degradation ladder ------------------------------------
+
+/// A spill-heavy exec: every shard written to `dir` and reloaded on
+/// acquire (byte budget of one byte spills everything).
+shard::ShardExec spill_exec(const std::string& dir, unsigned shards = 4) {
+  shard::ShardExec exec;
+  exec.shards = shards;
+  exec.threads = 2;
+  exec.byte_budget = 1;
+  exec.spill_dir = dir;
+  exec.keep_files = true;
+  return exec;
+}
+
+Status run_sharded(const LinkedList& list, const shard::ShardExec& exec,
+                   std::vector<value_t>& out, shard::ShardRunStats& stats) {
+  Workspace ws;
+  out.assign(list.size(), 0);
+  stats = shard::ShardRunStats{};
+  return shard::sharded_scan(list, /*rank=*/true, ScanOp::kPlus, exec, ws,
+                             std::span<value_t>(out), stats);
+}
+
+TEST(ShardFault, OnDiskBitFlipIsDetectedRepackedAndBitExact) {
+  DisarmGuard guard;
+  const std::string dir = fresh_dir("bitflip");
+  Rng rng(101);
+  const LinkedList list = random_list(4000, rng, ValueInit::kSigned);
+  const std::vector<value_t> want = oracle(list, true, ScanOp::kPlus);
+  const shard::ShardExec exec = spill_exec(dir);
+
+  std::vector<value_t> out;
+  shard::ShardRunStats stats;
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+  ASSERT_TRUE(stats.store.spilled);
+  EXPECT_EQ(stats.store.corrupt_slabs, 0u);
+
+  // Flip one payload byte in a shard file on disk.
+  const std::string victim = dir + "/" + shard::shard_file_name(1);
+  ASSERT_TRUE(fs::exists(victim));
+  {
+    std::FILE* f = std::fopen(victim.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, sizeof(shard::ShardHeader) + 13, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+
+  // The rerun reuses the pinned directory: the checksum catches the
+  // flip, the slab is repacked from the source list, and the answer is
+  // still bit-exact.
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+  EXPECT_GE(stats.store.corrupt_slabs, 1u);
+  EXPECT_GE(stats.store.repacks, 1u);
+  EXPECT_EQ(stats.store.degraded, 0u);
+
+  // The repack rewrote the file: a third run sees no corruption at all.
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+  EXPECT_EQ(stats.store.corrupt_slabs, 0u);
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ShardFault, TornSlabIsDetectedRepackedAndBitExact) {
+  DisarmGuard guard;
+  const std::string dir = fresh_dir("torn");
+  Rng rng(102);
+  const LinkedList list = random_list(3000, rng, ValueInit::kSigned);
+  const std::vector<value_t> want = oracle(list, true, ScanOp::kPlus);
+  const shard::ShardExec exec = spill_exec(dir);
+
+  std::vector<value_t> out;
+  shard::ShardRunStats stats;
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+
+  // Tear a slab: header intact, payload cut short (a crash mid-write
+  // that the temp+rename protocol normally prevents -- simulate an old
+  // file truncated by the filesystem instead).
+  const std::string victim = dir + "/" + shard::shard_file_name(2);
+  ASSERT_TRUE(fs::exists(victim));
+  const auto full = fs::file_size(victim);
+  fs::resize_file(victim, sizeof(shard::ShardHeader) + (full - sizeof(shard::ShardHeader)) / 2);
+
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+  EXPECT_GE(stats.store.corrupt_slabs, 1u);
+  EXPECT_GE(stats.store.repacks, 1u);
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ShardFault, WriteFailureDegradesCountedOrTypesWhenStrict) {
+  DisarmGuard guard;
+  Rng rng(103);
+  const LinkedList list = random_list(2500, rng, ValueInit::kSigned);
+  const std::vector<value_t> want = oracle(list, true, ScanOp::kPlus);
+
+  for (const char* site : {"shard.write.nospc", "shard.write.io",
+                           "shard.write.short", "shard.write.rename",
+                           "shard.write.open"}) {
+    // Degraded mode (the default): spill writes fail, the affected
+    // shards are served from the always-resident source arrays, the run
+    // is counted and still bit-exact.
+    fault::Trigger t;
+    t.probability = 1.0;
+    arm(site, t);
+    const std::string dir = fresh_dir(std::string("wdeg_") + site);
+    shard::ShardExec exec = spill_exec(dir);
+    std::vector<value_t> out;
+    shard::ShardRunStats stats;
+    ASSERT_TRUE(run_sharded(list, exec, out, stats).ok()) << site;
+    EXPECT_EQ(out, want) << site;
+    EXPECT_GE(stats.store.degraded, 1u) << site;
+    EXPECT_GE(stats.store.write_errors, 1u) << site;
+
+    // Strict mode: the same failure is a typed kResourceExhausted.
+    exec.degrade = false;
+    const Status st = run_sharded(list, exec, out, stats);
+    ASSERT_FALSE(st.ok()) << site;
+    EXPECT_EQ(st.code, StatusCode::kResourceExhausted)
+        << site << ": " << st.message;
+    fault::disarm_all();
+    shard::drop_spill_dir(dir);
+  }
+}
+
+TEST(ShardFault, UnrecoverableCorruptionDegradesOrTypesCorruptSlab) {
+  DisarmGuard guard;
+  Rng rng(104);
+  const LinkedList list = random_list(2500, rng, ValueInit::kSigned);
+  const std::vector<value_t> want = oracle(list, true, ScanOp::kPlus);
+  const std::string dir = fresh_dir("corrupt_forever");
+
+  // Healthy first run creates the spill files.
+  shard::ShardExec exec = spill_exec(dir);
+  std::vector<value_t> out;
+  shard::ShardRunStats stats;
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+
+  // Every checksum verification fails, including after the repack: the
+  // ladder's last rung. Allowed to degrade -> counted + bit-exact.
+  fault::Trigger t;
+  t.probability = 1.0;
+  arm("shard.map.checksum", t);
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+  EXPECT_GE(stats.store.corrupt_slabs, 1u);
+  EXPECT_GE(stats.store.degraded, 1u);
+
+  // Strict -> typed kCorruptSlab.
+  exec.degrade = false;
+  const Status st = run_sharded(list, exec, out, stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code, StatusCode::kCorruptSlab) << st.message;
+  fault::disarm_all();
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ShardFault, MmapFailureFallsBackToHeapReads) {
+  DisarmGuard guard;
+  Rng rng(105);
+  const LinkedList list = random_list(2000, rng, ValueInit::kSigned);
+  const std::vector<value_t> want = oracle(list, true, ScanOp::kPlus);
+  const std::string dir = fresh_dir("mmap_fallback");
+
+  fault::Trigger t;
+  t.probability = 1.0;
+  fault::FaultSite* site = arm("shard.map.mmap", t);
+  const shard::ShardExec exec = spill_exec(dir);
+  std::vector<value_t> out;
+  shard::ShardRunStats stats;
+  ASSERT_TRUE(run_sharded(list, exec, out, stats).ok());
+  EXPECT_EQ(out, want);
+  EXPECT_GE(site->stats().fires, 1u);
+  // The fallback is silent recovery, not degradation: nothing counted.
+  EXPECT_EQ(stats.store.degraded, 0u);
+  EXPECT_EQ(stats.store.corrupt_slabs, 0u);
+  fault::disarm_all();
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ShardFault, ScratchAllocationFailureIsTypedResourceExhausted) {
+  DisarmGuard guard;
+  Rng rng(106);
+  const LinkedList list = random_list(1500, rng, ValueInit::kSigned);
+  fault::Trigger t;
+  t.fail_nth = 1;
+  t.max_fires = 1;
+  arm("shard.scratch.alloc", t);
+  const std::string dir = fresh_dir("alloc");
+  std::vector<value_t> out;
+  shard::ShardRunStats stats;
+  const Status st = run_sharded(list, spill_exec(dir), out, stats);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code, StatusCode::kResourceExhausted) << st.message;
+  fault::disarm_all();
+  // The failure left nothing behind once the store is gone.
+  shard::drop_spill_dir(dir);
+
+  // And the very next run succeeds: the fault budget was one.
+  shard::ShardRunStats stats2;
+  ASSERT_TRUE(run_sharded(list, spill_exec(dir), out, stats2).ok());
+  EXPECT_EQ(out, oracle(list, true, ScanOp::kPlus));
+  shard::drop_spill_dir(dir);
+}
+
+TEST(ServeFault, ReclaimFailuresAreCountedInServerStats) {
+  DisarmGuard guard;
+  // Satellite: drop_snapshot_spill_dirs failures (other than ENOENT)
+  // surface in ServerStats::spill_reclaim_failures instead of vanishing.
+  const std::string root = fresh_dir("reclaim_root");
+  serve::ServerOptions opt;
+  opt.workers = 1;
+  opt.shard_spill_root = root;
+  opt.engine.shard.shards = 3;
+  opt.engine.shard.byte_budget = 1;  // force spill files
+  serve::EngineServer server(opt);
+
+  Rng rng(107);
+  serve::SnapshotHandle handle;
+  ASSERT_TRUE(server.register_snapshot(
+      random_list(2000, rng, ValueInit::kSigned), handle).ok());
+  serve::SnapshotRequest sreq;
+  sreq.snapshot_id = handle.snapshot_id;
+  const RunResult r = server.submit(sreq).get();
+  ASSERT_TRUE(r.ok()) << r.status.message;
+  ASSERT_GT(r.stats.shard_count, 0u) << "run must take the spill path";
+
+  fault::Trigger t;
+  t.probability = 1.0;
+  arm("shard.reclaim.unlink", t);
+  EXPECT_TRUE(server.drop_snapshot(handle.snapshot_id));
+  fault::disarm_all();
+  EXPECT_GE(server.stats().spill_reclaim_failures, 1u);
+
+  // The next (unarmed) reclaim sweeps the survivors.
+  shard::drop_snapshot_spill_dirs(root, handle.snapshot_id);
+  server.shutdown();
+  fs::remove_all(root);
+}
+
+// -- the full chaos sweep ---------------------------------------------------
+
+/// One sweep round: every worker sends `iters` rank/scan requests and
+/// checks kOk answers bit-exactly; anything else must be a typed wire
+/// status. Transport failures (a fault tore the connection down) are
+/// recovered by reconnecting. Returns the number of wrong answers.
+struct SweepFixture {
+  net::NetServer server;
+  std::vector<LinkedList> lists;
+  std::vector<std::vector<value_t>> rank_oracle;
+  std::vector<std::vector<value_t>> scan_oracle;
+
+  static net::NetServerOptions options() {
+    net::NetServerOptions opt;
+    opt.port = 0;
+    opt.serve.workers = 2;
+    opt.serve.engine.threads = 2;
+    // Every request takes the sharded spill path: tiny byte budget,
+    // pinned shard count, ephemeral per-run spill dirs (so the reclaim
+    // site fires on every run teardown too).
+    opt.serve.engine.shard.shards = 3;
+    opt.serve.engine.shard.byte_budget = 1;
+    return opt;
+  }
+
+  SweepFixture() : server(options()) {
+    Rng rng(20260101);
+    for (int i = 0; i < 4; ++i) {
+      lists.push_back(random_list(600 + 97 * i, rng, ValueInit::kSigned));
+      rank_oracle.push_back(oracle(lists.back(), true, ScanOp::kPlus));
+      scan_oracle.push_back(oracle(lists.back(), false, ScanOp::kPlus));
+    }
+  }
+
+  /// Runs `iters` requests on one connection; reconnects on transport
+  /// errors. Bumps `wrong` for any kOk answer that is not bit-exact and
+  /// `untyped` for any response carrying an out-of-range status (the
+  /// decoder rejects those as kBadPayload transport errors).
+  void worker(unsigned seed, int iters, std::atomic<int>& wrong,
+              std::atomic<int>& ok_answers) {
+    Rng rng(seed);
+    net::NetClient client;
+    (void)client.connect_to("127.0.0.1", server.port());
+    for (int i = 0; i < iters; ++i) {
+      const std::size_t which = rng.next_u64() % lists.size();
+      const bool rank = (rng.next_u64() & 1) != 0;
+      net::ResponseFrame resp;
+      Status s;
+      if (rank) {
+        s = client.rank(lists[which], resp);
+      } else {
+        s = client.scan(lists[which], ScanOp::kPlus, resp);
+      }
+      if (!s.ok()) {
+        // Transport torn down by an injected socket fault: reconnect
+        // and keep going. Never a crash, never a hang.
+        client.close();
+        (void)client.connect_to("127.0.0.1", server.port());
+        continue;
+      }
+      if (resp.status == net::WireStatus::kOk) {
+        const auto& want = rank ? rank_oracle[which] : scan_oracle[which];
+        if (resp.values != want) wrong.fetch_add(1);
+        ok_answers.fetch_add(1);
+      }
+      // Any non-kOk decode already proved the status byte was in range
+      // (decode_response types out-of-range bytes as kBadPayload).
+    }
+  }
+};
+
+TEST(ChaosSweep, EverySiteUnderConcurrentLoadIsTypedAndRecovers) {
+  DisarmGuard guard;
+  SweepFixture fx;
+  ASSERT_TRUE(fx.server.start().ok());
+
+  constexpr int kClients = 8;
+  constexpr int kItersPerClient = 3;
+
+  fault::reset_stats();
+  for (const char* name : kExpectedSites) {
+    fault::FaultSite* site = fault::find_site(name);
+    ASSERT_NE(site, nullptr) << name;
+    fault::Trigger t;
+    t.fail_nth = 1;   // first hit fires...
+    t.max_fires = 3;  // ...and a couple more, then the site goes quiet
+    t.probability = 0.25;
+    t.seed = 0xfeedULL;
+    site->arm(t);
+    // The heap-read site sits on the mmap-failure fallback path: it is
+    // only reachable while mmap is failing.
+    if (std::string(name) == "shard.map.read") {
+      fault::Trigger always;
+      always.probability = 1.0;
+      arm("shard.map.mmap", always);
+    }
+
+    std::atomic<int> wrong{0};
+    std::atomic<int> ok_answers{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c)
+      threads.emplace_back([&fx, &wrong, &ok_answers, c] {
+        fx.worker(1000u + static_cast<unsigned>(c), kItersPerClient,
+                  wrong, ok_answers);
+      });
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(wrong.load(), 0)
+        << name << ": a fault must never produce a wrong answer";
+    EXPECT_GE(site->stats().fires, 1u)
+        << name << " was never triggered by the sweep workload "
+        << "(coverage regression: the site is wired to a dead edge)";
+    fault::disarm_all();
+  }
+
+  // Recovery: with every fault gone, each client gets a bit-exact
+  // answer (bounded retries ride out residual RETRY_AFTER baking off).
+  std::atomic<int> wrong{0};
+  std::atomic<int> recovered{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&fx, &wrong, &recovered, c] {
+      net::NetClient client;
+      ASSERT_TRUE(client.connect_to("127.0.0.1", fx.server.port()).ok());
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        net::ResponseFrame resp;
+        const std::size_t which =
+            static_cast<std::size_t>(c) % fx.lists.size();
+        const Status s = client.rank(fx.lists[which], resp);
+        if (!s.ok()) {
+          client.close();
+          (void)client.connect_to("127.0.0.1", fx.server.port());
+          continue;
+        }
+        if (resp.status == net::WireStatus::kRetryAfter) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(resp.retry_after_ms));
+          continue;
+        }
+        if (resp.status == net::WireStatus::kOk) {
+          if (resp.values != fx.rank_oracle[which]) wrong.fetch_add(1);
+          recovered.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(recovered.load(), kClients)
+      << "every client must get a bit-exact answer after disarm";
+
+  // The server survived the entire sweep with its counters intact.
+  const serve::ServerStats stats = fx.server.serve_stats();
+  EXPECT_GT(stats.completed, 0u);
+  fx.server.stop();
+}
+
+}  // namespace
+}  // namespace lr90

@@ -19,6 +19,7 @@
 #include "core/engine.hpp"
 #include "lists/generators.hpp"
 #include "net/client.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lr90::net {
 namespace {
@@ -530,6 +531,132 @@ TEST(NetServer, SnapshotLifecycleOverTcp) {
   EXPECT_GE(net.req_snapshot_rank, 5u);
   EXPECT_GE(net.req_snapshot_scan, 1u);
   EXPECT_EQ(net.protocol_errors, 0u);
+  server.stop();
+}
+
+TEST(NetServer, MidFrameDisconnectDuringRegisterLeavesNoHalfState) {
+  // Regression: a peer that dies halfway through a snapshot REGISTER
+  // body must not leave anything behind -- the partially-parsed bytes
+  // are freed with the connection (counted partial_frame_aborts) and
+  // the registry never sees a snapshot it would have to half-own.
+  NetServer server(base_options());
+  ASSERT_TRUE(server.start().ok());
+
+  Rng rng(4242);
+  const LinkedList list = random_list(5000, rng);
+  std::vector<std::uint8_t> frame;
+  encode_register_snapshot_request(frame, /*request_id=*/1, list);
+
+  NetClient half = connect_client(server);
+  // Send the header plus a fraction of the body, then vanish.
+  ASSERT_TRUE(half.send_raw(frame.data(), frame.size() / 3).ok());
+  // Give the loop a moment to buffer the partial frame before the close.
+  std::this_thread::sleep_for(50ms);
+  half.close();
+
+  // Wait for the loop to reap the dead connection.
+  for (int i = 0; i < 100 && server.net_stats().closed == 0; ++i)
+    std::this_thread::sleep_for(10ms);
+
+  const NetStats net = server.net_stats();
+  EXPECT_GE(net.closed, 1u);
+  EXPECT_EQ(net.partial_frame_aborts, 1u);
+  EXPECT_EQ(server.serve_stats().snapshots_live, 0u)
+      << "a half-received REGISTER must never reach the registry";
+
+  // The server is unharmed: a fresh client completes the same REGISTER
+  // and runs against it.
+  NetClient client = connect_client(server);
+  ResponseFrame resp;
+  ASSERT_TRUE(client.register_snapshot(list, resp).ok());
+  ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  ASSERT_TRUE(client.snapshot_rank(resp.snapshot_id, 0, resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.values.size(), list.size());
+  server.stop();
+}
+
+TEST(NetServer, StalledWriterIsCutOffByWriteTimeout) {
+  // A peer that stops draining its socket must not pin response buffers
+  // forever: once queued bytes make no progress for write_timeout_s the
+  // connection is closed and counted. The stall is injected at the
+  // send() edge (net.send.stall) so the test is deterministic -- real
+  // kernel socket buffers are far too large for a small response to
+  // fill.
+  fault::FaultSite* stall = fault::find_site("net.send.stall");
+  ASSERT_NE(stall, nullptr);
+  NetServerOptions opt = base_options();
+  opt.write_timeout_s = 0.2;
+  NetServer server(opt);
+  ASSERT_TRUE(server.start().ok());
+  NetClient client = connect_client(server);
+
+  fault::Trigger t;
+  t.probability = 1.0;  // every write attempt stalls
+  stall->arm(t);
+
+  Rng rng(7);
+  const LinkedList list = random_list(64, rng);
+  std::uint32_t id = 0;
+  ASSERT_TRUE(client.send_rank(list, id).ok());
+
+  // The response is computed but can never be written; the write
+  // timeout must cut the connection off.
+  bool timed_out = false;
+  for (int i = 0; i < 300; ++i) {
+    if (server.net_stats().write_timeouts >= 1) {
+      timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(10ms);
+  }
+  fault::disarm_all();
+  EXPECT_TRUE(timed_out) << "stalled writer was never cut off";
+  const NetStats net = server.net_stats();
+  EXPECT_GE(net.write_timeouts, 1u);
+  EXPECT_GE(net.closed, 1u);
+
+  // A fresh connection works normally once the fault is gone.
+  NetClient again = connect_client(server);
+  ResponseFrame resp;
+  ASSERT_TRUE(again.rank(list, resp).ok());
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  server.stop();
+}
+
+TEST(NetServer, WireDeadlineExpiredInQueueIsTypedNotRun) {
+  // End-to-end deadline propagation: a request whose header deadline is
+  // already hopeless by the time a worker pops it is answered
+  // DEADLINE_EXCEEDED without running. The queue delay is injected at
+  // the batch-pop edge (serve.batch.stall sleeps 50ms) so a 1ms budget
+  // expires deterministically.
+  fault::FaultSite* stallsite = fault::find_site("serve.batch.stall");
+  ASSERT_NE(stallsite, nullptr);
+  NetServerOptions opt = base_options();
+  opt.serve.workers = 1;
+  NetServer server(opt);
+  ASSERT_TRUE(server.start().ok());
+  NetClient client = connect_client(server);
+
+  Rng rng(11);
+  const LinkedList list = random_list(256, rng);
+
+  fault::Trigger t;
+  t.probability = 1.0;  // every batch pop stalls 50ms
+  stallsite->arm(t);
+  ResponseFrame resp;
+  ASSERT_TRUE(client.rank(list, resp, Method::kAuto,
+                          /*deadline_ms=*/1).ok());
+  fault::disarm_all();
+  EXPECT_EQ(resp.status, WireStatus::kDeadlineExceeded) << resp.text;
+  EXPECT_GE(server.serve_stats().deadline_expired, 1u);
+  EXPECT_GE(server.net_stats().deadline_exceeded_sent, 1u);
+
+  // A generous deadline on the same connection still runs to completion.
+  ASSERT_TRUE(client.rank(list, resp, Method::kAuto,
+                          /*deadline_ms=*/60000).ok());
+  EXPECT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  EXPECT_EQ(resp.values.size(), list.size());
   server.stop();
 }
 

@@ -371,6 +371,8 @@ TEST(WireCorruption, JunkPayloadNeverCrashesAndAlwaysTypes) {
     const auto len32 = static_cast<std::uint32_t>(payload_len);
     for (int i = 0; i < 4; ++i)
       buf.push_back(static_cast<std::uint8_t>(len32 >> (8 * i)));
+    for (int i = 0; i < 4; ++i)  // deadline: any value is valid
+      buf.push_back(static_cast<std::uint8_t>(rng.next_u64()));
     for (std::size_t i = 0; i < payload_len; ++i)
       buf.push_back(static_cast<std::uint8_t>(rng.next_u64()));
 
@@ -505,6 +507,106 @@ TEST(RetryPolicy, HintTakesColdFallbackWhenRateDecaysPastDenormal) {
   EXPECT_LT(policy.drain_rate(), 1e-9);
   EXPECT_EQ(policy.hint_ms(5), cold.hint_ms(5))
       << "a sub-threshold rate must fall back, not divide";
+}
+
+TEST(RetryPolicy, DeadlineBudgetClampsTheHint) {
+  // A RETRY_AFTER hint past the client's own deadline guarantees the
+  // retry arrives dead; the deadline-aware overload caps the hint at the
+  // remaining budget, but never below the floor (a zero hint stampedes).
+  RetryPolicy policy(/*min_ms=*/5, /*max_ms=*/2000);
+  // Cold policy: hint_ms(depth) = (depth + 1) * 10, clamped.
+  const std::uint32_t base = policy.hint_ms(/*depth=*/99);  // 1000ms
+  ASSERT_EQ(base, 1000u);
+
+  // A generous budget leaves the hint alone.
+  EXPECT_EQ(policy.hint_ms(99, /*deadline_budget_ms=*/5000), base);
+  // A tight budget clamps it.
+  EXPECT_EQ(policy.hint_ms(99, 250), 250u);
+  // A budget below the floor clamps to the floor, never to zero.
+  EXPECT_EQ(policy.hint_ms(99, 2), 5u);
+  EXPECT_EQ(policy.hint_ms(99, 1), 5u);
+  // Zero budget means "no deadline", not "no time left".
+  EXPECT_EQ(policy.hint_ms(99, 0), base);
+}
+
+TEST(RetryPolicy, DeadlineClampIsDeterministicAcrossDrainRates) {
+  // The clamp composes with an observed drain rate the same way it does
+  // cold: min(base, budget) with the floor enforced last.
+  RetryPolicy policy(/*min_ms=*/1, /*max_ms=*/2000);
+  std::uint64_t completed = 0;
+  double t = 0.0;
+  for (int i = 0; i <= 50; ++i) {  // ~100 jobs/s
+    policy.observe(t, completed);
+    t += 0.1;
+    completed += 10;
+  }
+  const std::uint32_t base = policy.hint_ms(49);  // ~500ms at 100/s
+  ASSERT_GT(base, 100u);
+  EXPECT_EQ(policy.hint_ms(49, base + 1000), base);
+  EXPECT_EQ(policy.hint_ms(49, 100), 100u);
+  EXPECT_EQ(policy.hint_ms(49, base), base);
+}
+
+TEST(WireDeadline, RidesTheHeaderOnEveryRequestKind) {
+  // The v2 header carries a relative deadline on every frame; request
+  // decodes surface it on RequestFrame, and kinds encoded without one
+  // carry 0 ("none").
+  Rng rng(2026);
+  const LinkedList list = random_list(31, rng);
+
+  std::vector<std::uint8_t> buf;
+  encode_rank_request(buf, 7, list, Method::kAuto, /*deadline_ms=*/1500);
+  RequestFrame req;
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.deadline_ms, 1500u);
+
+  buf.clear();
+  encode_scan_request(buf, 8, list, ScanOp::kPlus, Method::kAuto, 250);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.deadline_ms, 250u);
+
+  buf.clear();
+  encode_snapshot_rank_request(buf, 9, 42, 3, Method::kAuto, 77);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.deadline_ms, 77u);
+
+  buf.clear();
+  encode_snapshot_scan_request(buf, 10, 42, 3, ScanOp::kMax,
+                               Method::kAuto, 1u << 31);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.deadline_ms, 1u << 31);
+
+  // Kinds without a deadline parameter default to 0.
+  buf.clear();
+  encode_register_snapshot_request(buf, 11, list);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.deadline_ms, 0u);
+
+  buf.clear();
+  encode_plain_request(buf, MsgKind::kStatsRequest, 12);
+  ASSERT_EQ(decode_request(must_parse(buf), req), WireError::kOk);
+  EXPECT_EQ(req.deadline_ms, 0u);
+}
+
+TEST(WireDeadline, FailureStatusesRoundTripOnResponses) {
+  // The three failure-model statuses survive an encode/decode round trip
+  // and map 1:1 from engine StatusCodes.
+  for (const WireStatus ws :
+       {WireStatus::kCorruptSlab, WireStatus::kResourceExhausted,
+        WireStatus::kDeadlineExceeded}) {
+    std::vector<std::uint8_t> buf;
+    encode_status_response(buf, 21, ws);
+    ResponseFrame resp;
+    ASSERT_EQ(decode_response(must_parse(buf), resp), WireError::kOk);
+    EXPECT_EQ(resp.status, ws);
+    EXPECT_STRNE(wire_status_name(ws), "unknown");
+  }
+  EXPECT_EQ(wire_status_of(StatusCode::kCorruptSlab),
+            WireStatus::kCorruptSlab);
+  EXPECT_EQ(wire_status_of(StatusCode::kResourceExhausted),
+            WireStatus::kResourceExhausted);
+  EXPECT_EQ(wire_status_of(StatusCode::kDeadlineExceeded),
+            WireStatus::kDeadlineExceeded);
 }
 
 }  // namespace
