@@ -53,9 +53,18 @@ struct SimResult {
 };
 
 /// List ranking on the simulated machine.
+///
+/// Deprecated: construct an Engine (core/engine.hpp) with
+/// BackendKind::kSim and call Engine::run(RankRequest{...}) -- the Engine
+/// amortizes planning and scratch across runs and reports the unified
+/// RunStats (including the resolved kernel tier on the host backend).
+[[deprecated("use lr90::Engine::run with BackendKind::kSim (core/engine.hpp)")]]
 SimResult sim_list_rank(const LinkedList& list, const SimOptions& opt = {});
 
 /// List scan (integer addition) on the simulated machine.
+///
+/// Deprecated: use Engine::run(ScanRequest{...}) on BackendKind::kSim.
+[[deprecated("use lr90::Engine::run with BackendKind::kSim (core/engine.hpp)")]]
 SimResult sim_list_scan(const LinkedList& list, const SimOptions& opt = {});
 
 }  // namespace lr90

@@ -1,5 +1,6 @@
 #include "core/engine.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 
@@ -12,6 +13,7 @@
 #include "lists/encode.hpp"
 #include "lists/validate.hpp"
 #include "shard/sharded.hpp"
+#include "support/cpu_features.hpp"
 
 namespace lr90 {
 
@@ -105,6 +107,7 @@ Planner::Planner(const EngineOptions& opt)
       threads_(opt.threads),
       sublists_per_thread_(std::max(1u, opt.sublists_per_thread)),
       pinned_interleave_(opt.interleave),
+      tier_(opt.tier),
       shard_(opt.shard),
       pinned_m_(opt.reid_miller.m),
       pinned_s1_(opt.reid_miller.s1),
@@ -135,14 +138,17 @@ TuneResult Planner::tuned(double n, bool rank_kernels,
 }
 
 HostTuneResult Planner::host_tuned(double n, double op_factor,
-                                   unsigned max_threads) const {
-  const std::tuple<double, double, unsigned> key{n, op_factor, max_threads};
+                                   unsigned max_threads,
+                                   TuneTier tier) const {
+  const std::tuple<double, double, unsigned, int> key{
+      n, op_factor, max_threads, static_cast<int>(tier)};
   {
     std::lock_guard<std::mutex> lock(memo_->mu);
     auto it = memo_->host_cache.find(key);
     if (it != memo_->host_cache.end()) return it->second;
   }
-  const HostTuneResult r = host_tune(n, op_factor, max_threads);
+  const HostTuneResult r =
+      host_tune(n, op_factor, max_threads, 0, 0, {}, tier);
   std::lock_guard<std::mutex> lock(memo_->mu);
   memo_->host_cache.emplace(key, r);
   return r;
@@ -195,6 +201,17 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
   if (rank) op = ScanOp::kPlus;  // ranking always combines by addition
 
   if (backend_ == BackendKind::kHost) {
+    if (pinned_interleave_ > 0 && tier_ == KernelTier::kAuto) {
+      // The deprecated alias in use: a pinned width with no tier request.
+      // Honoured for one more release as "prefer the packed family at
+      // this W" (exactly the old semantics); warn once per process.
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true, std::memory_order_relaxed))
+        std::fprintf(stderr,
+                     "lr90: EngineOptions::interleave is deprecated; set "
+                     "EngineOptions::tier (interleave stays a width pin "
+                     "for one release)\n");
+    }
     // Sharding decision first: a pinned ShardOptions::shards, or
     // auto-shard when n exceeds the packed path's 2^31 link-lane bound
     // (lists/encode.hpp kHotMaxVertices) or the resident byte budget.
@@ -234,6 +251,17 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
         d.legacy_threads = useful;
         const bool lane =
             (rank || scan_op_lane32(op)) && width <= kHotMaxVertices;
+        // Sharding IS the typed n > 2^31 fallback; inside a shard the
+        // scalar cursors run (no SIMD across the spill/restore path yet),
+        // so the shard plan tunes the cursor family only.
+        d.tier = lane && tier_ != KernelTier::kLegacy
+                     ? KernelTier::kPackedCursors
+                     : KernelTier::kLegacy;
+        if (d.tier == KernelTier::kLegacy) {
+          d.sublists = static_cast<double>(d.threads) *
+                       static_cast<double>(sublists_per_thread_);
+          return d;
+        }
         if (lane) {
           const unsigned wpin =
               pinned_interleave_ > 0
@@ -244,7 +272,7 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
               threads_ > 0 || wpin > 0
                   ? host_tune(wd, factor, eff, threads_ > 0 ? useful : 0,
                               wpin)
-                  : host_tuned(wd, factor, eff);
+                  : host_tuned(wd, factor, eff, TuneTier::kCursorsOnly);
           if (threads_ == 0)
             d.threads = std::max(1u, std::min(ht.threads, eff));
           d.interleave =
@@ -275,6 +303,24 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
     // the per-run 32-bit fit check, which falls back in the kernel).
     const bool lane =
         (rank || scan_op_lane32(op)) && n <= kHotMaxVertices;
+    // Resolve the requested tier against the lane capability and CPUID:
+    // which kernel families may the tuner search? kLegacy pins the
+    // unpacked kernels; kSimdGather on a gather-incapable CPU (or under
+    // LR90_FORCE_SCALAR) downgrades here, at plan time, to the cursor
+    // family -- the same binary, a different branch.
+    const bool packed_ok = lane && tier_ != KernelTier::kLegacy;
+    // The deprecated width pin under kAuto keeps the OLD family contract
+    // (scalar cursors at exactly that W -- the interleave sweep and the
+    // pin tests depend on the literal width); only an explicit
+    // kSimdGather request combines a pin with the vector family.
+    const bool simd_ok =
+        packed_ok && simd_gather_available() &&
+        (tier_ == KernelTier::kSimdGather ||
+         (tier_ == KernelTier::kAuto && pinned_interleave_ == 0));
+    const TuneTier tt = !simd_ok ? TuneTier::kCursorsOnly
+                        : tier_ == KernelTier::kSimdGather
+                            ? TuneTier::kSimdOnly
+                            : TuneTier::kBoth;
     const unsigned wpin =
         pinned_interleave_ > 0
             ? std::min(pinned_interleave_, host_exec::kMaxInterleave)
@@ -282,13 +328,14 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
     const double nd = static_cast<double>(n);
     // The packed-vs-serial choice model. A caller-pinned knob (threads
     // or W) restricts its grid axis to what will actually run; with both
-    // on auto, the memoized joint (threads x W) grid picks the full
-    // execution shape.
+    // on auto, the memoized joint (tier x threads x W) grid picks the
+    // full execution shape.
     HostTuneResult ht;
-    if (lane) {
+    if (packed_ok) {
       ht = threads_ > 0 || wpin > 0
-               ? host_tune(nd, factor, eff, threads_ > 0 ? useful : 0, wpin)
-               : host_tuned(nd, factor, eff);
+               ? host_tune(nd, factor, eff, threads_ > 0 ? useful : 0, wpin,
+                           {}, tt)
+               : host_tuned(nd, factor, eff, tt);
     }
     if (requested == Method::kAuto) {
       // Threads alone justify the sublist kernel; so does the packed
@@ -296,13 +343,14 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
       // including on ONE thread, where W independent load chains hide
       // the memory latency the serial walk stalls on (the paper's
       // vectorization argument, on a CPU).
-      if ((useful > 1 || (lane && ht.packed_ns < ht.serial_ns)) &&
+      if ((useful > 1 || (packed_ok && ht.packed_ns < ht.serial_ns)) &&
           n / 2 >= 2) {
         d.method = Method::kReidMiller;
       } else {
         d.method = Method::kSerial;
       }
     }
+    d.tier = KernelTier::kLegacy;  // serial / non-lane / pinned-legacy runs
     if (d.method == Method::kReidMiller) {
       if (requested != Method::kAuto) {
         // An explicit reid-miller request keeps every available thread.
@@ -314,21 +362,26 @@ Planner::Decision Planner::decide(std::size_t n, Method requested, bool rank,
         // always want the full breakeven-shed count, even when the
         // packed model saturates at fewer workers below.
         d.legacy_threads = useful;
-        if (threads_ == 0 && lane) {
+        if (threads_ == 0 && packed_ok) {
           // Auto threads: the joint grid picked the worker count.
           d.threads = std::max(1u, std::min(ht.threads, eff));
         }
       }
       d.sublists = static_cast<double>(d.threads) *
                    static_cast<double>(sublists_per_thread_);
-      // W at the worker count that will actually run: the choice model
-      // already evaluated that count everywhere except the explicit
-      // request above, which overrode the thread count to eff.
-      if (lane)
-        d.interleave =
+      // W (and, under TuneTier::kBoth, the family) at the worker count
+      // that will actually run: the choice model already evaluated that
+      // count everywhere except the explicit request above, which
+      // overrode the thread count to eff.
+      if (packed_ok) {
+        const HostTuneResult hw =
             d.threads == ht.threads
-                ? ht.interleave
-                : host_tune(nd, factor, eff, d.threads, wpin).interleave;
+                ? ht
+                : host_tune(nd, factor, eff, d.threads, wpin, {}, tt);
+        d.interleave = hw.interleave;
+        d.tier = hw.simd ? KernelTier::kSimdGather
+                         : KernelTier::kPackedCursors;
+      }
     }
     return d;
   }
@@ -437,12 +490,15 @@ class HostBackend final : public ExecutionBackend {
     hp.interleave = plan.interleave;
     hp.legacy_threads =
         plan.method == Method::kSerial ? 1 : plan.legacy_threads;
+    hp.tier = plan.method == Method::kSerial ? KernelTier::kLegacy
+                                             : plan.tier;
     host_exec::ExecInfo info;
     if (req.rank) {
       if (plan.method == Method::kSerial) {
         serial_rank_into(*list, out.scan);
         info.interleave = list->empty() ? 0 : 1;
         info.threads = info.interleave;
+        if (!list->empty()) info.tier = KernelTier::kLegacy;
       } else {
         // Ranks as the all-ones scan without a ones copy: the packed
         // slab's value lane is the constant 1 and the legacy kernels
@@ -457,6 +513,7 @@ class HostBackend final : public ExecutionBackend {
                                       op);
           info.interleave = list->empty() ? 0 : 1;
           info.threads = info.interleave;
+          if (!list->empty()) info.tier = KernelTier::kLegacy;
         } else {
           info = host_exec::scan_into(*list, op, hp, ws,
                                       std::span<value_t>(out.scan));
@@ -479,6 +536,7 @@ class HostBackend final : public ExecutionBackend {
     out.stats.host_threads = info.threads;
     out.stats.host_packed = info.packed;
     out.stats.host_packed_cached = info.packed_cached;
+    out.stats.kernel_tier = info.tier;
     out.stats.host_build_ns = info.build_ns;
     out.stats.host_phase1_ns = info.phase1_ns;
     out.stats.host_phase2_ns = info.phase2_ns;
@@ -532,6 +590,12 @@ class HostBackend final : public ExecutionBackend {
     out.stats.host_interleave = exec.interleave;
     out.stats.host_packed =
         exec.interleave >= 1 && (req.rank || scan_op_lane32(req.op));
+    // Shards run the scalar cursor family (the Planner never plans SIMD
+    // across the spill/restore path); n == 0 never reaches the kernels.
+    out.stats.kernel_tier = n == 0 ? KernelTier::kAuto
+                            : out.stats.host_packed
+                                ? KernelTier::kPackedCursors
+                                : KernelTier::kLegacy;
     out.stats.shard_count = ss.shards;
     out.stats.shard_segments = ss.segments;
     out.stats.shard_loads = ss.store.loads;

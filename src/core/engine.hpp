@@ -48,6 +48,7 @@
 #include "analysis/tuner.hpp"
 #include "baselines/algo_stats.hpp"
 #include "baselines/anderson_miller.hpp"
+#include "core/kernel_tier.hpp"
 #include "core/reid_miller.hpp"
 #include "core/workspace.hpp"
 #include "lists/linked_list.hpp"
@@ -94,6 +95,11 @@ enum class BackendKind {
 
 /// Short stable name of `k` ("serial", "sim", "host").
 const char* backend_name(BackendKind k);
+
+// -- kernel tiers -----------------------------------------------------------
+// lr90::KernelTier and kernel_tier_name() live in core/kernel_tier.hpp
+// (included above) so the kernel layer can name tiers without the Engine
+// facade; this header is their public home.
 
 // -- status -----------------------------------------------------------------
 
@@ -217,6 +223,12 @@ struct RunStats {
   unsigned host_threads = 0;      ///< worker threads the run actually used
   bool host_packed = false;       ///< the single-gather packed slab ran
   bool host_packed_cached = false;  ///< slab reused from the batch cache
+  /// The kernel tier that ACTUALLY executed the hot phases (host backend;
+  /// kAuto on the other backends and on runs that never reached the host
+  /// kernels). Reports runtime downgrades the plan could not see: a
+  /// value missing the 32-bit lane lands on kLegacy, a gather-incapable
+  /// CPU lands kSimdGather plans on kPackedCursors.
+  KernelTier kernel_tier = KernelTier::kAuto;
 
   // Per-phase wall clock of the host sublist kernel (zero on the serial
   // walk and other backends), so benches can compute per-phase parallel
@@ -307,11 +319,21 @@ struct EngineOptions {
   /// Sublists per thread the host planner targets (more = better balance,
   /// more overhead).
   unsigned sublists_per_thread = 64;
-  /// Cursors in flight per worker on the host packed hot path. 0 = let
-  /// the Planner pick from the host cost model (analysis/tuner
-  /// host_tune); 1..64 pins the width (tests and the interleave sweep
-  /// force every candidate through this knob). Ignored by runs the
-  /// packed path cannot serve (64-bit-value operators).
+  /// Which host kernel family serves the hot phases. kAuto lets the
+  /// Planner pick from the cost model and CPUID (the SIMD gather tier is
+  /// considered only where simd_gather_available()); pinning a tier
+  /// forces that family, subject to the typed runtime fallbacks
+  /// (non-lane-capable operators and n > 2^31 run kLegacy; kSimdGather
+  /// without usable AVX2 runs kPackedCursors). Replaces the implicit
+  /// "interleave == 0 means auto" contract.
+  KernelTier tier = KernelTier::kAuto;
+  /// DEPRECATED width alias (one release): cursors in flight per worker
+  /// on the packed hot path. 0 = let the Planner pick from the host cost
+  /// model (analysis/tuner host_tune); 1..64 pins the width (the
+  /// interleave sweep forces every candidate through this knob). It no
+  /// longer selects the kernel family -- use `tier` for that; a pinned
+  /// width with tier == kAuto is mapped (with a one-time stderr warning
+  /// in Planner::decide) to "prefer the packed family at this W".
   unsigned interleave = 0;
   /// Seed of the per-run RNG reseeding (results are deterministic in it).
   std::uint64_t seed = kDefaultSeed;
@@ -359,6 +381,10 @@ class Planner {
     double sublists = 0.0;  ///< m (sim Reid-Miller) / total target (host)
     double s1 = 0.0;        ///< first balance interval (sim Reid-Miller)
     unsigned threads = 1;   ///< host worker threads (host backend only)
+    /// Host kernel tier planned for the hot phases (never kAuto on the
+    /// host backend; kAuto elsewhere). The kernels may still downgrade
+    /// at run time -- RunStats::kernel_tier reports what actually ran.
+    KernelTier tier = KernelTier::kAuto;
     /// Host packed-path interleave width W (cursors in flight per
     /// worker); 0 selects the legacy unpacked kernels. Set for
     /// packed-capable host runs from the tune memo (or the pinned
@@ -401,14 +427,15 @@ class Planner {
 
  private:
   TuneResult tuned(double n, bool rank_kernels, double op_factor) const;
-  HostTuneResult host_tuned(double n, double op_factor,
-                            unsigned max_threads) const;
+  HostTuneResult host_tuned(double n, double op_factor, unsigned max_threads,
+                            TuneTier tier) const;
 
   BackendKind backend_;
   unsigned processors_;
   unsigned threads_;
   unsigned sublists_per_thread_;
   unsigned pinned_interleave_;  ///< caller-pinned interleave (0 = auto)
+  KernelTier tier_;             ///< caller-requested kernel tier
   ShardOptions shard_;          ///< sharding knobs (host backend only)
   double pinned_m_;   ///< caller-pinned reid_miller.m (<= 0 = auto)
   double pinned_s1_;  ///< caller-pinned reid_miller.s1 (<= 0 = auto)
@@ -425,10 +452,11 @@ class Planner {
     using Key = std::tuple<double, bool, double>;
     std::mutex mu;                        ///< guards both caches
     std::map<Key, TuneResult> cache;      ///< per (n, family, op factor)
-    /// Joint host_tune() results per (n, op factor, max threads): the
-    /// packed-path (threads, W) pair and the packed-vs-serial-walk model
-    /// totals.
-    std::map<std::tuple<double, double, unsigned>, HostTuneResult>
+    /// Joint host_tune() results per (n, op factor, max threads, tier
+    /// search mode): the hot-path (tier, threads, W) triple and the
+    /// tiered-vs-serial-walk model totals. Keyed on the tier axis so a
+    /// forced-scalar run and a gather-capable run never share an entry.
+    std::map<std::tuple<double, double, unsigned, int>, HostTuneResult>
         host_cache;
   };
   std::unique_ptr<TuneMemo> memo_;

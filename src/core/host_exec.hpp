@@ -11,24 +11,37 @@
 // boundaries live in a bitmap instead of planted self-loops, so the input
 // list stays shared read-only across threads.
 //
-// Two traversal engines implement phases 1 and 3:
+// Three traversal engines (core/kernel_tier.hpp KernelTier) implement
+// phases 1 and 3:
 //
-//  * the LEGACY kernels (HostPlan::interleave == 0) -- one cursor per
-//    sublist, one dependent load per element plus a second gather on the
-//    value array and a third random access into the boundary bitmap. This
-//    is the seed behaviour, kept for operators whose values need all 64
-//    bits and as the differential baseline.
-//  * the PACKED multi-cursor kernels (interleave >= 1) -- the modern-CPU
-//    analog of the paper's VL=64 vector gathers. A single-gather slab
-//    (lists/encode.hpp hot_pack: link + value lane + sublist-tail flag in
-//    one 64-bit word) is built once per run -- and cached across same-list
-//    batch runs -- then each worker advances W independent sublist cursors
-//    round-robin with software prefetch on every next hop. One random
-//    load per element, W dependent-load chains in flight per thread:
-//    instead of stalling a full memory round-trip per element, the core
-//    overlaps W of them, exactly as the C90 overlapped 64 lanes of a
-//    vector gather. Cursors that finish their sublist refill from a
-//    shared claim counter; the last < W sublists drain scalar.
+//  * the LEGACY kernels (KernelTier::kLegacy; HostPlan::interleave == 0
+//    under kAuto) -- one cursor per sublist, one dependent load per
+//    element plus a second gather on the value array and a third random
+//    access into the boundary bitmap. This is the seed behaviour, kept
+//    for operators whose values need all 64 bits and as the differential
+//    baseline.
+//  * the PACKED multi-cursor kernels (KernelTier::kPackedCursors;
+//    interleave >= 1 under kAuto) -- the modern-CPU analog of the paper's
+//    VL=64 vector gathers. A single-gather slab (lists/encode.hpp
+//    hot_pack: link + value lane + sublist-tail flag in one 64-bit word)
+//    is built once per run -- and cached across same-list batch runs --
+//    then each worker advances W independent sublist cursors round-robin
+//    with software prefetch on every next hop. One random load per
+//    element, W dependent-load chains in flight per thread: instead of
+//    stalling a full memory round-trip per element, the core overlaps W
+//    of them, exactly as the C90 overlapped 64 lanes of a vector gather.
+//    Cursors that finish their sublist refill from a shared claim
+//    counter; the last < W sublists drain scalar.
+//  * the SIMD GATHER kernels (KernelTier::kSimdGather) -- the same W
+//    cursors, but four lanes at a time through _mm256_i32gather_epi64:
+//    the hot word already holds link + value + stop flag, so ONE vector
+//    gather fetches four elements' everything, tails fall out of a sign
+//    movemask, and the combine runs vertically in ymm registers. This is
+//    the literal analog of the C90's hardware gather (VL=64 there, 4 x W
+//    overlapping chains here). Compiled into every binary behind
+//    __attribute__((target("avx2"))) and selected at RUN TIME via CPUID
+//    (support/cpu_features.hpp); CPUs without usable AVX2 -- or runs with
+//    LR90_FORCE_SCALAR set -- take kPackedCursors instead, bit-exactly.
 //
 // Every phase scales across worker threads (the paper's Section 5
 // multiprocessor dimension, Fig. 11): the slab build splits into
@@ -47,10 +60,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/kernel_tier.hpp"
 #include "core/workspace.hpp"
 #include "lists/encode.hpp"
 #include "lists/linked_list.hpp"
 #include "lists/ops.hpp"
+#include "support/cpu_features.hpp"
 #include "support/rng.hpp"
 
 #if defined(LISTRANK90_HAVE_OPENMP)
@@ -76,6 +91,14 @@ struct HostPlan {
   /// they have no W-way latency hiding -- so the Planner supplies both.
   /// 0 = use `threads`.
   unsigned legacy_threads = 0;
+  /// Which kernel family serves phases 1 + 3. kAuto preserves the legacy
+  /// contract (interleave == 0 -> kLegacy, >= 1 -> kPackedCursors) for
+  /// direct callers of this layer; the Planner always resolves it.
+  /// kSimdGather downgrades at run time to kPackedCursors when the CPU
+  /// has no usable AVX2 (or LR90_FORCE_SCALAR is set), and any packed
+  /// tier downgrades to kLegacy when the operator's values miss the
+  /// 32-bit lane or n exceeds kHotMaxVertices -- never a wrong answer.
+  KernelTier tier = KernelTier::kAuto;
 };
 
 /// What one scan_into/rank_into call actually executed, for RunResult
@@ -91,6 +114,11 @@ struct ExecInfo {
   bool packed_cached = false; ///< ...and the slab came from the batch cache
   bool phase2_parallel = false;  ///< phase 2 ran the blocked parallel scan
   std::size_t sublists = 0;   ///< sublists used (0 = serial walk)
+  /// The kernel family that ACTUALLY ran (after every runtime downgrade):
+  /// kSimdGather / kPackedCursors for the packed phases, kLegacy for the
+  /// unpacked kernels and the serial walk, kAuto when nothing ran (empty
+  /// list).
+  KernelTier tier = KernelTier::kAuto;
 
   // Per-phase wall clock, for parallel-efficiency reporting (zero on the
   // serial walk, which has no phases). build_ns covers boundary choice,
@@ -239,7 +267,7 @@ inline void choose_boundaries(const LinkedList& list, std::size_t count,
 /// value does not round-trip through the signed 32-bit lane.
 template <bool kOnes, ListOp Op>
 bool build_packed(const LinkedList& list, Op, unsigned threads,
-                  Workspace& ws) {
+                  Workspace& ws, bool simd = false) {
   static_assert(kOnes || kOpLane32<Op>,
                 "64-bit-value operators take the legacy kernels");
   const std::size_t n = list.size();
@@ -252,8 +280,19 @@ bool build_packed(const LinkedList& list, Op, unsigned threads,
   std::atomic<bool> ok{true};
   claim_blocks(threads, blocks, [&](std::size_t b) {
     const auto [begin, end] = block_range(n, blocks, b);
-    if (!hot_pack_range(next, val, tail, out, begin, end))
-      ok.store(false, std::memory_order_relaxed);
+    bool fit;
+#if LR90_SIMD_GATHER_COMPILED
+    // Callers pass simd only when simd_gather_available(); the target
+    // function is called, never inlined here, so this stays legal on
+    // non-AVX2 CPUs that never take the branch.
+    if (simd)
+      fit = hot_pack_range_simd(next, val, tail, out, begin, end);
+    else
+#else
+    (void)simd;
+#endif
+      fit = hot_pack_range(next, val, tail, out, begin, end);
+    if (!fit) ok.store(false, std::memory_order_relaxed);
   });
   return ok.load(std::memory_order_relaxed);
 }
@@ -319,6 +358,236 @@ void interleave_sublists(const packed_t* packed, const index_t* heads,
   run_workers(threads, worker);
 }
 
+#if LR90_SIMD_GATHER_COMPILED
+
+/// Vertical (per-ymm-lane) combine for the SIMD gather kernels, one
+/// specialization per lane-capable operator. Correct on the hot word's
+/// sign-extended 32-bit value lanes because every vector op below is the
+/// full 64-bit signed operation -- identical to what the scalar kernels
+/// compute through Op::operator().
+template <ListOp Op>
+struct SimdCombine;
+
+template <>
+struct SimdCombine<OpPlus> {
+  LR90_TARGET_AVX2 static __m256i combine(__m256i a, __m256i b) {
+    return _mm256_add_epi64(a, b);
+  }
+};
+template <>
+struct SimdCombine<OpXor> {
+  LR90_TARGET_AVX2 static __m256i combine(__m256i a, __m256i b) {
+    return _mm256_xor_si256(a, b);
+  }
+};
+template <>
+struct SimdCombine<OpMin> {
+  LR90_TARGET_AVX2 static __m256i combine(__m256i a, __m256i b) {
+    // Signed 64-bit min (no _mm256_min_epi64 before AVX-512): where
+    // a > b, take b. blendv picks from b where the mask's sign bit is
+    // set, and cmpgt lanes are all-ones.
+    return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+  }
+};
+template <>
+struct SimdCombine<OpMax> {
+  LR90_TARGET_AVX2 static __m256i combine(__m256i a, __m256i b) {
+    return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(b, a));
+  }
+};
+
+/// One worker of the SIMD gather tier: phases 1 (kPhase3 == false, writes
+/// sums/tails) and 3 (kPhase3 == true, reads headscan, scatters out) over
+/// sublists claimed from the shared counter, W lanes in groups of 4.
+///
+/// Per group-iteration: ONE _mm256_i32gather_epi64 fetches four cursors'
+/// hot words; the tail movemask (bit 63 is the lane's sign bit) splits a
+/// branch-free all-advance fast path from the finish/refill slow path.
+/// Groups whose refill finds the claim counter dry drain their live lanes
+/// scalar and retire (the counter never refills, so the group can't come
+/// back) -- the vector loop only ever sees full groups, and the last
+/// < 4 x groups sublists drain with shrinking parallelism exactly like
+/// the scalar multi-cursor driver.
+///
+/// All intrinsics live in THIS function (and SimdCombine) on purpose:
+/// GCC lambdas do not inherit the target attribute, so the scalar-only
+/// lambdas below may be lambdas but vector code may not.
+template <ListOp Op, bool kPhase3>
+LR90_TARGET_AVX2 void simd_gather_worker(
+    const packed_t* packed, const index_t* heads, std::size_t k, unsigned W,
+    std::atomic<std::size_t>& next_claim, value_t* sums, index_t* tails,
+    const value_t* headscan, value_t* out, Op op) {
+  static_assert(kOpLane32<Op>,
+                "the SIMD gather tier serves lane-capable operators only");
+  // Per-lane cursor state; group g owns lanes [4g, 4g+4). 32-byte
+  // alignment lets the group loads/stores below be the aligned forms.
+  alignas(32) index_t v[kMaxInterleave];
+  alignas(32) value_t acc[kMaxInterleave];
+  index_t own[kMaxInterleave];
+
+  const auto lane_init = [&](std::size_t lane, std::size_t j) {
+    v[lane] = heads[j];
+    own[lane] = static_cast<index_t>(j);
+    acc[lane] = kPhase3 ? headscan[j] : Op::identity();
+    prefetch_ro(&packed[heads[j]]);
+  };
+  // Runs lane to the end of its sublist with the scalar hot-word loop
+  // (same step/finish semantics as the vector path).
+  const auto drain_lane = [&](std::size_t lane) {
+    index_t cv = v[lane];
+    value_t a = acc[lane];
+    while (true) {
+      const packed_t w = packed[cv];
+      prefetch_ro(&packed[hot_link(w)]);
+      if constexpr (kPhase3) out[cv] = a;
+      a = op(a, hot_value(w));
+      if (hot_tail(w)) {
+        if constexpr (!kPhase3) {
+          sums[own[lane]] = a;
+          tails[own[lane]] = cv;
+        }
+        return;
+      }
+      cv = hot_link(w);
+    }
+  };
+
+  std::size_t lanes = 0;
+  while (lanes < W) {
+    const std::size_t j = next_claim.fetch_add(1, std::memory_order_relaxed);
+    if (j >= k) break;
+    lane_init(lanes, j);
+    ++lanes;
+  }
+  // A partial trailing group (claims ran dry mid-fill) drains scalar now,
+  // so the vector loop only ever sees groups of 4 live lanes.
+  std::size_t groups = lanes / 4;
+  for (std::size_t l = groups * 4; l < lanes; ++l) drain_lane(l);
+
+  const auto* base = reinterpret_cast<const long long*>(packed);
+  const __m128i link_mask4 = _mm_set1_epi32(0x7fffffff);
+  // Picks the low 32 bits of each 64-bit lane into the low 128 bits.
+  const __m256i pick_even = _mm256_setr_epi32(0, 2, 4, 6, 1, 3, 5, 7);
+  alignas(16) index_t link_buf[4];
+  alignas(32) value_t spill[4];
+
+  while (groups > 0) {
+    for (std::size_t g = 0; g < groups;) {
+      index_t* gv = v + g * 4;
+      value_t* gacc = acc + g * 4;
+      const __m128i idx =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(gv));
+      // THE gather: link + value lane + stop flag for four cursors in
+      // one instruction (indices are < 2^31 by the hot-path bound, so
+      // the signed-index interpretation is safe). The masked form with a
+      // zeroed destination matters: vpgatherdq MERGES into its
+      // destination register, so the plain intrinsic makes every gather
+      // depend on the previous iteration's result and serializes the
+      // groups (measured ~2x slower than the scalar cursors, getting
+      // WORSE with more groups). GCC sees through a constant all-ones
+      // mask and drops the dependency-breaking zero again, so both the
+      // source and the mask come from inline asm it cannot fold: the
+      // merge into a register written by a zero idiom outside the
+      // dependency chain lets one gather per live group stay in flight.
+      __m256i gsrc, gmask;
+      asm("vpxor %t0, %t0, %t0" : "=x"(gsrc));
+      asm("vpcmpeqd %t0, %t0, %t0" : "=x"(gmask));
+      const __m256i w =
+          _mm256_mask_i32gather_epi64(gsrc, base, idx, gmask, 8);
+      const __m256i lo = _mm256_permutevar8x32_epi32(w, pick_even);
+      const __m256i vals =
+          _mm256_cvtepi32_epi64(_mm256_castsi256_si128(lo));
+      const __m256i hi =
+          _mm256_permutevar8x32_epi32(_mm256_srli_epi64(w, 32), pick_even);
+      const __m128i links =
+          _mm_and_si128(_mm256_castsi256_si128(hi), link_mask4);
+      __m256i accv =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(gacc));
+      if constexpr (kPhase3) {
+        // Scatter out[v] = acc BEFORE the combine (exclusive scan). AVX2
+        // has no scatter, so four scalar stores from the spilled lanes.
+        _mm256_store_si256(reinterpret_cast<__m256i*>(spill), accv);
+        out[gv[0]] = spill[0];
+        out[gv[1]] = spill[1];
+        out[gv[2]] = spill[2];
+        out[gv[3]] = spill[3];
+      }
+      accv = SimdCombine<Op>::combine(accv, vals);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(gacc), accv);
+      const int tmask = _mm256_movemask_pd(_mm256_castsi256_pd(w));
+      if (tmask == 0) {
+        // Fast path: no lane ended, all four advance.
+        _mm_store_si128(reinterpret_cast<__m128i*>(gv), links);
+        prefetch_ro(&packed[gv[0]]);
+        prefetch_ro(&packed[gv[1]]);
+        prefetch_ro(&packed[gv[2]]);
+        prefetch_ro(&packed[gv[3]]);
+        ++g;
+        continue;
+      }
+      // Slow path: finish ended lanes and refill them from the counter.
+      _mm_store_si128(reinterpret_cast<__m128i*>(link_buf), links);
+      bool dry = false;
+      for (int l = 0; l < 4; ++l) {
+        if (!(tmask & (1 << l))) {
+          gv[l] = link_buf[l];
+          prefetch_ro(&packed[gv[l]]);
+          continue;
+        }
+        if constexpr (!kPhase3) {
+          sums[own[g * 4 + l]] = gacc[l];
+          tails[own[g * 4 + l]] = gv[l];
+        }
+        const std::size_t j =
+            next_claim.fetch_add(1, std::memory_order_relaxed);
+        if (j < k) {
+          lane_init(g * 4 + l, j);
+        } else {
+          dry = true;
+          gv[l] = kNoVertex;  // no valid vertex: n <= 2^31 < kNoVertex
+        }
+      }
+      if (!dry) {
+        ++g;
+        continue;
+      }
+      // Claims exhausted: drain this group's live lanes scalar, retire
+      // the group by swapping in the last one.
+      for (int l = 0; l < 4; ++l)
+        if (gv[l] != kNoVertex) drain_lane(g * 4 + l);
+      --groups;
+      for (int l = 0; l < 4; ++l) {
+        v[g * 4 + l] = v[groups * 4 + l];
+        acc[g * 4 + l] = acc[groups * 4 + l];
+        own[g * 4 + l] = own[groups * 4 + l];
+      }
+    }
+  }
+}
+
+/// The SIMD counterpart of interleave_sublists: same claim discipline and
+/// worker fan-out, phases distinguished by kPhase3 (phase 1 writes
+/// sums/tails; phase 3 reads headscan and scatters out).
+template <ListOp Op, bool kPhase3>
+void simd_gather_sublists(const packed_t* packed, const index_t* heads,
+                          std::size_t k, unsigned threads, unsigned W,
+                          value_t* sums, index_t* tails,
+                          const value_t* headscan, value_t* out, Op op) {
+  std::atomic<std::size_t> next_claim{0};
+  run_workers(threads, [&] {
+    simd_gather_worker<Op, kPhase3>(packed, heads, k, W, next_claim, sums,
+                                    tails, headscan, out, op);
+  });
+}
+
+#endif  // LR90_SIMD_GATHER_COMPILED
+
+/// Rounds a cursor budget to the SIMD tier's group shape: multiples of 4
+/// lanes, at least one group, capped at kMaxInterleave.
+inline unsigned simd_lane_count(unsigned W) {
+  return std::min(kMaxInterleave, ((std::max(W, 4u) + 3u) / 4u) * 4u);
+}
+
 /// Exclusive list scan into `out` (sized n) per the plan, reusing `ws`.
 /// Preconditions: `list` is a valid LinkedList, out.size() == list.size().
 /// `kOnes` treats every value as 1 regardless of list.value (ranking);
@@ -331,6 +600,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   if (n == 0) return info;
   info.interleave = 1;
   info.threads = 1;
+  info.tier = KernelTier::kLegacy;
   if (n == 1) {
     out[list.head] = Op::identity();
     return info;
@@ -347,15 +617,45 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
     return info;
   };
 
-  const std::size_t want = std::min(plan.sublists, n / 2);
-  // The packed path pays off even on one thread (W independent load
-  // chains hide latency where the serial walk stalls on every hop); the
-  // legacy kernels need real threads to beat the serial walk.
-  bool packed = plan.interleave >= 1 && (kOnes || kOpLane32<Op>) &&
+  std::size_t want = std::min(plan.sublists, n / 2);
+  // Resolve the kernel tier. kAuto preserves the legacy contract
+  // (interleave >= 1 selects the packed cursors) for direct callers;
+  // then the runtime downgrades apply in order -- kSimdGather needs
+  // usable AVX2 (CPUID + LR90_FORCE_SCALAR, support/cpu_features.hpp),
+  // and any packed tier needs the 32-bit value lane and the 31-bit link
+  // bound. The packed path pays off even on one thread (W independent
+  // load chains hide latency where the serial walk stalls on every hop);
+  // the legacy kernels need real threads to beat the serial walk.
+  KernelTier tier = plan.tier != KernelTier::kAuto
+                        ? plan.tier
+                        : (plan.interleave >= 1 ? KernelTier::kPackedCursors
+                                                : KernelTier::kLegacy);
+  bool simd = false;
+#if LR90_SIMD_GATHER_COMPILED
+  if constexpr (kOnes || kOpLane32<Op>)
+    simd = tier == KernelTier::kSimdGather && simd_gather_available();
+#endif
+  if (tier == KernelTier::kSimdGather && !simd)
+    tier = KernelTier::kPackedCursors;
+  bool packed = tier != KernelTier::kLegacy && (kOnes || kOpLane32<Op>) &&
                 n <= kHotMaxVertices;
+  if (!packed) simd = false;
   if (want < 2 || (!packed && plan.threads <= 1)) return serial_fallback();
 
-  const unsigned W = std::clamp(plan.interleave, 1u, kMaxInterleave);
+  const unsigned W = simd ? simd_lane_count(plan.interleave)
+                          : std::clamp(plan.interleave, 1u, kMaxInterleave);
+  // The vector tier retires a whole group of 4 lanes (draining the
+  // group's survivors scalar) the moment a refill finds the claim
+  // counter dry, so starvation is a cliff, not a taper: with k close to
+  // W most of the work would run in the one-chain scalar drain. Keep
+  // refills abundant -- at least 16 sublists per lane -- so the drain
+  // tail is bounded by ~1/16 of the elements; phase 2 stays O(k) serial
+  // and cheap at these counts.
+  if (simd)
+    want = std::min(
+        std::max(want, static_cast<std::size_t>(W) *
+                           std::max(1u, plan.threads) * 16),
+        n / 2);
   // A shared (cross-request) slab, installed by the serving layer for
   // immutable snapshot lists, replaces both boundary choice and the slab
   // build outright when its shape matches this run's plan. Like the
@@ -399,7 +699,8 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
     for (const index_t r : ws.picks) ws.heads.push_back(list.next[r]);
     bool built = false;
     if constexpr (kOnes || kOpLane32<Op>) {
-      if (packed) built = build_packed<kOnes>(list, op, plan.threads, ws);
+      if (packed)
+        built = build_packed<kOnes>(list, op, plan.threads, ws, simd);
     }
     if (built) {
       ws.packed_cache_store(key);
@@ -411,6 +712,7 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
         return serial_fallback();
       }
       packed = false;
+      simd = false;
       ws.invalidate_packed();
     }
   }
@@ -445,16 +747,28 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   ws.fit(ws.sums, k, Op::identity());
   ws.fit(ws.tails, k, kNoVertex);
   if (packed) {
-    interleave_sublists(
-        words, heads, k, threads, W,
-        [&](std::size_t) { return Op::identity(); },
-        [&](index_t, packed_t w, value_t& acc) {
-          acc = op(acc, hot_value(w));
-        },
-        [&](index_t j, index_t v, value_t acc) {
-          ws.sums[j] = acc;
-          ws.tails[j] = v;
-        });
+    bool vectored = false;
+#if LR90_SIMD_GATHER_COMPILED
+    if constexpr (kOnes || kOpLane32<Op>) {
+      if (simd) {
+        simd_gather_sublists<Op, /*kPhase3=*/false>(
+            words, heads, k, threads, W, ws.sums.data(), ws.tails.data(),
+            nullptr, nullptr, op);
+        vectored = true;
+      }
+    }
+#endif
+    if (!vectored)
+      interleave_sublists(
+          words, heads, k, threads, W,
+          [&](std::size_t) { return Op::identity(); },
+          [&](index_t, packed_t w, value_t& acc) {
+            acc = op(acc, hot_value(w));
+          },
+          [&](index_t j, index_t v, value_t acc) {
+            ws.sums[j] = acc;
+            ws.tails[j] = v;
+          });
   } else {
     legacy_sublists([&](std::size_t j) {
       index_t v = ws.heads[j];
@@ -545,14 +859,26 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   const auto t_phase3 = Clock::now();
   if (packed) {
     value_t* o = out.data();
-    interleave_sublists(
-        words, heads, k, threads, W,
-        [&](std::size_t j) { return ws.headscan[j]; },
-        [&](index_t v, packed_t w, value_t& acc) {
-          o[v] = acc;
-          acc = op(acc, hot_value(w));
-        },
-        [](index_t, index_t, value_t) {});
+    bool vectored = false;
+#if LR90_SIMD_GATHER_COMPILED
+    if constexpr (kOnes || kOpLane32<Op>) {
+      if (simd) {
+        simd_gather_sublists<Op, /*kPhase3=*/true>(
+            words, heads, k, threads, W, nullptr, nullptr,
+            ws.headscan.data(), o, op);
+        vectored = true;
+      }
+    }
+#endif
+    if (!vectored)
+      interleave_sublists(
+          words, heads, k, threads, W,
+          [&](std::size_t j) { return ws.headscan[j]; },
+          [&](index_t v, packed_t w, value_t& acc) {
+            o[v] = acc;
+            acc = op(acc, hot_value(w));
+          },
+          [](index_t, index_t, value_t) {});
   } else {
     legacy_sublists([&](std::size_t j) {
       index_t v = ws.heads[j];
@@ -572,6 +898,9 @@ ExecInfo scan_into(const LinkedList& list, Op op, const HostPlan& plan,
   info.packed = packed;
   info.packed_cached = cache_hit || ext != nullptr;
   info.sublists = k;
+  info.tier = packed ? (simd ? KernelTier::kSimdGather
+                             : KernelTier::kPackedCursors)
+                     : KernelTier::kLegacy;
   return info;
 }
 

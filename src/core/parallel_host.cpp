@@ -1,5 +1,9 @@
 #include "core/parallel_host.hpp"
 
+// The shim is allowed to call its sibling shim without tripping its own
+// deprecation.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace lr90 {
 
 std::vector<value_t> host_list_rank(const LinkedList& list,

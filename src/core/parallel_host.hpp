@@ -33,7 +33,14 @@ struct HostOptions {
 };
 
 /// Exclusive list scan on the host. Generic over the operator.
+///
+/// Deprecated: construct an Engine (core/engine.hpp) with
+/// BackendKind::kHost and call Engine::run(ScanRequest{...}) -- the
+/// runtime ScanOp covers every registered operator, the Engine amortizes
+/// the scratch this shim reallocates per call, and only the Engine path
+/// can plan the SIMD gather tier.
 template <ListOp Op = OpPlus>
+[[deprecated("use lr90::Engine::run with BackendKind::kHost (core/engine.hpp)")]]
 std::vector<value_t> host_list_scan(const LinkedList& list, Op op = {},
                                     const HostOptions& opt = {}) {
   std::vector<value_t> out(list.size(), Op::identity());
@@ -48,6 +55,9 @@ std::vector<value_t> host_list_scan(const LinkedList& list, Op op = {},
 }
 
 /// Exclusive list rank on the host.
+///
+/// Deprecated: use Engine::run(RankRequest{...}) on BackendKind::kHost.
+[[deprecated("use lr90::Engine::run with BackendKind::kHost (core/engine.hpp)")]]
 std::vector<value_t> host_list_rank(const LinkedList& list,
                                     const HostOptions& opt = {});
 

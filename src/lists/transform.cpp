@@ -1,20 +1,39 @@
 #include "lists/transform.hpp"
 
 #include <cassert>
+#include <utility>
 
+#include "core/engine.hpp"
 #include "lists/generators.hpp"
 
 namespace lr90 {
 
 namespace {
+
+/// Host-backend rank via the Engine (the legacy host_list_rank shim is
+/// deprecated); HostOptions carries the caller-facing knobs.
+std::vector<value_t> engine_rank(const LinkedList& list,
+                                 const HostOptions& opt) {
+  EngineOptions eo;
+  eo.backend = BackendKind::kHost;
+  eo.threads = opt.threads;
+  eo.sublists_per_thread = opt.sublists_per_thread;
+  eo.seed = opt.seed;
+  Engine engine(std::move(eo));
+  RunResult r = engine.run(RankRequest{&list});
+  assert(r.ok());
+  return std::move(r.scan);
+}
+
 std::vector<value_t> rank_or(const LinkedList& list,
                              std::span<const value_t> rank) {
   if (!rank.empty()) {
     assert(rank.size() == list.size());
     return std::vector<value_t>(rank.begin(), rank.end());
   }
-  return host_list_rank(list);
+  return engine_rank(list, HostOptions{});
 }
+
 }  // namespace
 
 std::vector<value_t> list_to_array(const LinkedList& list,
@@ -127,7 +146,7 @@ LinkedList concat_lists(std::span<const LinkedList> lists) {
 std::vector<std::vector<value_t>> rank_many(std::span<const LinkedList> lists,
                                             const HostOptions& opt) {
   const LinkedList joined = concat_lists(lists);
-  const std::vector<value_t> rank = host_list_rank(joined, opt);
+  const std::vector<value_t> rank = engine_rank(joined, opt);
   std::vector<std::vector<value_t>> out;
   out.reserve(lists.size());
   std::size_t base_index = 0;   // vertex-id offset of this part in `joined`

@@ -171,6 +171,9 @@ std::string NetServer::stats_text() const {
       << "rank_requests " << s.rank_requests << '\n'
       << "scan_requests " << s.scan_requests << '\n'
       << "intra_threads_peak " << s.intra_threads_peak << '\n'
+      << "tier_legacy_runs " << s.tier_legacy_runs << '\n'
+      << "tier_packed_runs " << s.tier_packed_runs << '\n'
+      << "tier_simd_runs " << s.tier_simd_runs << '\n'
       << "packed_builds " << s.pool.packed_builds << '\n'
       << "snapshots_live " << s.snapshots_live << '\n'
       << "snapshot_updates " << s.snapshot_updates << '\n'
@@ -447,15 +450,19 @@ void NetServer::parse_input(Connection& c) {
     const WireError e =
         parse_frame(c.in.data() + off, c.in.size() - off, frame, frame_len);
     if (e == WireError::kNeedMore) break;
-    if (e == WireError::kBadMagic && off == 0 && !c.plaintext &&
-        c.in.size() <= kMaxPlainLine) {
-      // Not the frame protocol: maybe a human with netcat. Wait for a
-      // full line (bounded), then answer STATS/HEALTH as raw text.
-      if (std::find(c.in.begin(), c.in.end(), std::uint8_t('\n')) ==
-          c.in.end())
-        break;  // need the rest of the line
-      handle_plaintext(c);
-      return;
+    if (e == WireError::kBadMagic && off == 0 && !c.plaintext) {
+      // Not the frame protocol: maybe a human with netcat, or an HTTP
+      // client asking `GET /stats`. Only the first line matters (bounded
+      // by kMaxPlainLine); anything after it -- HTTP request headers,
+      // say -- is discarded because the reply closes the connection.
+      const auto nl =
+          std::find(c.in.begin(), c.in.end(), std::uint8_t('\n'));
+      if (nl != c.in.end() &&
+          static_cast<std::size_t>(nl - c.in.begin()) <= kMaxPlainLine) {
+        handle_plaintext(c);
+        return;
+      }
+      break;  // need the rest of the line, or oversized: refused below
     }
     if (e != WireError::kOk) {
       // Unrecoverable framing error: answer with the typed reason (best
@@ -502,7 +509,42 @@ void NetServer::handle_plaintext(Connection& c) {
   c.in.clear();
   c.plaintext = true;
   c.closing = true;  // one-shot: answer, flush, close
-  if (line == "STATS") {
+  if (line.rfind("GET ", 0) == 0) {
+    // A minimal HTTP/1.0 adapter over the same one-shot line protocol, so
+    // `curl http://host:port/stats` scrapes the counters without a wire
+    // client. The connection is already closing: any request headers
+    // still in flight are swallowed by on_readable until the flush.
+    std::string path = line.substr(4);
+    if (const auto sp = path.find(' '); sp != std::string::npos)
+      path.resize(sp);
+    std::string status = "200 OK";
+    std::string body;
+    if (path == "/stats") {
+      bump(&NetStats::req_stats);
+      body = stats_text();
+    } else if (path == "/health") {
+      bump(&NetStats::req_health);
+      body = health_text();
+    } else {
+      status = "404 Not Found";
+      body = "not found\n";
+    }
+    std::string resp;
+    resp.reserve(body.size() + 128);
+    resp += "HTTP/1.0 ";
+    resp += status;
+    resp += "\r\nContent-Type: text/plain; charset=utf-8\r\n"
+            "Content-Length: ";
+    resp += std::to_string(body.size());
+    resp += "\r\nConnection: close\r\n\r\n";
+    resp += body;
+    c.out.insert(c.out.end(), resp.begin(), resp.end());
+    if (path == "/stats" || path == "/health") {
+      bump(&NetStats::responses_out);
+    } else {
+      bump(&NetStats::protocol_errors);
+    }
+  } else if (line == "STATS") {
     bump(&NetStats::req_stats);
     const std::string text = stats_text();
     c.out.insert(c.out.end(), text.begin(), text.end());

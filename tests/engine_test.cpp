@@ -9,6 +9,7 @@
 #include "core/host_exec.hpp"
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
+#include "support/cpu_features.hpp"
 #include "test_util.hpp"
 
 namespace lr90 {
@@ -590,7 +591,11 @@ TEST(Engine, SimShimMatchesEngine) {
   SimOptions so;
   so.method = Method::kReidMiller;
   so.seed = 99;
+  // The deprecated shim's equivalence to the Engine is what this test pins.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const SimResult shim = sim_list_rank(l, so);
+#pragma GCC diagnostic pop
 
   EngineOptions eo;
   eo.backend = BackendKind::kSim;
@@ -606,18 +611,23 @@ TEST(Engine, SimShimMatchesEngine) {
 
 TEST(Planner, AutoThreadsComeFromTheJointGrid) {
   // threads = 0: the planner resolves the worker count from the joint
-  // (threads x W) grid, capped at the machine. The pick must agree with
-  // the model evaluated at the same cap, whatever this machine is.
+  // (tier x threads x W) grid, capped at the machine. The pick must agree
+  // with the model evaluated at the same cap and the same tier families
+  // this CPU can run, whatever this machine is.
   EngineOptions eo;
   eo.backend = BackendKind::kHost;
   eo.threads = 0;
   const Planner planner(eo);
   const unsigned eff = host_exec::effective_threads(0);
+  const TuneTier tt = simd_gather_available() ? TuneTier::kBoth
+                                              : TuneTier::kCursorsOnly;
   const auto d = planner.decide(1u << 22, Method::kAuto, /*rank=*/true);
   ASSERT_EQ(d.method, Method::kReidMiller);
-  const HostTuneResult ht = host_tune(1u << 22, 1.0, eff);
+  const HostTuneResult ht = host_tune(1u << 22, 1.0, eff, 0, 0, {}, tt);
   EXPECT_EQ(d.threads, std::max(1u, std::min(ht.threads, eff)));
   EXPECT_EQ(d.interleave, ht.interleave);
+  EXPECT_EQ(d.tier, ht.simd ? KernelTier::kSimdGather
+                            : KernelTier::kPackedCursors);
 
   // On an (emulated) 8-thread machine the joint grid wants real thread
   // parallelism for a DRAM-resident list, and W re-tuned at that count.
@@ -627,7 +637,7 @@ TEST(Planner, AutoThreadsComeFromTheJointGrid) {
   const auto d8 = p8.decide(1u << 22, Method::kAuto, /*rank=*/true);
   ASSERT_EQ(d8.method, Method::kReidMiller);
   EXPECT_EQ(d8.threads, 8u);
-  EXPECT_EQ(d8.interleave, host_tune(1u << 22, 1.0, 8, 8).interleave);
+  EXPECT_EQ(d8.interleave, host_tune(1u << 22, 1.0, 8, 8, 0, {}, tt).interleave);
 }
 
 TEST(Engine, ReportsThreadsAndPerPhaseTimings) {

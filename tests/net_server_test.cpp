@@ -329,6 +329,66 @@ TEST(NetServer, PlaintextStatsAndHealthForNetcatUsers) {
   server.stop();
 }
 
+TEST(NetServer, HttpGetStatsAdapterAnswersCurlShapedRequests) {
+  NetServer server(base_options());
+  ASSERT_TRUE(server.start().ok());
+
+  // Run one rank over the wire first so the kernel-tier counters have
+  // something to show in the scraped body.
+  {
+    NetClient client = connect_client(server);
+    Rng rng(77);
+    const LinkedList list = random_list(30000, rng);
+    ResponseFrame resp;
+    ASSERT_TRUE(client.rank(list, resp).ok());
+    ASSERT_EQ(resp.status, WireStatus::kOk) << resp.text;
+  }
+  const serve::ServerStats ss = server.serve_stats();
+  EXPECT_GE(ss.tier_legacy_runs + ss.tier_packed_runs + ss.tier_simd_runs, 1u);
+
+  {
+    // A curl-shaped request: short request line, then headers that push
+    // the buffer well past the one-line netcat budget.
+    NetClient client = connect_client(server);
+    const std::string req =
+        "GET /stats HTTP/1.1\r\n"
+        "Host: localhost\r\n"
+        "User-Agent: curl/8.0.1\r\n"
+        "Accept: */*\r\n"
+        "\r\n";
+    ASSERT_TRUE(client.send_raw(req.data(), req.size()).ok());
+    std::string text;
+    ASSERT_TRUE(client.read_until_eof(text).ok());
+    EXPECT_EQ(text.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << text;
+    EXPECT_NE(text.find("Content-Type: text/plain"), std::string::npos) << text;
+    EXPECT_NE(text.find("net_req_stats "), std::string::npos) << text;
+    EXPECT_NE(text.find("tier_legacy_runs "), std::string::npos) << text;
+    EXPECT_NE(text.find("tier_packed_runs "), std::string::npos) << text;
+    EXPECT_NE(text.find("tier_simd_runs "), std::string::npos) << text;
+  }
+  {
+    NetClient client = connect_client(server);
+    const std::string req = "GET /health HTTP/1.0\r\n\r\n";
+    ASSERT_TRUE(client.send_raw(req.data(), req.size()).ok());
+    std::string text;
+    ASSERT_TRUE(client.read_until_eof(text).ok());
+    EXPECT_EQ(text.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << text;
+    EXPECT_NE(text.find("\r\n\r\nok\n"), std::string::npos) << text;
+  }
+  {
+    // Unknown path: a proper 404, not the bare "bad request" line.
+    NetClient client = connect_client(server);
+    const std::string req = "GET /nope HTTP/1.0\r\n";
+    ASSERT_TRUE(client.send_raw(req.data(), req.size()).ok());
+    std::string text;
+    ASSERT_TRUE(client.read_until_eof(text).ok());
+    EXPECT_EQ(text.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u) << text;
+  }
+  EXPECT_GE(server.net_stats().req_stats, 1u);
+  EXPECT_GE(server.net_stats().req_health, 1u);
+  server.stop();
+}
+
 TEST(NetServer, IdleConnectionsTimeOut) {
   NetServerOptions opt = base_options();
   opt.idle_timeout_s = 0.05;

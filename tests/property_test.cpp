@@ -10,6 +10,7 @@
 // carries the reproducing seed.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 #include <tuple>
 
@@ -17,14 +18,15 @@
 #include "baselines/miller_reif.hpp"
 #include "baselines/serial.hpp"
 #include "baselines/wyllie.hpp"
-#include "core/api.hpp"
 #include "core/engine.hpp"
-#include "core/parallel_host.hpp"
+#include "core/host_exec.hpp"
 #include "core/reid_miller.hpp"
+#include "core/workspace.hpp"
 #include "lists/generators.hpp"
 #include "lists/validate.hpp"
 #include "serve/server.hpp"
 #include "shard/sharded.hpp"
+#include "support/cpu_features.hpp"
 #include "test_util.hpp"
 
 namespace lr90 {
@@ -41,6 +43,47 @@ LinkedList make_shape(Shape shape, std::size_t n, ValueInit init, Rng& rng) {
       return blocked_list(n, std::max<std::size_t>(1, n / 16), rng, init);
   }
   return {};
+}
+
+// Engine-based replacements for the deprecated sim_list_rank /
+// sim_list_scan / host_list_scan shims: a throwaway engine per call
+// keeps the property bodies one-liners while exercising the supported
+// entry point.
+std::vector<value_t> sim_rank(const LinkedList& l, Method method,
+                              unsigned processors = 1,
+                              std::uint64_t seed = kDefaultSeed) {
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  eo.processors = processors;
+  eo.seed = seed;
+  Engine engine{std::move(eo)};
+  RunResult r = engine.run(RankRequest{&l, method});
+  EXPECT_TRUE(r.ok()) << r.status.message;
+  return std::move(r.scan);
+}
+
+std::vector<value_t> sim_scan(const LinkedList& l, Method method,
+                              unsigned processors = 1,
+                              std::uint64_t seed = kDefaultSeed) {
+  EngineOptions eo;
+  eo.backend = BackendKind::kSim;
+  eo.processors = processors;
+  eo.seed = seed;
+  Engine engine{std::move(eo)};
+  RunResult r = engine.run(ScanRequest{&l, ScanOp::kPlus, method});
+  EXPECT_TRUE(r.ok()) << r.status.message;
+  return std::move(r.scan);
+}
+
+std::vector<value_t> host_scan(const LinkedList& l, ScanOp op,
+                               unsigned threads = 0) {
+  EngineOptions eo;
+  eo.backend = BackendKind::kHost;
+  eo.threads = threads;
+  Engine engine{std::move(eo)};
+  RunResult r = engine.run(ScanRequest{&l, op});
+  EXPECT_TRUE(r.ok()) << r.status.message;
+  return std::move(r.scan);
 }
 
 // ---------------------------------------------------------------------
@@ -252,6 +295,106 @@ INSTANTIATE_TEST_SUITE_P(Widths, HostInterleaveHarness,
                          ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
 
 // ---------------------------------------------------------------------
+// The SIMD gather tier: KernelTier::kSimdGather forced through the
+// Engine, every generator shape and size class, every operator, scan AND
+// rank -- bit-exact against the serial oracle. Lane-capable operators
+// must report the tier that can actually run here (kSimdGather on a
+// gather-capable CPU, the kPackedCursors downgrade otherwise); the
+// two-lane operators must land on kLegacy under the same forced plan.
+// Method::kReidMiller is requested explicitly so the sublist kernels run
+// even at sizes the auto planner would hand to the serial walk.
+// ---------------------------------------------------------------------
+
+class SimdTierHarness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SimdTierHarness, ForcedSimdMatchesSerialOracle) {
+  const unsigned width = GetParam();  // 0 = let the tuner pick W
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.threads = 3;
+  opt.tier = KernelTier::kSimdGather;
+  opt.interleave = width;
+  Engine engine(std::move(opt));
+  const KernelTier packed_tier = simd_gather_available()
+                                     ? KernelTier::kSimdGather
+                                     : KernelTier::kPackedCursors;
+  for (const ScanOp op : kAllScanOps) {
+    for (const Shape shape : kAllShapes) {
+      for (const std::size_t n : kHarnessSizes) {
+        const std::uint64_t seed = case_seed(shape, n, op) ^ 0x51b3d;
+        Rng rng(seed);
+        LinkedList l = make_shape(shape, n, ValueInit::kSigned, rng);
+        for (value_t& v : l.value) v = harness_value(op, v);
+
+        std::ostringstream repro;
+        repro << "repro: seed=" << seed << " shape=" << static_cast<int>(shape)
+              << " n=" << n << " op=" << scan_op_name(op) << " W=" << width
+              << " tier=simd-gather";
+        SCOPED_TRACE(repro.str());
+
+        const RunResult r = engine.run(OpRequest{&l, op, Method::kReidMiller});
+        ASSERT_TRUE(r.ok()) << r.status.message;
+        testutil::expect_scan_eq(r.scan, oracle_scan(l, op));
+        if (n >= 4) {
+          // The sublist kernels ran (want = min(sublists, n/2) >= 2):
+          // lane-capable operators must report the gather tier (or its
+          // CPU downgrade), two-lane operators the typed kLegacy
+          // fallback.
+          EXPECT_EQ(r.stats.kernel_tier,
+                    scan_op_lane32(op) ? packed_tier : KernelTier::kLegacy);
+          if (r.stats.kernel_tier == KernelTier::kSimdGather)
+            EXPECT_EQ(r.stats.host_interleave % 4, 0u)
+                << "SIMD cursors run in whole groups of 4 lanes";
+        }
+
+        const RunResult rank = engine.rank(l, Method::kReidMiller);
+        ASSERT_TRUE(rank.ok()) << rank.status.message;
+        testutil::expect_scan_eq(rank.scan, reference_rank(l));
+        if (n >= 4) EXPECT_EQ(rank.stats.kernel_tier, packed_tier);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SimdTierHarness,
+                         ::testing::Values(0u, 1u, 4u, 8u, 64u));
+
+// The runtime dispatcher itself: LR90_FORCE_SCALAR must route the SAME
+// binary onto the scalar cursor kernels, bit-exactly, and say so in
+// RunStats::kernel_tier -- the fallback CI proves on gather-capable
+// machines.
+TEST(SimdTierDispatch, ForcedScalarFallsBackBitExact) {
+  Rng rng(0x00d1);
+  const LinkedList l = random_list(4096, rng);
+
+  EngineOptions opt;
+  opt.backend = BackendKind::kHost;
+  opt.threads = 3;
+  opt.tier = KernelTier::kSimdGather;
+  Engine simd_engine{EngineOptions(opt)};
+  const RunResult before = simd_engine.rank(l, Method::kReidMiller);
+  ASSERT_TRUE(before.ok()) << before.status.message;
+  if (simd_gather_available())
+    EXPECT_EQ(before.stats.kernel_tier, KernelTier::kSimdGather);
+
+  ::setenv("LR90_FORCE_SCALAR", "1", /*overwrite=*/1);
+  refresh_cpu_features();
+  ASSERT_FALSE(simd_gather_available());
+  EXPECT_TRUE(cpu_features().forced_scalar);
+  // A fresh engine: the planner consults CPUID at decide time, and the
+  // forced-off dispatcher must land the same request on the scalar
+  // cursor family with the identical answer.
+  Engine scalar_engine{EngineOptions(opt)};
+  const RunResult after = scalar_engine.rank(l, Method::kReidMiller);
+  ::unsetenv("LR90_FORCE_SCALAR");
+  refresh_cpu_features();
+  ASSERT_TRUE(after.ok()) << after.status.message;
+  EXPECT_EQ(after.stats.kernel_tier, KernelTier::kPackedCursors);
+  testutil::expect_scan_eq(after.scan, before.scan);
+  testutil::expect_scan_eq(after.scan, reference_rank(l));
+}
+
+// ---------------------------------------------------------------------
 // Thread scaling: every forced (T, W) execution shape, every generator
 // shape and size class, every operator -- bit-exact against the serial
 // oracle. The direct host_exec half pins the exact worker count (the
@@ -432,10 +575,7 @@ TEST_P(RankProperty, MatchesReference) {
   const auto [method, shape, n] = GetParam();
   Rng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<int>(shape));
   const LinkedList l = make_shape(shape, n, ValueInit::kOnes, rng);
-  SimOptions opt;
-  opt.method = method;
-  const SimResult r = sim_list_rank(l, opt);
-  testutil::expect_scan_eq(r.scan, reference_rank(l));
+  testutil::expect_scan_eq(sim_rank(l, method), reference_rank(l));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -455,7 +595,7 @@ class OperatorProperty
     : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
 
 template <class Op>
-void check_all_scan_algorithms(const LinkedList& l, Op op) {
+void check_all_scan_algorithms(const LinkedList& l, Op op, ScanOp sop) {
   const auto want = testutil::expected_scan(l, op);
   const std::size_t n = l.size();
   vm::Machine m;
@@ -481,9 +621,7 @@ void check_all_scan_algorithms(const LinkedList& l, Op op) {
   testutil::expect_scan_eq(out, want);
   EXPECT_TRUE(lists_equal(work, l));
 
-  HostOptions hopt;
-  hopt.threads = 3;
-  testutil::expect_scan_eq(host_list_scan(l, op, hopt), want);
+  testutil::expect_scan_eq(host_scan(l, sop, /*threads=*/3), want);
 }
 
 TEST_P(OperatorProperty, AllAlgorithmsAgree) {
@@ -491,10 +629,10 @@ TEST_P(OperatorProperty, AllAlgorithmsAgree) {
   Rng rng(static_cast<std::uint64_t>(op_id) * 1000 + n);
   const LinkedList l = make_shape(Shape::kRandom, n, ValueInit::kSigned, rng);
   switch (op_id) {
-    case 0: check_all_scan_algorithms(l, OpPlus{}); break;
-    case 1: check_all_scan_algorithms(l, OpMin{}); break;
-    case 2: check_all_scan_algorithms(l, OpMax{}); break;
-    case 3: check_all_scan_algorithms(l, OpXor{}); break;
+    case 0: check_all_scan_algorithms(l, OpPlus{}, ScanOp::kPlus); break;
+    case 1: check_all_scan_algorithms(l, OpMin{}, ScanOp::kMin); break;
+    case 2: check_all_scan_algorithms(l, OpMax{}, ScanOp::kMax); break;
+    case 3: check_all_scan_algorithms(l, OpXor{}, ScanOp::kXor); break;
     default: FAIL();
   }
 }
@@ -514,16 +652,10 @@ TEST(ExhaustiveTiny, EveryPermutationRanksCorrectly) {
     do {
       const LinkedList l = list_from_order(order);
       const auto want = reference_rank(l);
-      SimOptions opt;
-      opt.method = Method::kReidMiller;
-      const SimResult rm = sim_list_rank(l, opt);
-      ASSERT_EQ(rm.scan, want);
-      opt.method = Method::kMillerReif;
-      ASSERT_EQ(sim_list_rank(l, opt).scan, want);
-      opt.method = Method::kAndersonMiller;
-      ASSERT_EQ(sim_list_rank(l, opt).scan, want);
-      opt.method = Method::kWyllie;
-      ASSERT_EQ(sim_list_rank(l, opt).scan, want);
+      ASSERT_EQ(sim_rank(l, Method::kReidMiller), want);
+      ASSERT_EQ(sim_rank(l, Method::kMillerReif), want);
+      ASSERT_EQ(sim_rank(l, Method::kAndersonMiller), want);
+      ASSERT_EQ(sim_rank(l, Method::kWyllie), want);
     } while (std::next_permutation(order.begin(), order.end()));
   }
 }
@@ -539,11 +671,8 @@ TEST_P(MultiprocProperty, CorrectOnEveryProcessorCount) {
   const auto [method, procs, n] = GetParam();
   Rng rng(static_cast<std::uint64_t>(procs) * 7919 + n);
   const LinkedList l = random_list(n, rng, ValueInit::kUniformSmall);
-  SimOptions opt;
-  opt.method = method;
-  opt.processors = procs;
-  const SimResult r = sim_list_scan(l, opt);
-  testutil::expect_scan_eq(r.scan, testutil::expected_scan(l, OpPlus{}));
+  testutil::expect_scan_eq(sim_scan(l, method, procs),
+                           testutil::expected_scan(l, OpPlus{}));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -592,12 +721,9 @@ class SeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(SeedProperty, ScanOfOnesEqualsRank) {
   Rng rng(GetParam());
   LinkedList l = random_list(3000, rng, ValueInit::kOnes);
-  SimOptions opt;
-  opt.method = Method::kReidMiller;
-  opt.seed = GetParam();
-  const SimResult rank = sim_list_rank(l, opt);
-  const SimResult scan = sim_list_scan(l, opt);
-  testutil::expect_scan_eq(scan.scan, rank.scan);
+  const auto rank = sim_rank(l, Method::kReidMiller, 1, GetParam());
+  const auto scan = sim_scan(l, Method::kReidMiller, 1, GetParam());
+  testutil::expect_scan_eq(scan, rank);
 }
 
 TEST_P(SeedProperty, XorScanAppliedTwiceRecoversPrefixParity) {
@@ -606,7 +732,7 @@ TEST_P(SeedProperty, XorScanAppliedTwiceRecoversPrefixParity) {
   // of everything except the tail... a cheap end-to-end consistency chain.
   Rng rng(GetParam() + 100);
   const LinkedList l = random_list(1024, rng, ValueInit::kUniformSmall);
-  const auto out = host_list_scan(l, OpXor{});
+  const auto out = host_scan(l, ScanOp::kXor);
   value_t all = 0;
   for (const value_t v : l.value) all ^= v;
   const index_t tail = l.find_tail();
@@ -617,12 +743,9 @@ TEST_P(SeedProperty, XorScanAppliedTwiceRecoversPrefixParity) {
 TEST_P(SeedProperty, RanksAreAPermutationOfZeroToNMinusOne) {
   Rng rng(GetParam() + 200);
   const LinkedList l = random_list(4096, rng);
-  SimOptions opt;
-  opt.method = Method::kReidMillerEncoded;
-  opt.seed = GetParam();
-  const SimResult r = sim_list_rank(l, opt);
+  const auto ranks = sim_rank(l, Method::kReidMillerEncoded, 1, GetParam());
   std::vector<char> seen(4096, 0);
-  for (const value_t v : r.scan) {
+  for (const value_t v : ranks) {
     ASSERT_GE(v, 0);
     ASSERT_LT(v, 4096);
     ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
